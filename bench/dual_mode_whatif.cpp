@@ -1,0 +1,82 @@
+// Experiment X7 — the Conclusions' proposed study, in the paper's own
+// formalism: "how alternative settings (compromises between false negative
+// and false positive rates) of the CADT would affect the whole system's
+// false negative and false positive rates."
+//
+// Unlike X1 (which sweeps a mechanistic binormal machine), this bench works
+// purely at the model level: the FP side is a second SequentialModel with
+// the identical equations (machine failure = false prompt, human failure =
+// false recall), combined with the FN side at screening prevalence. Machine
+// re-tunings scale the two machine failure probabilities in opposite
+// directions; reader drift and environment changes propagate to both modes.
+#include <cmath>
+#include <iostream>
+
+#include "core/analysis_report.hpp"
+#include "core/dual_model.hpp"
+#include "report/format.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace hmdiv;
+  using namespace hmdiv::core;
+  using report::fixed;
+
+  const DualModel dual = example_dual_model(0.007);
+
+  std::cout << "== X7: both failure modes from the sequential formalism ==\n";
+  const auto base = dual.performance();
+  report::Table table({"scenario", "FN rate", "FP rate", "sens", "spec",
+                       "recall", "PPV", "cost/case"});
+  const OutcomeCosts costs;
+  struct Row {
+    const char* label;
+    DualModel model;
+  };
+  const Row rows[] = {
+      {"as configured", dual},
+      {"machine eager (FN x0.5, FP x2)", dual.with_machine_retuned(0.5, 2.0)},
+      {"machine strict (FN x2, FP x0.5)", dual.with_machine_retuned(2.0, 0.5)},
+      {"readers 20% worse, both modes", dual.with_reader_drift(1.2, 1.2)},
+      {"trial-like case mixes",
+       dual.with_environment(
+           DemandProfile({"easy", "difficult"}, {0.8, 0.2}),
+           DemandProfile({"typical", "complex"}, {0.6, 0.4}), 0.007)},
+  };
+  for (const Row& r : rows) {
+    const auto p = r.model.performance();
+    table.row({r.label, fixed(p.false_negative_rate, 3),
+               fixed(p.false_positive_rate, 3), fixed(p.sensitivity, 3),
+               fixed(p.specificity, 3), report::percent(p.recall_rate, 2),
+               fixed(p.ppv, 3),
+               fixed(r.model.expected_cost_per_case(costs), 3)});
+  }
+  std::cout << table << '\n';
+
+  std::cout << dual_analysis_report(dual, costs, /*markdown=*/false) << '\n';
+
+  const auto eager = dual.with_machine_retuned(0.5, 2.0).performance();
+  const auto strict = dual.with_machine_retuned(2.0, 0.5).performance();
+  const bool tradeoff_ok = eager.sensitivity > base.sensitivity &&
+                           eager.specificity < base.specificity &&
+                           strict.sensitivity < base.sensitivity &&
+                           strict.specificity > base.specificity;
+  // The FN side still floors at E[PHf|Ms]: even "free" eagerness can't push
+  // FN below the human response floor.
+  const double fn_floor =
+      dual.fn_model().failure_floor(dual.fn_profile());
+  const double fn_at_perfect_machine =
+      dual.with_machine_retuned(0.0, 1.0).performance().false_negative_rate;
+  const bool floored = std::fabs(fn_at_perfect_machine - fn_floor) < 1e-12;
+  const bool drift_hurts_both =
+      rows[3].model.performance().sensitivity < base.sensitivity &&
+      rows[3].model.performance().specificity < base.specificity;
+  std::cout << "Re-tuning trades the two system failure modes: "
+            << (tradeoff_ok ? "PASS" : "FAIL") << '\n'
+            << "FN rate floors at E[PHf|Ms] = " << fixed(fn_floor, 3)
+            << " under a perfect machine: " << (floored ? "PASS" : "FAIL")
+            << '\n'
+            << "Reader drift degrades both modes at once: "
+            << (drift_hurts_both ? "PASS" : "FAIL") << "\n\n";
+  return tradeoff_ok && floored && drift_hurts_both ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+// Experiment P1 — engineering microbenchmarks (google-benchmark): cost of
+// model evaluation, decomposition, RBD evaluation (formula vs enumeration),
+// and simulation throughput. These bound the cost of the parameter sweeps
+// and Monte-Carlo analyses the other benches run.
+#include <benchmark/benchmark.h>
+
+#include "core/design_advisor.hpp"
+#include "core/paper_example.hpp"
+#include "rbd/structure.hpp"
+#include "sim/estimation.hpp"
+#include "sim/feature_world.hpp"
+#include "sim/tabular_world.hpp"
+#include "sim/trial.hpp"
+
+namespace {
+
+using namespace hmdiv;
+
+void BM_SequentialModelEq8(benchmark::State& state) {
+  const auto model = core::paper::example_model();
+  const auto profile = core::paper::field_profile();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.system_failure_probability(profile));
+  }
+}
+BENCHMARK(BM_SequentialModelEq8);
+
+void BM_SequentialModelDecompose(benchmark::State& state) {
+  const auto model = core::paper::example_model();
+  const auto profile = core::paper::field_profile();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.decompose(profile));
+  }
+}
+BENCHMARK(BM_SequentialModelDecompose);
+
+void BM_DesignAdvisorDiagnose(benchmark::State& state) {
+  const core::DesignAdvisor advisor(core::paper::example_model(),
+                                    core::paper::field_profile());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(advisor.diagnose());
+  }
+}
+BENCHMARK(BM_DesignAdvisorDiagnose);
+
+rbd::Structure chain_of_parallel_pairs(std::size_t pairs) {
+  std::vector<rbd::Structure> blocks;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    blocks.push_back(rbd::Structure::any_of(
+        {rbd::Structure::component(2 * i),
+         rbd::Structure::component(2 * i + 1)}));
+  }
+  return rbd::Structure::series(std::move(blocks));
+}
+
+void BM_RbdFormula(benchmark::State& state) {
+  const auto pairs = static_cast<std::size_t>(state.range(0));
+  const auto structure = chain_of_parallel_pairs(pairs);
+  const std::vector<double> success(2 * pairs, 0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(structure.success_probability(success));
+  }
+}
+BENCHMARK(BM_RbdFormula)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_RbdEnumeration(benchmark::State& state) {
+  const auto pairs = static_cast<std::size_t>(state.range(0));
+  const auto structure = chain_of_parallel_pairs(pairs);
+  const std::vector<double> success(2 * pairs, 0.9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(structure.success_by_enumeration(success));
+  }
+}
+BENCHMARK(BM_RbdEnumeration)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_TabularWorldCase(benchmark::State& state) {
+  sim::TabularWorld world(core::paper::example_model(),
+                          core::paper::trial_profile());
+  stats::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.simulate_case(rng));
+  }
+}
+BENCHMARK(BM_TabularWorldCase);
+
+void BM_FeatureWorldCase(benchmark::State& state) {
+  auto world = sim::reference_feature_world();
+  world.set_adaptation_enabled(false);
+  stats::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.simulate_case(rng));
+  }
+}
+BENCHMARK(BM_FeatureWorldCase);
+
+void BM_EstimateFromTrial(benchmark::State& state) {
+  const auto cases = static_cast<std::uint64_t>(state.range(0));
+  sim::TabularWorld world(core::paper::example_model(),
+                          core::paper::trial_profile());
+  sim::TrialRunner runner(world, cases);
+  stats::Rng rng(3);
+  const auto data = runner.run(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::estimate_sequential_model(data));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cases));
+}
+BENCHMARK(BM_EstimateFromTrial)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Experiment X8 — Section 3's question: when is the "parallel detection"
+// model (Fig. 2 / Eqs. 1–3) actually valid?
+//
+// An instrumented Procedure-1 trial (reader's unaided findings recorded
+// before prompts are shown) is simulated and the parallel model is fitted.
+// Three regimes:
+//
+//   1. Design ideal (every prompt examined, homogeneous classes): the
+//      fitted Eq. (1) reproduces the simulated system failure exactly.
+//   2. Prompt attention < 1 (readers skim prompts): Eq. (1) as idealised —
+//      "any feature ... is actually examined, provided that either the
+//      reader or the CADT notices it" — under-predicts system failure,
+//      increasingly with inattention.
+//   3. Heterogeneous classes (within-class difficulty spread): the class-
+//      granular Eq. (1) is optimistic even under perfect procedure,
+//      because human and machine detection stay correlated *inside* each
+//      class (the Eq. 3 covariance at sub-class scale).
+#include <cmath>
+#include <iostream>
+
+#include "report/format.hpp"
+#include "report/table.hpp"
+#include "sim/feature_world.hpp"
+#include "sim/parallel_world.hpp"
+
+namespace {
+
+using namespace hmdiv;
+
+/// Eq. (1) applied to fitted per-class parameters.
+double eq1_prediction(const sim::ParallelEstimate& estimate,
+                      const core::DemandProfile& profile) {
+  return estimate.fitted_model().system_failure_probability(profile);
+}
+
+}  // namespace
+
+int main() {
+  using report::fixed;
+
+  const auto base = sim::reference_feature_world();
+  const core::DemandProfile profile({"easy", "difficult"}, {0.8, 0.2});
+  constexpr std::uint64_t kCases = 300000;
+
+  std::cout << "== X8: validity of the parallel-detection model (Eq. 1) ==\n";
+  report::Table table({"regime", "Eq. (1) on fitted params",
+                       "simulated P(FN)", "gap"});
+  struct Regime {
+    const char* label;
+    double attention;
+    double scale;
+  };
+  const Regime regimes[] = {
+      {"ideal procedure, homogeneous classes", 1.0, 0.0},
+      {"ideal procedure, heterogeneous classes", 1.0, 1.0},
+      {"80% prompt attention, homogeneous", 0.8, 0.0},
+      {"60% prompt attention, homogeneous", 0.6, 0.0},
+      {"60% attention, heterogeneous", 0.6, 1.0},
+  };
+  std::vector<double> gaps;
+  std::uint64_t seed = 4000;
+  for (const Regime& regime : regimes) {
+    sim::ParallelProcedureWorld world(base.generator().with_profile(profile),
+                                      base.cadt(), base.reader(),
+                                      regime.attention, regime.scale);
+    stats::Rng rng(seed++);
+    const auto records = world.run(kCases, rng);
+    const auto estimate =
+        sim::estimate_parallel_model(records, profile.class_names());
+    const double predicted = eq1_prediction(estimate, profile);
+    const double simulated = estimate.observed_system_failure;
+    table.row({regime.label, fixed(predicted, 4), fixed(simulated, 4),
+               fixed(simulated - predicted, 4)});
+    gaps.push_back(simulated - predicted);
+  }
+  std::cout << table << '\n';
+
+  std::cout
+      << "Reading: under the design-ideal procedure with homogeneous\n"
+         "classes, the instrumented trial identifies all three parameters\n"
+         "and Eq. (1) is exact. Skimmed prompts break the '1-out-of-2\n"
+         "detection' assumption; within-class difficulty spread leaves\n"
+         "residual human-machine correlation that the class-granular\n"
+         "independence misses. Both biases are optimistic — the dangerous\n"
+         "direction — which is why Section 3 rejects this model unless the\n"
+         "procedure (and the classing) can be audited.\n\n";
+
+  // Checks: regime 1 gap ~ 0 (sampling noise only); inattention gaps grow
+  // and are positive; heterogeneity gap positive.
+  const double noise = 0.003;
+  const bool ideal_exact = std::fabs(gaps[0]) < noise;
+  const bool heterogeneity_optimistic = gaps[1] > noise / 3.0;
+  const bool attention_monotone =
+      gaps[2] > noise / 3.0 && gaps[3] > gaps[2];
+  const bool combined_worst = gaps[4] >= gaps[3] - noise;
+  std::cout << "Ideal regime: Eq. (1) exact up to sampling noise: "
+            << (ideal_exact ? "PASS" : "FAIL") << '\n'
+            << "Within-class heterogeneity makes Eq. (1) optimistic: "
+            << (heterogeneity_optimistic ? "PASS" : "FAIL") << '\n'
+            << "Prompt inattention bias grows as attention drops: "
+            << (attention_monotone ? "PASS" : "FAIL") << '\n'
+            << "Combined regime at least as biased as inattention alone: "
+            << (combined_worst ? "PASS" : "FAIL") << "\n\n";
+  return ideal_exact && heterogeneity_optimistic && attention_monotone &&
+                 combined_worst
+             ? 0
+             : 1;
+}

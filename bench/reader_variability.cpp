@@ -1,0 +1,58 @@
+// Experiment X5 — Section 5 item 2: "the readers have varying levels of
+// ability ... The trial data can indicate the range of these abilities".
+//
+// Panels of 12 readers are sampled at increasing skill spread; each panel
+// reads a 36k-case trial (cases assigned uniformly). The analysis fits a
+// beta-binomial to the per-reader failure counts: the over-dispersion
+// index rho must be ~0 for a homogeneous panel (all variation is binomial
+// sampling noise) and must rise monotonically with the true skill spread —
+// i.e. the trial data *can* indicate the range of abilities, and the
+// analysis correctly refuses to see heterogeneity that is not there.
+#include <iostream>
+
+#include "report/format.hpp"
+#include "report/table.hpp"
+#include "sim/feature_world.hpp"
+#include "sim/reader_panel.hpp"
+
+int main() {
+  using namespace hmdiv;
+  using report::fixed;
+
+  const auto base_world = sim::reference_feature_world();
+  const sim::ReaderModel::Config base_config = base_world.reader().config();
+
+  std::cout << "== X5: panel heterogeneity vs fitted over-dispersion ==\n";
+  report::Table table({"skill sigma", "rate range (min..max)", "mean rate",
+                       "beta-binomial rho"});
+  std::vector<double> rhos;
+  stats::Rng rng(13579);
+  for (const double sigma : {0.0, 0.15, 0.3, 0.6}) {
+    stats::Rng panel_rng = rng.split(static_cast<std::uint64_t>(sigma * 100));
+    const auto panel =
+        sim::ReaderPanel::sample(base_config, 12, sigma, panel_rng);
+    stats::Rng trial_rng = rng.split(1000 + static_cast<std::uint64_t>(
+                                                sigma * 100));
+    const auto records = sim::run_panel_trial(
+        base_world.generator(), base_world.cadt(), panel, 36000, trial_rng);
+    const auto analysis = sim::analyse_panel(records, panel.size());
+    table.row({fixed(sigma, 2),
+               fixed(analysis.lowest_rate, 3) + " .. " +
+                   fixed(analysis.highest_rate, 3),
+               fixed(analysis.fit.mean(), 3),
+               report::sig(analysis.fit.rho(), 3)});
+    rhos.push_back(analysis.fit.rho());
+  }
+  std::cout << table << '\n';
+
+  const bool homogeneous_flat = rhos.front() < 0.003;
+  bool monotone = true;
+  for (std::size_t i = 1; i < rhos.size(); ++i) {
+    monotone = monotone && rhos[i] > rhos[i - 1];
+  }
+  std::cout << "Homogeneous panel shows no over-dispersion (rho ~ 0): "
+            << (homogeneous_flat ? "PASS" : "FAIL") << '\n'
+            << "Fitted rho rises with the true skill spread: "
+            << (monotone ? "PASS" : "FAIL") << "\n\n";
+  return homogeneous_flat && monotone ? 0 : 1;
+}

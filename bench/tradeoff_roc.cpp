@@ -1,0 +1,100 @@
+// Experiment X1 — the false-negative / false-positive trade-off the paper's
+// Conclusions single out as the next step.
+//
+// The machine's operating threshold is swept; for each setting the bench
+// reports machine-level and *system*-level FN/FP rates, sensitivity,
+// specificity, recall rate and PPV at a realistic prevalence (0.7%, the
+// paper notes "less than 1%"). Two human responses are compared: an
+// automation-biased reader (prompts pull recalls on healthy cases) and a
+// prompt-neutral reader — showing that the system's trade-off curve is NOT
+// the machine's.
+#include <cmath>
+#include <iostream>
+
+#include "core/tradeoff.hpp"
+#include "report/format.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace hmdiv;
+  using namespace hmdiv::core;
+  using report::fixed;
+
+  BinormalMachine machine;
+  machine.cancer_class_means = {2.0, 0.8};
+  machine.normal_class_means = {-2.0, -0.5};
+  const DemandProfile cancers({"easy", "difficult"}, {0.9, 0.1});
+  const DemandProfile normals({"typical", "complex"}, {0.85, 0.15});
+  std::vector<HumanFnResponse> fn(2);
+  fn[0] = {0.14, 0.18};  // prompted, silent — the paper's easy class
+  fn[1] = {0.4, 0.9};    // difficult class
+  std::vector<HumanFpResponse> fp_biased(2);
+  fp_biased[0] = {0.10, 0.02};
+  fp_biased[1] = {0.35, 0.12};
+  std::vector<HumanFpResponse> fp_neutral(2);
+  fp_neutral[0] = {0.02, 0.02};
+  fp_neutral[1] = {0.12, 0.12};
+  constexpr double kPrevalence = 0.007;
+
+  const TradeoffAnalyzer biased(machine, cancers, fn, normals, fp_biased,
+                                kPrevalence);
+  const TradeoffAnalyzer neutral(machine, cancers, fn, normals, fp_neutral,
+                                 kPrevalence);
+
+  std::vector<double> thresholds;
+  for (double t = -2.0; t <= 2.0 + 1e-9; t += 0.5) thresholds.push_back(t);
+
+  std::cout << "== X1: machine threshold sweep, automation-biased reader ==\n";
+  report::Table sweep({"thr", "mach FN", "mach FP", "sys FN", "sys FP",
+                       "sens", "spec", "recall", "PPV"});
+  for (const auto& point : biased.sweep(thresholds)) {
+    sweep.row({fixed(point.threshold, 1), fixed(point.machine_fn, 3),
+               fixed(point.machine_fp, 3), fixed(point.system_fn, 3),
+               fixed(point.system_fp, 3), fixed(point.sensitivity, 3),
+               fixed(point.specificity, 3),
+               report::percent(point.recall_rate, 2),
+               fixed(point.ppv, 3)});
+  }
+  std::cout << sweep << '\n';
+
+  std::cout << "== X1: same machine, prompt-neutral reader (no FP bias) ==\n";
+  report::Table neutral_sweep({"thr", "sys FN", "sys FP", "recall", "PPV"});
+  for (const auto& point : neutral.sweep(thresholds)) {
+    neutral_sweep.row({fixed(point.threshold, 1), fixed(point.system_fn, 3),
+                       fixed(point.system_fp, 3),
+                       report::percent(point.recall_rate, 2),
+                       fixed(point.ppv, 3)});
+  }
+  std::cout << neutral_sweep << '\n';
+
+  // Cost-optimal operating points for two cost regimes.
+  const auto miss_averse = biased.minimise_cost(500.0, 1.0, -3.0, 3.0, 121);
+  const auto recall_averse = biased.minimise_cost(50.0, 5.0, -3.0, 3.0, 121);
+  std::cout << "Cost-optimal thresholds: miss-averse (500:1) -> "
+            << fixed(miss_averse.threshold, 2) << ", recall-averse (10:1) -> "
+            << fixed(recall_averse.threshold, 2) << "\n\n";
+
+  // Shape checks: monotone trade-off; biased reader pays more FP for the
+  // same machine; eager machine floors the system FN at E[PHf|Ms].
+  const auto eager = biased.evaluate(-2.0);
+  const auto strict = biased.evaluate(2.0);
+  const bool monotone = eager.system_fn < strict.system_fn &&
+                        eager.system_fp > strict.system_fp;
+  bool biased_pays_fp = true;
+  for (const double t : thresholds) {
+    biased_pays_fp = biased_pays_fp && biased.evaluate(t).system_fp >=
+                                           neutral.evaluate(t).system_fp - 1e-12;
+  }
+  const double fn_floor = 0.9 * 0.14 + 0.1 * 0.4;
+  const bool floored = eager.system_fn > fn_floor - 1e-9;
+  const bool cost_order = miss_averse.threshold < recall_averse.threshold;
+  std::cout << "System FN/FP move oppositely with the threshold: "
+            << (monotone ? "PASS" : "FAIL") << '\n'
+            << "Automation bias costs specificity at every threshold: "
+            << (biased_pays_fp ? "PASS" : "FAIL") << '\n'
+            << "System FN floored at E[PHf|Ms] even with an eager machine: "
+            << (floored ? "PASS" : "FAIL") << '\n'
+            << "Cost ratio moves the optimal threshold the right way: "
+            << (cost_order ? "PASS" : "FAIL") << "\n\n";
+  return monotone && biased_pays_fp && floored && cost_order ? 0 : 1;
+}

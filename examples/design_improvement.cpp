@@ -1,0 +1,94 @@
+// Scenario: you own the CADT roadmap. Engineering proposes three projects;
+// each reduces the machine's false-negative probability somewhere. Which
+// one should ship first?
+//
+// The paper's answer (Sections 5–6): don't rank by machine-level gain.
+// System-level gain of improving class x is p(x) · t(x) · ΔPMf(x) — the
+// importance index t(x) decides whether the human will actually convert
+// machine correctness into system correctness. This example reproduces that
+// reasoning with the DesignAdvisor, then stress-tests the winning choice
+// against reader drift.
+#include <iostream>
+
+#include "core/design_advisor.hpp"
+#include "core/paper_example.hpp"
+#include "core/sensitivity.hpp"
+#include "report/format.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace hmdiv::core;
+  using hmdiv::report::fixed;
+  using hmdiv::report::percent;
+
+  const auto model = paper::example_model();
+  const auto field = paper::field_profile();
+  DesignAdvisor advisor(model, field);
+
+  std::cout << "Baseline field failure probability: "
+            << fixed(model.system_failure_probability(field), 3) << "\n\n";
+
+  // Where is the leverage? Exact gradients of Eq. (8).
+  const auto grads = sensitivities(model, field);
+  hmdiv::report::Table gradient_table(
+      {"class", "dPHf/dPMf", "dPHf/dPHf|Mf", "dPHf/dPHf|Ms"});
+  gradient_table.caption("Sensitivities (what a unit of improvement buys)");
+  for (std::size_t x = 0; x < model.class_count(); ++x) {
+    gradient_table.row({model.class_names()[x],
+                        fixed(grads[x].d_machine_failure, 3),
+                        fixed(grads[x].d_human_given_failure, 3),
+                        fixed(grads[x].d_human_given_success, 3)});
+  }
+  std::cout << gradient_table << '\n';
+
+  // The three candidate projects.
+  std::vector<ImprovementCandidate> candidates;
+  candidates.push_back({"A: 10x fewer misses on easy cases (cheap)",
+                        paper::kEasy, 0.1});
+  candidates.push_back({"B: 10x fewer misses on difficult cases (hard)",
+                        paper::kDifficult, 0.1});
+  candidates.push_back({"C: 2x fewer misses everywhere (moderate)",
+                        ImprovementCandidate::kAllClasses, 0.5});
+  const auto ranked = advisor.rank(candidates);
+
+  hmdiv::report::Table ranking({"project", "PHf after", "abs. gain",
+                                "rel. gain"});
+  ranking.caption("Projects ranked by system-level gain (field profile)");
+  for (const auto& e : ranked) {
+    ranking.row({e.name, fixed(e.improved_failure, 3),
+                 fixed(e.absolute_gain(), 4), percent(e.relative_gain(), 1)});
+  }
+  std::cout << ranking << '\n';
+
+  const auto diagnosis = advisor.diagnose();
+  std::cout
+      << "Why: t(easy) = " << fixed(model.importance_index(paper::kEasy), 2)
+      << " — readers barely react to machine output on easy cases, so\n"
+      << "project A buys almost nothing even though easy cases are 90% of\n"
+      << "the field. t(difficult) = "
+      << fixed(model.importance_index(paper::kDifficult), 2)
+      << ": that is where machine correctness converts into recalls.\n"
+      << "And no machine project can push PHf below the floor "
+      << fixed(diagnosis.floor, 3) << " — "
+      << percent(1.0 - diagnosis.machine_addressable_fraction, 0)
+      << " of today's failures need *reader-side* work instead.\n\n";
+
+  // Stress test the winner: does the ranking survive if readers get more
+  // complacent as the machine improves (the paper's indirect effect)?
+  hmdiv::report::Table stress({"reader drift", "gain of B", "gain of A"});
+  stress.caption("Ranking robustness under reader drift");
+  for (const double drift : {1.0, 1.1, 1.2}) {
+    const auto drifted = model.with_reader_improvement(drift);
+    DesignAdvisor drifted_advisor(drifted, field);
+    const double gain_b =
+        drifted_advisor
+            .evaluate({"B", paper::kDifficult, 0.1})
+            .absolute_gain();
+    const double gain_a =
+        drifted_advisor.evaluate({"A", paper::kEasy, 0.1}).absolute_gain();
+    stress.row({fixed(drift, 1) + "x", fixed(gain_b, 4), fixed(gain_a, 4)});
+  }
+  std::cout << stress << '\n'
+            << "Project B stays the right choice across the drift range.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Scenario: your screening centre *believes* its readers follow the
+// intended procedure — examine the films first, then review every CADT
+// prompt with full attention (the paper's procedure 1). Before trusting
+// the convenient parallel-detection model (Fig. 2) for assessment, audit
+// that belief with an instrumented trial: readers record their unaided
+// findings before the prompts are revealed.
+//
+// The audit below runs two instrumented trials on simulated reader
+// populations — one compliant, one that skims prompts — and applies three
+// checks an analyst can run on real data:
+//   1. prompt-blindness: pHmiss must not change when the CADT changes;
+//   2. reconstruction: Eq. (1) on the fitted parameters must reproduce the
+//      observed system failure rate;
+//   3. recovered-miss rate: among cases missed unaided but prompted, the
+//      detection rate estimates the effective prompt attention directly.
+#include <cmath>
+#include <iostream>
+
+#include "report/format.hpp"
+#include "report/table.hpp"
+#include "sim/feature_world.hpp"
+#include "sim/parallel_world.hpp"
+
+namespace {
+
+using namespace hmdiv;
+
+struct AuditResult {
+  double phmiss_shift = 0.0;       // check 1: |pHmiss(eager) − pHmiss(strict)|
+  double reconstruction_gap = 0.0; // check 2: observed − Eq. (1)
+  double effective_attention = 0.0;// check 3
+};
+
+AuditResult audit(double true_attention, std::uint64_t seed) {
+  const auto base = sim::reference_feature_world();
+  const core::DemandProfile profile({"easy", "difficult"}, {0.8, 0.2});
+  constexpr std::uint64_t kCases = 120000;
+
+  auto run = [&](const sim::CadtModel& cadt, std::uint64_t s) {
+    sim::ParallelProcedureWorld world(base.generator().with_profile(profile),
+                                      cadt, base.reader(), true_attention,
+                                      /*within_class_scale=*/0.0);
+    stats::Rng rng(s);
+    return world.run(kCases, rng);
+  };
+  const auto eager_records = run(base.cadt().with_threshold_shift(-1.0), seed);
+  const auto strict_records =
+      run(base.cadt().with_threshold_shift(1.0), seed + 1);
+  const auto eager =
+      sim::estimate_parallel_model(eager_records, profile.class_names());
+  const auto strict =
+      sim::estimate_parallel_model(strict_records, profile.class_names());
+
+  AuditResult out;
+  // Check 1: unaided misses should be machine-invariant.
+  for (std::size_t x = 0; x < 2; ++x) {
+    out.phmiss_shift = std::max(
+        out.phmiss_shift, std::fabs(eager.classes[x].p_human_misses -
+                                    strict.classes[x].p_human_misses));
+  }
+  // Check 2: does the idealised Eq. (1) reproduce what happened?
+  out.reconstruction_gap =
+      eager.observed_system_failure -
+      eager.fitted_model().system_failure_probability(profile);
+  // Check 3: detection rate among (missed unaided, prompted) cases.
+  std::uint64_t recovered = 0, opportunities = 0;
+  for (const auto& r : eager_records) {
+    if (r.human_missed && !r.machine_failed) {
+      ++opportunities;
+      recovered += r.detected ? 1 : 0;
+    }
+  }
+  out.effective_attention =
+      opportunities == 0 ? 0.0
+                         : static_cast<double>(recovered) /
+                               static_cast<double>(opportunities);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using report::fixed;
+
+  hmdiv::report::Table table({"reader population", "max pHmiss shift",
+                              "Eq.(1) reconstruction gap",
+                              "effective prompt attention"});
+  table.caption("Procedure audit on two instrumented trials");
+  const AuditResult compliant = audit(1.0, 60001);
+  const AuditResult skimmers = audit(0.65, 60010);
+  table.row({"compliant (attention = 1.0)", fixed(compliant.phmiss_shift, 4),
+             fixed(compliant.reconstruction_gap, 4),
+             fixed(compliant.effective_attention, 3)});
+  table.row({"prompt-skimmers (attention = 0.65)",
+             fixed(skimmers.phmiss_shift, 4),
+             fixed(skimmers.reconstruction_gap, 4),
+             fixed(skimmers.effective_attention, 3)});
+  std::cout << table << '\n';
+
+  std::cout
+      << "Verdict for the compliant centre: pHmiss is machine-invariant,\n"
+         "Eq. (1) reconstructs the observed failure rate, and prompted\n"
+         "misses are always examined — the parallel-detection model is\n"
+         "safe to use for assessment here.\n\n"
+         "Verdict for the skimming centre: the reconstruction gap of "
+      << fixed(skimmers.reconstruction_gap, 3)
+      << "\n(observed worse than modelled) and the measured attention of "
+      << fixed(skimmers.effective_attention, 2)
+      << "\nshow the procedure is not followed; fall back to the sequential\n"
+         "model (Section 4), which needs no such assumption.\n";
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "core/aggregation.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace hmdiv::core {
+
+void ClassPartition::validate(std::size_t fine_class_count) const {
+  if (coarse_names.empty()) {
+    throw std::invalid_argument("ClassPartition: no coarse classes");
+  }
+  if (group_of.size() != fine_class_count) {
+    throw std::invalid_argument(
+        "ClassPartition: group_of size does not match fine class count");
+  }
+  std::vector<bool> used(coarse_names.size(), false);
+  for (const std::size_t g : group_of) {
+    if (g >= coarse_names.size()) {
+      throw std::invalid_argument("ClassPartition: group index out of range");
+    }
+    used[g] = true;
+  }
+  for (std::size_t g = 0; g < used.size(); ++g) {
+    if (!used[g]) {
+      throw std::invalid_argument("ClassPartition: empty coarse class '" +
+                                  coarse_names[g] + "'");
+    }
+  }
+}
+
+CoarseView coarsen(const SequentialModel& fine_model,
+                   const DemandProfile& fine_profile,
+                   const ClassPartition& partition) {
+  if (!fine_model.compatible_with(fine_profile)) {
+    throw std::invalid_argument("coarsen: profile/model class mismatch");
+  }
+  partition.validate(fine_model.class_count());
+  const std::size_t coarse_count = partition.coarse_names.size();
+
+  // Accumulate the exact mixture moments per coarse class.
+  std::vector<double> mass(coarse_count, 0.0);          // p(X)
+  std::vector<double> mf_mass(coarse_count, 0.0);       // E[p·PMf]
+  std::vector<double> mf_hf_mass(coarse_count, 0.0);    // E[p·PMf·PHf|Mf]
+  std::vector<double> ms_hf_mass(coarse_count, 0.0);    // E[p·PMs·PHf|Ms]
+  for (std::size_t x = 0; x < fine_model.class_count(); ++x) {
+    const std::size_t g = partition.group_of[x];
+    const ClassConditional& c = fine_model.parameters(x);
+    const double p = fine_profile[x];
+    mass[g] += p;
+    mf_mass[g] += p * c.p_machine_fails;
+    mf_hf_mass[g] +=
+        p * c.p_machine_fails * c.p_human_fails_given_machine_fails;
+    ms_hf_mass[g] +=
+        p * c.p_machine_succeeds() * c.p_human_fails_given_machine_succeeds;
+  }
+
+  std::vector<ClassConditional> coarse_params(coarse_count);
+  std::vector<double> coarse_probs(coarse_count);
+  for (std::size_t g = 0; g < coarse_count; ++g) {
+    if (mass[g] <= 0.0) {
+      throw std::invalid_argument(
+          "coarsen: coarse class '" + partition.coarse_names[g] +
+          "' has zero probability under the fine profile");
+    }
+    coarse_probs[g] = mass[g];
+    ClassConditional& c = coarse_params[g];
+    c.p_machine_fails = mf_mass[g] / mass[g];
+    const double ms_mass = mass[g] - mf_mass[g];
+    c.p_human_fails_given_machine_fails =
+        mf_mass[g] > 0.0 ? mf_hf_mass[g] / mf_mass[g] : 0.0;
+    c.p_human_fails_given_machine_succeeds =
+        ms_mass > 0.0 ? ms_hf_mass[g] / ms_mass : 0.0;
+  }
+  return CoarseView{
+      SequentialModel(partition.coarse_names, std::move(coarse_params)),
+      DemandProfile(partition.coarse_names, std::move(coarse_probs))};
+}
+
+DemandProfile coarsen_profile(const DemandProfile& fine_profile,
+                              const ClassPartition& partition) {
+  partition.validate(fine_profile.class_count());
+  std::vector<double> coarse_probs(partition.coarse_names.size(), 0.0);
+  for (std::size_t x = 0; x < fine_profile.class_count(); ++x) {
+    coarse_probs[partition.group_of[x]] += fine_profile[x];
+  }
+  return DemandProfile(partition.coarse_names, std::move(coarse_probs));
+}
+
+AggregationBias aggregation_bias(const SequentialModel& fine_model,
+                                 const DemandProfile& fine_trial,
+                                 const DemandProfile& fine_field,
+                                 const ClassPartition& partition) {
+  if (!fine_trial.same_classes(fine_field)) {
+    throw std::invalid_argument(
+        "aggregation_bias: trial/field fine profiles differ in classes");
+  }
+  AggregationBias out;
+  out.fine_trial_failure = fine_model.system_failure_probability(fine_trial);
+  out.fine_field_failure = fine_model.system_failure_probability(fine_field);
+  // The analyst's coarse parameters come from the *trial* environment...
+  const CoarseView trial_view = coarsen(fine_model, fine_trial, partition);
+  // ...and are re-weighted by the *field* coarse mix (all they can see).
+  const DemandProfile coarse_field = coarsen_profile(fine_field, partition);
+  out.coarse_field_prediction =
+      trial_view.model.system_failure_probability(coarse_field);
+  return out;
+}
+
+double coarse_importance_index(const SequentialModel& fine_model,
+                               const DemandProfile& fine_profile,
+                               const ClassPartition& partition,
+                               std::size_t coarse_class) {
+  const CoarseView view = coarsen(fine_model, fine_profile, partition);
+  return view.model.importance_index(coarse_class);
+}
+
+SpuriousCoherenceDemo spurious_coherence_demo() {
+  // Within each subclass the reader is machine-blind: PHf|Mf == PHf|Ms.
+  ClassConditional easier;
+  easier.p_machine_fails = 0.05;
+  easier.p_human_fails_given_machine_fails = 0.1;
+  easier.p_human_fails_given_machine_succeeds = 0.1;  // t = 0
+  ClassConditional harder;
+  harder.p_machine_fails = 0.6;
+  harder.p_human_fails_given_machine_fails = 0.7;
+  harder.p_human_fails_given_machine_succeeds = 0.7;  // t = 0
+  SequentialModel fine({"subtle-easier", "subtle-harder"}, {easier, harder});
+  DemandProfile profile({"subtle-easier", "subtle-harder"}, {0.5, 0.5});
+  ClassPartition partition;
+  partition.coarse_names = {"subtle"};
+  partition.group_of = {0, 0};
+  return SpuriousCoherenceDemo{std::move(fine), std::move(profile),
+                               std::move(partition)};
+}
+
+}  // namespace hmdiv::core

@@ -1,0 +1,111 @@
+// Class aggregation and its hazards (Section 6.2's caveat and footnote 1).
+//
+// The paper warns twice about the choice of demand classes:
+//
+//  * §6.2: a high importance index t(x) on a class may not mean "the
+//    machine's output sways the reader on these cases". If the class is a
+//    *mixture* of easier and harder subclasses, and both the machine and
+//    the reader do better on the easier ones, conditioning on machine
+//    success selects the easier sub-cases — producing a positive t(x) even
+//    when, within every subclass, the reader is completely unaffected by
+//    the machine. Hence "it would be better to regard t(x) as just a
+//    'coherence index'".
+//
+//  * footnote 1: re-using class parameters measured in one environment to
+//    predict another is sound when demands within a class are
+//    "practically indistinguishable" — i.e. the within-class mixture does
+//    not shift between environments. If it does, coarse-class
+//    extrapolation is biased even though each environment's own
+//    measurement is perfectly accurate.
+//
+// This module makes both effects computable: `coarsen` derives the exact
+// coarse-class parameters induced by a partition (what a trial on the
+// coarse classes would estimate, in the infinite-data limit), and
+// `aggregation_bias` quantifies the extrapolation error caused by a
+// within-class mix shift that the coarse classes cannot see.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/demand_profile.hpp"
+#include "core/sequential_model.hpp"
+
+namespace hmdiv::core {
+
+/// A partition of fine classes into named coarse classes:
+/// `group_of[fine_index]` = coarse index; coarse names indexed by group.
+struct ClassPartition {
+  std::vector<std::string> coarse_names;
+  std::vector<std::size_t> group_of;
+
+  /// Validates against a fine class count; throws std::invalid_argument on
+  /// size mismatch, out-of-range group, or an empty coarse class.
+  void validate(std::size_t fine_class_count) const;
+};
+
+/// The coarse model + profile induced by marginalising a fine model over a
+/// partition. Exact: under `fine_profile`, the coarse model's Eq. (8)
+/// value equals the fine model's, and the coarse parameters are what an
+/// infinitely large trial on the coarse classes would measure:
+///
+///   p(X)        = sum_{x in X} p(x)
+///   PMf(X)      = E[PMf(x)   | x in X]
+///   PHf|Mf(X)   = E[PHf|Mf(x)·PMf(x) | x in X] / E[PMf(x) | x in X]
+///   PHf|Ms(X)   = E[PHf|Ms(x)·PMs(x) | x in X] / E[PMs(x) | x in X]
+struct CoarseView {
+  SequentialModel model;
+  DemandProfile profile;
+};
+
+[[nodiscard]] CoarseView coarsen(const SequentialModel& fine_model,
+                                 const DemandProfile& fine_profile,
+                                 const ClassPartition& partition);
+
+/// Coarsens only the profile (for a target environment whose fine mix is
+/// known): p(X) = sum_{x in X} p(x).
+[[nodiscard]] DemandProfile coarsen_profile(const DemandProfile& fine_profile,
+                                            const ClassPartition& partition);
+
+/// The footnote-1 experiment in one call. The analyst measures coarse
+/// parameters in the trial environment and re-weights them by the coarse
+/// field profile; the truth is the fine model under the fine field profile.
+struct AggregationBias {
+  double fine_trial_failure = 0.0;    ///< truth in the trial environment
+  double fine_field_failure = 0.0;    ///< truth in the field environment
+  double coarse_field_prediction = 0.0;  ///< what coarse extrapolation says
+  /// coarse_field_prediction − fine_field_failure: nonzero iff the
+  /// within-class mixture shifted between the environments.
+  [[nodiscard]] double bias() const {
+    return coarse_field_prediction - fine_field_failure;
+  }
+};
+
+[[nodiscard]] AggregationBias aggregation_bias(
+    const SequentialModel& fine_model, const DemandProfile& fine_trial,
+    const DemandProfile& fine_field, const ClassPartition& partition);
+
+/// §6.2's "coherence, not importance": the spurious t a mixture produces.
+/// Returns the coarse-class importance index when every fine class in the
+/// group has t(x) == 0 contributed by `model` (caller's responsibility —
+/// use spurious_coherence_demo() for a ready-made instance). Positive when
+/// PMf(x) and PHf(x) co-vary across the group's subclasses.
+[[nodiscard]] double coarse_importance_index(const SequentialModel& fine_model,
+                                             const DemandProfile& fine_profile,
+                                             const ClassPartition& partition,
+                                             std::size_t coarse_class);
+
+/// A ready-made demonstration: two subclasses, each with t = 0 (the reader
+/// ignores the machine within each), machine and human both better on the
+/// first. Aggregated into one class, the coherence index is strictly
+/// positive. Returns {fine model, fine 50/50 profile, partition into one
+/// coarse class}.
+struct SpuriousCoherenceDemo {
+  SequentialModel fine_model;
+  DemandProfile fine_profile;
+  ClassPartition partition;
+};
+[[nodiscard]] SpuriousCoherenceDemo spurious_coherence_demo();
+
+}  // namespace hmdiv::core

@@ -1,0 +1,40 @@
+// One-call analysis reports: everything the paper's method produces for a
+// model, rendered as markdown (for humans and docs) or plain text (for
+// terminals). Used by the hmdiv_analyze CLI tool and handy in notebooks.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/demand_profile.hpp"
+#include "core/dual_model.hpp"
+#include "core/sequential_model.hpp"
+
+namespace hmdiv::core {
+
+/// What to include in the report.
+struct ReportOptions {
+  bool include_parameters = true;
+  bool include_failure_probabilities = true;
+  bool include_decomposition = true;      ///< Eq. (10), both profiles
+  bool include_sensitivities = true;
+  bool include_design_advice = true;      ///< floor, leverage, best target
+  /// Improvement factor used for the per-class what-if rows (paper: 0.1).
+  double improvement_factor = 0.1;
+  bool markdown = true;                   ///< false = plain text tables
+};
+
+/// Full single-failure-mode analysis of `model` measured under `trial` and
+/// deployed under `field` (the Section-5 situation). Throws on class
+/// mismatches.
+[[nodiscard]] std::string analysis_report(const SequentialModel& model,
+                                          const DemandProfile& trial,
+                                          const DemandProfile& field,
+                                          const ReportOptions& options = {});
+
+/// Two-sided (FN + FP) screening report for a DualModel.
+[[nodiscard]] std::string dual_analysis_report(
+    const DualModel& model, const OutcomeCosts& costs = {},
+    bool markdown = true);
+
+}  // namespace hmdiv::core

@@ -1,0 +1,94 @@
+#include "core/demand_profile.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace hmdiv::core {
+
+namespace {
+
+std::vector<std::string> validate_names(std::vector<std::string> names) {
+  if (names.empty()) {
+    throw std::invalid_argument("DemandProfile: no classes");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& name : names) {
+    if (name.empty()) {
+      throw std::invalid_argument("DemandProfile: empty class name");
+    }
+    if (!seen.insert(name).second) {
+      throw std::invalid_argument("DemandProfile: duplicate class name '" +
+                                  name + "'");
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+DemandProfile::DemandProfile(std::vector<std::string> class_names,
+                             std::vector<double> probabilities)
+    : names_(validate_names(std::move(class_names))),
+      distribution_(std::move(probabilities)) {
+  if (names_.size() != distribution_.size()) {
+    throw std::invalid_argument(
+        "DemandProfile: names/probabilities size mismatch");
+  }
+}
+
+DemandProfile DemandProfile::from_weights(std::vector<std::string> class_names,
+                                          std::vector<double> weights) {
+  auto distribution =
+      stats::DiscreteDistribution::from_weights(std::move(weights));
+  std::vector<double> probabilities(distribution.probabilities().begin(),
+                                    distribution.probabilities().end());
+  return DemandProfile(std::move(class_names), std::move(probabilities));
+}
+
+const std::string& DemandProfile::class_name(std::size_t x) const {
+  if (x >= names_.size()) {
+    throw std::invalid_argument("DemandProfile: class index out of range");
+  }
+  return names_[x];
+}
+
+std::size_t DemandProfile::index_of(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) {
+    throw std::invalid_argument("DemandProfile: unknown class '" + name + "'");
+  }
+  return static_cast<std::size_t>(it - names_.begin());
+}
+
+double DemandProfile::probability(std::size_t x) const {
+  if (x >= distribution_.size()) {
+    throw std::invalid_argument("DemandProfile: class index out of range");
+  }
+  return distribution_[x];
+}
+
+double DemandProfile::expectation(std::span<const double> values) const {
+  return distribution_.expectation(values);
+}
+
+bool DemandProfile::same_classes(const DemandProfile& other) const {
+  return names_ == other.names_;
+}
+
+DemandProfile DemandProfile::blend(const DemandProfile& other,
+                                   double w) const {
+  if (!same_classes(other)) {
+    throw std::invalid_argument("DemandProfile::blend: class mismatch");
+  }
+  if (!(w >= 0.0 && w <= 1.0)) {
+    throw std::invalid_argument("DemandProfile::blend: w outside [0,1]");
+  }
+  std::vector<double> mixed(names_.size());
+  for (std::size_t x = 0; x < names_.size(); ++x) {
+    mixed[x] = (1.0 - w) * probability(x) + w * other.probability(x);
+  }
+  return DemandProfile(names_, std::move(mixed));
+}
+
+}  // namespace hmdiv::core

@@ -1,0 +1,76 @@
+// Demand profiles: named probability distributions over classes of cases.
+//
+// The paper (Sections 4–5) partitions demands (patients' film sets) into
+// classes x chosen so that all demands within a class are "practically
+// indistinguishable from the viewpoint of the failure probabilities they
+// produce". A `DemandProfile` is the p(x) of Eqs. (7)–(8): it says how
+// likely each class is in a given environment (controlled trial, clinical
+// field use, ...). Extrapolation between environments = swapping profiles
+// over the same classes.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stats/distributions.hpp"
+
+namespace hmdiv::core {
+
+/// An immutable, validated distribution over named case classes.
+class DemandProfile {
+ public:
+  /// Class names must be non-empty, unique; probabilities must match names
+  /// in count and form a distribution (see stats::DiscreteDistribution).
+  DemandProfile(std::vector<std::string> class_names,
+                std::vector<double> probabilities);
+
+  /// Builds from non-negative weights, normalising to 1.
+  [[nodiscard]] static DemandProfile from_weights(
+      std::vector<std::string> class_names, std::vector<double> weights);
+
+  [[nodiscard]] std::size_t class_count() const { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& class_names() const {
+    return names_;
+  }
+  [[nodiscard]] const std::string& class_name(std::size_t x) const;
+
+  /// Index of the class named `name`; throws std::invalid_argument if
+  /// absent.
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+
+  /// p(x).
+  [[nodiscard]] double probability(std::size_t x) const;
+  [[nodiscard]] double operator[](std::size_t x) const {
+    return probability(x);
+  }
+
+  [[nodiscard]] const stats::DiscreteDistribution& distribution() const {
+    return distribution_;
+  }
+
+  /// E_x[values[x]] — the profile-weighted average used throughout Eq. (8).
+  [[nodiscard]] double expectation(std::span<const double> values) const;
+
+  /// Samples a class index.
+  [[nodiscard]] std::size_t sample(stats::Rng& rng) const {
+    return distribution_.sample(rng);
+  }
+
+  /// True if `other` is defined over the same classes in the same order —
+  /// the precondition for trial-to-field extrapolation.
+  [[nodiscard]] bool same_classes(const DemandProfile& other) const;
+
+  /// Pointwise convex combination: (1-w)·this + w·other. Profiles must have
+  /// the same classes; w in [0,1]. Models an environment drifting from one
+  /// case mix towards another.
+  [[nodiscard]] DemandProfile blend(const DemandProfile& other,
+                                    double w) const;
+
+ private:
+  std::vector<std::string> names_;
+  stats::DiscreteDistribution distribution_;
+};
+
+}  // namespace hmdiv::core

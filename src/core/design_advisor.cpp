@@ -1,0 +1,98 @@
+#include "core/design_advisor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace hmdiv::core {
+
+DesignAdvisor::DesignAdvisor(SequentialModel model, DemandProfile profile)
+    : model_(std::move(model)), profile_(std::move(profile)) {
+  if (!model_.compatible_with(profile_)) {
+    throw std::invalid_argument(
+        "DesignAdvisor: profile classes do not match model classes");
+  }
+}
+
+ImprovementEffect DesignAdvisor::evaluate(
+    const ImprovementCandidate& candidate) const {
+  ImprovementEffect out;
+  out.name = candidate.name;
+  out.baseline_failure = model_.system_failure_probability(profile_);
+
+  SequentialModel improved =
+      candidate.class_index == ImprovementCandidate::kAllClasses
+          ? model_.with_uniform_machine_improvement(candidate.factor)
+          : model_.with_machine_improvement(candidate.class_index,
+                                            candidate.factor);
+  out.improved_failure = improved.system_failure_probability(profile_);
+
+  // First-order (here: exact) analytic gain, summed over affected classes.
+  double analytic = 0.0;
+  for (std::size_t x = 0; x < model_.class_count(); ++x) {
+    const bool affected =
+        candidate.class_index == ImprovementCandidate::kAllClasses ||
+        candidate.class_index == x;
+    if (!affected) continue;
+    const double delta_pmf = model_.parameters(x).p_machine_fails -
+                             improved.parameters(x).p_machine_fails;
+    analytic += profile_[x] * model_.importance_index(x) * delta_pmf;
+  }
+  out.analytic_gain = analytic;
+  return out;
+}
+
+std::vector<ImprovementEffect> DesignAdvisor::rank(
+    std::vector<ImprovementCandidate> candidates) const {
+  std::vector<ImprovementEffect> out;
+  out.reserve(candidates.size());
+  for (const auto& c : candidates) out.push_back(evaluate(c));
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ImprovementEffect& a, const ImprovementEffect& b) {
+                     return a.absolute_gain() > b.absolute_gain();
+                   });
+  return out;
+}
+
+std::size_t DesignAdvisor::best_target_class() const {
+  std::size_t best = 0;
+  double best_leverage = -1.0;
+  for (std::size_t x = 0; x < model_.class_count(); ++x) {
+    const double leverage = profile_[x] * model_.importance_index(x) *
+                            model_.parameters(x).p_machine_fails;
+    if (leverage > best_leverage) {
+      best_leverage = leverage;
+      best = x;
+    }
+  }
+  return best;
+}
+
+DesignDiagnosis DesignAdvisor::diagnose() const {
+  DesignDiagnosis out;
+  out.system_failure = model_.system_failure_probability(profile_);
+  out.floor = model_.failure_floor(profile_);
+  out.machine_addressable_fraction =
+      out.system_failure > 0.0 ? 1.0 - out.floor / out.system_failure : 0.0;
+
+  const FailureDecomposition d = model_.decompose(profile_);
+  out.covariance = d.covariance;
+
+  std::vector<double> p_mf(model_.class_count());
+  std::vector<double> t(model_.class_count());
+  for (std::size_t x = 0; x < model_.class_count(); ++x) {
+    p_mf[x] = model_.parameters(x).p_machine_fails;
+    t[x] = model_.importance_index(x);
+  }
+  out.correlation = stats::weighted_correlation(
+      p_mf, t, profile_.distribution().probabilities());
+
+  out.class_leverage.resize(model_.class_count());
+  for (std::size_t x = 0; x < model_.class_count(); ++x) {
+    out.class_leverage[x] = profile_[x] * t[x] * p_mf[x];
+  }
+  return out;
+}
+
+}  // namespace hmdiv::core

@@ -1,0 +1,104 @@
+#include "core/dual_model.hpp"
+
+#include <stdexcept>
+
+#include "core/paper_example.hpp"
+
+namespace hmdiv::core {
+
+DualModel::DualModel(SequentialModel fn_model, DemandProfile fn_profile,
+                     SequentialModel fp_model, DemandProfile fp_profile,
+                     double prevalence)
+    : fn_model_(std::move(fn_model)),
+      fn_profile_(std::move(fn_profile)),
+      fp_model_(std::move(fp_model)),
+      fp_profile_(std::move(fp_profile)),
+      prevalence_(prevalence) {
+  if (!fn_model_.compatible_with(fn_profile_)) {
+    throw std::invalid_argument("DualModel: FN profile/model class mismatch");
+  }
+  if (!fp_model_.compatible_with(fp_profile_)) {
+    throw std::invalid_argument("DualModel: FP profile/model class mismatch");
+  }
+  if (!(prevalence_ > 0.0 && prevalence_ < 1.0)) {
+    throw std::invalid_argument("DualModel: prevalence must lie in (0,1)");
+  }
+}
+
+ScreeningPerformance DualModel::performance() const {
+  ScreeningPerformance out;
+  out.false_negative_rate = fn_model_.system_failure_probability(fn_profile_);
+  out.false_positive_rate = fp_model_.system_failure_probability(fp_profile_);
+  out.sensitivity = 1.0 - out.false_negative_rate;
+  out.specificity = 1.0 - out.false_positive_rate;
+  out.recall_rate = prevalence_ * out.sensitivity +
+                    (1.0 - prevalence_) * out.false_positive_rate;
+  out.ppv = out.recall_rate > 0.0
+                ? prevalence_ * out.sensitivity / out.recall_rate
+                : 0.0;
+  const double no_recall = 1.0 - out.recall_rate;
+  out.npv = no_recall > 0.0
+                ? (1.0 - prevalence_) * out.specificity / no_recall
+                : 0.0;
+  out.cancer_detection_rate_per_1000 = 1000.0 * prevalence_ * out.sensitivity;
+  return out;
+}
+
+double DualModel::expected_cost_per_case(const OutcomeCosts& costs) const {
+  if (costs.per_recall < 0.0 || costs.per_missed_cancer < 0.0) {
+    throw std::invalid_argument("DualModel: costs must be >= 0");
+  }
+  const ScreeningPerformance p = performance();
+  return p.recall_rate * costs.per_recall +
+         prevalence_ * p.false_negative_rate * costs.per_missed_cancer;
+}
+
+DualModel DualModel::with_environment(DemandProfile fn_profile,
+                                      DemandProfile fp_profile,
+                                      double prevalence) const {
+  return DualModel(fn_model_, std::move(fn_profile), fp_model_,
+                   std::move(fp_profile), prevalence);
+}
+
+DualModel DualModel::with_machine_retuned(double fn_factor,
+                                          double fp_factor) const {
+  return DualModel(fn_model_.with_uniform_machine_improvement(fn_factor),
+                   fn_profile_,
+                   fp_model_.with_uniform_machine_improvement(fp_factor),
+                   fp_profile_, prevalence_);
+}
+
+DualModel DualModel::with_reader_drift(double fn_factor,
+                                       double fp_factor) const {
+  return DualModel(fn_model_.with_reader_improvement(fn_factor), fn_profile_,
+                   fp_model_.with_reader_improvement(fp_factor), fp_profile_,
+                   prevalence_);
+}
+
+DualModel example_dual_model(double prevalence) {
+  // FN side: the paper's Section-5 example under the field mix.
+  SequentialModel fn = paper::example_model();
+  DemandProfile fn_profile = paper::field_profile();
+
+  // FP side: "machine fails" = false prompt on a healthy case. Machine
+  // false-prompt probabilities are high by design (the paper: low PMf "at
+  // the cost of relatively frequent false positive failures"); prompts
+  // bias the reader towards recalling the healthy patient.
+  ClassConditional typical;   // obviously benign films
+  typical.p_machine_fails = 0.25;                       // false prompt rate
+  typical.p_human_fails_given_machine_fails = 0.045;    // recall | prompt
+  typical.p_human_fails_given_machine_succeeds = 0.015; // recall | no prompt
+  ClassConditional complex;   // dense / artefact-laden films
+  complex.p_machine_fails = 0.55;
+  complex.p_human_fails_given_machine_fails = 0.18;
+  complex.p_human_fails_given_machine_succeeds = 0.07;
+  SequentialModel fp(
+      {"typical", "complex"},
+      {typical, complex});
+  DemandProfile fp_profile({"typical", "complex"}, {0.85, 0.15});
+
+  return DualModel(std::move(fn), std::move(fn_profile), std::move(fp),
+                   std::move(fp_profile), prevalence);
+}
+
+}  // namespace hmdiv::core

@@ -1,0 +1,103 @@
+// Both failure modes in one model.
+//
+// The paper's §2.3: "Our modelling approach describes the two kinds of
+// failure by identical equations. For reasons of space, in this paper we
+// only describe the model for false negatives." This module writes down
+// the other half and combines the two:
+//
+//  * a `SequentialModel` over classes of *cancer* cases, where machine
+//    failure = no prompt and human failure = no recall (false negative);
+//  * a `SequentialModel` over classes of *normal* cases, where "machine
+//    failure" = a false prompt and "human failure" = recalling the healthy
+//    patient (false positive) — same conditional structure, PHf|Mf is the
+//    recall probability given a (false) prompt, PHf|Ms given none;
+//  * the cancer prevalence in the screened population.
+//
+// From these, all screening-programme quantities follow: sensitivity,
+// specificity, recall rate, PPV/NPV, cancer detection rate, and expected
+// cost — and every what-if transform of the component models (machine
+// re-tuning, reader drift, profile changes) propagates to both failure
+// modes at once, which is exactly the trade-off study the Conclusions
+// propose.
+#pragma once
+
+#include "core/demand_profile.hpp"
+#include "core/sequential_model.hpp"
+
+namespace hmdiv::core {
+
+/// System-level screening quantities derived from a DualModel.
+struct ScreeningPerformance {
+  double false_negative_rate = 0.0;  ///< P(no recall | cancer)
+  double false_positive_rate = 0.0;  ///< P(recall | no cancer)
+  double sensitivity = 0.0;          ///< 1 − FN rate
+  double specificity = 0.0;          ///< 1 − FP rate
+  double recall_rate = 0.0;          ///< P(recall)
+  double ppv = 0.0;                  ///< P(cancer | recall); 0 if no recalls
+  double npv = 0.0;                  ///< P(no cancer | no recall)
+  double cancer_detection_rate_per_1000 = 0.0;
+};
+
+/// Costs per screened case attributable to each outcome.
+struct OutcomeCosts {
+  double per_recall = 20.0;         ///< every recall (TP or FP)
+  double per_missed_cancer = 500.0; ///< every FN
+};
+
+/// The two-sided model.
+class DualModel {
+ public:
+  /// `fn_model`/`fn_profile`: cancer-case classes; `fp_model`/`fp_profile`:
+  /// normal-case classes. Profiles must match their models; prevalence in
+  /// (0,1).
+  DualModel(SequentialModel fn_model, DemandProfile fn_profile,
+            SequentialModel fp_model, DemandProfile fp_profile,
+            double prevalence);
+
+  [[nodiscard]] const SequentialModel& fn_model() const { return fn_model_; }
+  [[nodiscard]] const SequentialModel& fp_model() const { return fp_model_; }
+  [[nodiscard]] const DemandProfile& fn_profile() const { return fn_profile_; }
+  [[nodiscard]] const DemandProfile& fp_profile() const { return fp_profile_; }
+  [[nodiscard]] double prevalence() const { return prevalence_; }
+
+  /// Eq. (8) on each side, combined at the given prevalence.
+  [[nodiscard]] ScreeningPerformance performance() const;
+
+  /// Expected cost per screened case under `costs`.
+  [[nodiscard]] double expected_cost_per_case(const OutcomeCosts& costs) const;
+
+  // --- What-if transforms: each returns a new DualModel -----------------
+
+  /// Different environment: new profiles (same classes) and/or prevalence.
+  [[nodiscard]] DualModel with_environment(DemandProfile fn_profile,
+                                           DemandProfile fp_profile,
+                                           double prevalence) const;
+
+  /// Machine re-tuned towards eagerness: FN-side machine failures scaled by
+  /// `fn_factor` (<1 = fewer missed prompts) and FP-side "machine failures"
+  /// (false prompts) scaled by `fp_factor` (>1 = more false prompts). The
+  /// two usually move in opposite directions — pass e.g. (0.5, 2.0).
+  [[nodiscard]] DualModel with_machine_retuned(double fn_factor,
+                                               double fp_factor) const;
+
+  /// Reader drift applied to both sides (e.g. complacency: > 1 on the FN
+  /// side; on the FP side reader failures are false recalls, scaled by
+  /// `fp_factor`).
+  [[nodiscard]] DualModel with_reader_drift(double fn_factor,
+                                            double fp_factor) const;
+
+ private:
+  SequentialModel fn_model_;
+  DemandProfile fn_profile_;
+  SequentialModel fp_model_;
+  DemandProfile fp_profile_;
+  double prevalence_;
+};
+
+/// A DualModel calibrated to the paper's Section-5 FN example plus a
+/// plausible FP side (machine false-prompt rates of a few tens of %, the
+/// "relatively frequent false positive failures" the paper mentions), at
+/// `prevalence` (default 0.7%, "less than 1%").
+[[nodiscard]] DualModel example_dual_model(double prevalence = 0.007);
+
+}  // namespace hmdiv::core

@@ -1,0 +1,171 @@
+#include "core/model_io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "report/format.hpp"
+
+namespace hmdiv::core {
+
+namespace {
+
+constexpr const char* kModelHeader = "hmdiv-sequential-model v1";
+constexpr const char* kProfileHeader = "hmdiv-demand-profile v1";
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& what) {
+  throw std::invalid_argument("model_io: line " +
+                              std::to_string(line_number) + ": " + what);
+}
+
+/// Splits the payload lines (header first), skipping blanks and comments.
+struct Line {
+  std::size_t number = 0;
+  std::vector<std::string> tokens;
+};
+
+std::vector<Line> tokenize(const std::string& text) {
+  std::vector<Line> out;
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t number = 0;
+  while (std::getline(stream, raw)) {
+    ++number;
+    std::istringstream line(raw);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (line >> token) tokens.push_back(token);
+    if (tokens.empty() || tokens.front().front() == '#') continue;
+    out.push_back(Line{number, std::move(tokens)});
+  }
+  return out;
+}
+
+double parse_probability(const Line& line, const std::string& token,
+                         const char* what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    fail(line.number, std::string("cannot parse ") + what + " '" + token + "'");
+  }
+  if (consumed != token.size()) {
+    fail(line.number, std::string("trailing junk in ") + what + " '" + token +
+                          "'");
+  }
+  if (!(value >= 0.0 && value <= 1.0)) {
+    fail(line.number, std::string(what) + " outside [0,1]");
+  }
+  return value;
+}
+
+void check_header(const std::vector<Line>& lines, const char* expected) {
+  if (lines.empty()) {
+    throw std::invalid_argument("model_io: empty input");
+  }
+  std::string joined;
+  for (std::size_t i = 0; i < lines.front().tokens.size(); ++i) {
+    if (i != 0) joined += ' ';
+    joined += lines.front().tokens[i];
+  }
+  if (joined != expected) {
+    fail(lines.front().number,
+         "expected header '" + std::string(expected) + "', got '" + joined +
+             "'");
+  }
+}
+
+}  // namespace
+
+std::string to_text(const SequentialModel& model) {
+  std::ostringstream out;
+  write_model(out, model);
+  return out.str();
+}
+
+std::string to_text(const DemandProfile& profile) {
+  std::ostringstream out;
+  write_profile(out, profile);
+  return out.str();
+}
+
+void write_model(std::ostream& os, const SequentialModel& model) {
+  os << kModelHeader << '\n';
+  os << "# class <name> <PMf> <PHf|Mf> <PHf|Ms>\n";
+  for (std::size_t x = 0; x < model.class_count(); ++x) {
+    const ClassConditional& c = model.parameters(x);
+    os << "class " << model.class_names()[x] << ' '
+       << report::sig(c.p_machine_fails, 17) << ' '
+       << report::sig(c.p_human_fails_given_machine_fails, 17) << ' '
+       << report::sig(c.p_human_fails_given_machine_succeeds, 17) << '\n';
+  }
+}
+
+void write_profile(std::ostream& os, const DemandProfile& profile) {
+  os << kProfileHeader << '\n';
+  os << "# class <name> <probability>\n";
+  for (std::size_t x = 0; x < profile.class_count(); ++x) {
+    os << "class " << profile.class_names()[x] << ' '
+       << report::sig(profile[x], 17) << '\n';
+  }
+}
+
+SequentialModel parse_sequential_model(const std::string& text) {
+  const auto lines = tokenize(text);
+  check_header(lines, kModelHeader);
+  std::vector<std::string> names;
+  std::vector<ClassConditional> params;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const Line& line = lines[i];
+    if (line.tokens.front() != "class" || line.tokens.size() != 5) {
+      fail(line.number, "expected 'class <name> <PMf> <PHf|Mf> <PHf|Ms>'");
+    }
+    names.push_back(line.tokens[1]);
+    ClassConditional c;
+    c.p_machine_fails = parse_probability(line, line.tokens[2], "PMf");
+    c.p_human_fails_given_machine_fails =
+        parse_probability(line, line.tokens[3], "PHf|Mf");
+    c.p_human_fails_given_machine_succeeds =
+        parse_probability(line, line.tokens[4], "PHf|Ms");
+    params.push_back(c);
+  }
+  if (names.empty()) {
+    throw std::invalid_argument("model_io: model has no classes");
+  }
+  return SequentialModel(std::move(names), std::move(params));
+}
+
+DemandProfile parse_demand_profile(const std::string& text) {
+  const auto lines = tokenize(text);
+  check_header(lines, kProfileHeader);
+  std::vector<std::string> names;
+  std::vector<double> probabilities;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const Line& line = lines[i];
+    if (line.tokens.front() != "class" || line.tokens.size() != 3) {
+      fail(line.number, "expected 'class <name> <probability>'");
+    }
+    names.push_back(line.tokens[1]);
+    probabilities.push_back(
+        parse_probability(line, line.tokens[2], "probability"));
+  }
+  if (names.empty()) {
+    throw std::invalid_argument("model_io: profile has no classes");
+  }
+  return DemandProfile(std::move(names), std::move(probabilities));
+}
+
+SequentialModel read_model(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parse_sequential_model(buffer.str());
+}
+
+DemandProfile read_profile(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parse_demand_profile(buffer.str());
+}
+
+}  // namespace hmdiv::core

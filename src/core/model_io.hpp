@@ -1,0 +1,44 @@
+// Plain-text serialization of models and demand profiles.
+//
+// Trials and analyses are long-lived artifacts: the parameters estimated
+// from one evaluation get re-used for later what-if studies. The format is
+// deliberately line-based and diff-friendly:
+//
+//   hmdiv-sequential-model v1
+//   class <name> <PMf> <PHf|Mf> <PHf|Ms>
+//   ...
+//
+//   hmdiv-demand-profile v1
+//   class <name> <probability>
+//   ...
+//
+// Blank lines and lines starting with '#' are ignored. Class names must be
+// whitespace-free. Parsers throw std::invalid_argument with the offending
+// line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/demand_profile.hpp"
+#include "core/sequential_model.hpp"
+
+namespace hmdiv::core {
+
+/// Serializes a model (17-significant-digit round-trippable numbers).
+[[nodiscard]] std::string to_text(const SequentialModel& model);
+/// Serializes a profile.
+[[nodiscard]] std::string to_text(const DemandProfile& profile);
+
+/// Parses a model; throws std::invalid_argument on malformed input.
+[[nodiscard]] SequentialModel parse_sequential_model(const std::string& text);
+/// Parses a profile; throws std::invalid_argument on malformed input.
+[[nodiscard]] DemandProfile parse_demand_profile(const std::string& text);
+
+/// Stream helpers (same formats).
+void write_model(std::ostream& os, const SequentialModel& model);
+void write_profile(std::ostream& os, const DemandProfile& profile);
+[[nodiscard]] SequentialModel read_model(std::istream& is);
+[[nodiscard]] DemandProfile read_profile(std::istream& is);
+
+}  // namespace hmdiv::core

@@ -1,0 +1,35 @@
+#include "core/paper_example.hpp"
+
+namespace hmdiv::core::paper {
+
+namespace {
+
+std::vector<std::string> class_names() { return {"easy", "difficult"}; }
+
+}  // namespace
+
+SequentialModel example_model() {
+  ClassConditional easy;
+  easy.p_machine_fails = 0.07;
+  easy.p_human_fails_given_machine_fails = 0.18;
+  easy.p_human_fails_given_machine_succeeds = 0.14;
+
+  ClassConditional difficult;
+  difficult.p_machine_fails = 0.41;
+  difficult.p_human_fails_given_machine_fails = 0.9;
+  difficult.p_human_fails_given_machine_succeeds = 0.4;
+
+  return SequentialModel(class_names(), {easy, difficult});
+}
+
+DemandProfile trial_profile() {
+  return DemandProfile(class_names(), {0.8, 0.2});
+}
+
+DemandProfile field_profile() {
+  return DemandProfile(class_names(), {0.9, 0.1});
+}
+
+ReportedValues reported_values() { return ReportedValues{}; }
+
+}  // namespace hmdiv::core::paper

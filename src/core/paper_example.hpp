@@ -1,0 +1,56 @@
+// The numerical example of Section 5 of the paper, as a canonical fixture.
+//
+// Two classes of cases ("easy", "difficult"), trial profile 0.8/0.2, field
+// profile 0.9/0.1, and the parameter table:
+//
+//   class      PMf   PMs   PHf|Mf  PHf|Ms
+//   easy       0.07  0.93  0.18    0.14
+//   difficult  0.41  0.59  0.9     0.4
+//
+// The paper reports (its second and third tables):
+//   PHf(easy) = 0.143, PHf(difficult) = 0.605,
+//   PHf(trial) = 0.235, PHf(field) = 0.189;
+//   improving the CADT 10x on easy cases:      trial 0.233, field 0.187;
+//   improving the CADT 10x on difficult cases: trial 0.198, field 0.171.
+//
+// Benches and tests reproduce those numbers from this fixture.
+#pragma once
+
+#include "core/demand_profile.hpp"
+#include "core/sequential_model.hpp"
+
+namespace hmdiv::core::paper {
+
+/// Index of the "easy" class in the fixture (0) and "difficult" (1).
+inline constexpr std::size_t kEasy = 0;
+inline constexpr std::size_t kDifficult = 1;
+
+/// The factor of the paper's improvement scenarios ("a reduction by 10").
+inline constexpr double kImprovementFactor = 0.1;
+
+/// The Section-5 model parameters.
+[[nodiscard]] SequentialModel example_model();
+
+/// Trial demand profile: 80% easy, 20% difficult.
+[[nodiscard]] DemandProfile trial_profile();
+
+/// Field demand profile: 90% easy, 10% difficult.
+[[nodiscard]] DemandProfile field_profile();
+
+/// The paper's reported values, for bench output and test oracles.
+struct ReportedValues {
+  double failure_easy = 0.143;
+  double failure_difficult = 0.605;
+  double failure_trial = 0.235;
+  double failure_field = 0.189;
+  double improved_easy_class_failure = 0.140;     // easy class, easy-improved
+  double improved_easy_trial = 0.233;
+  double improved_easy_field = 0.187;
+  double improved_difficult_class_failure = 0.421;  // difficult class
+  double improved_difficult_trial = 0.198;
+  double improved_difficult_field = 0.171;
+};
+
+[[nodiscard]] ReportedValues reported_values();
+
+}  // namespace hmdiv::core::paper

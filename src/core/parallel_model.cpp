@@ -1,0 +1,158 @@
+#include "core/parallel_model.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "stats/summary.hpp"
+
+namespace hmdiv::core {
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("ParallelDetectionModel: ") +
+                                what + " outside [0,1]");
+  }
+}
+
+}  // namespace
+
+ParallelDetectionModel::ParallelDetectionModel(
+    std::vector<std::string> class_names,
+    std::vector<ParallelClassConditional> parameters)
+    : names_(std::move(class_names)), parameters_(std::move(parameters)) {
+  if (names_.empty()) {
+    throw std::invalid_argument("ParallelDetectionModel: no classes");
+  }
+  if (names_.size() != parameters_.size()) {
+    throw std::invalid_argument(
+        "ParallelDetectionModel: names/parameters size mismatch");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& name : names_) {
+    if (name.empty() || !seen.insert(name).second) {
+      throw std::invalid_argument(
+          "ParallelDetectionModel: class names must be non-empty and unique");
+    }
+  }
+  for (const auto& c : parameters_) {
+    check_probability(c.p_machine_misses, "pMf(x)");
+    check_probability(c.p_human_misses, "pHmiss(x)");
+    check_probability(c.p_human_misclassifies, "pHmisclass(x)");
+  }
+}
+
+const ParallelClassConditional& ParallelDetectionModel::parameters(
+    std::size_t x) const {
+  check_class(x);
+  return parameters_[x];
+}
+
+void ParallelDetectionModel::check_class(std::size_t x) const {
+  if (x >= parameters_.size()) {
+    throw std::invalid_argument(
+        "ParallelDetectionModel: class index out of range");
+  }
+}
+
+bool ParallelDetectionModel::compatible_with(
+    const DemandProfile& profile) const {
+  return profile.class_names() == names_;
+}
+
+namespace {
+
+void check_profile(const ParallelDetectionModel& model,
+                   const DemandProfile& profile) {
+  if (!model.compatible_with(profile)) {
+    throw std::invalid_argument(
+        "ParallelDetectionModel: profile classes do not match model classes");
+  }
+}
+
+}  // namespace
+
+double ParallelDetectionModel::system_failure_given_class(
+    std::size_t x) const {
+  check_class(x);
+  return parameters_[x].system_failure();
+}
+
+double ParallelDetectionModel::system_failure_probability(
+    const DemandProfile& profile) const {
+  check_profile(*this, profile);
+  double total = 0.0;
+  for (std::size_t x = 0; x < class_count(); ++x) {
+    total += profile[x] * parameters_[x].system_failure();
+  }
+  return total;
+}
+
+double ParallelDetectionModel::detection_failure_probability(
+    const DemandProfile& profile) const {
+  check_profile(*this, profile);
+  double total = 0.0;
+  for (std::size_t x = 0; x < class_count(); ++x) {
+    total += profile[x] * parameters_[x].p_machine_misses *
+             parameters_[x].p_human_misses;
+  }
+  return total;
+}
+
+double ParallelDetectionModel::detection_covariance(
+    const DemandProfile& profile) const {
+  check_profile(*this, profile);
+  std::vector<double> machine(class_count());
+  std::vector<double> human(class_count());
+  for (std::size_t x = 0; x < class_count(); ++x) {
+    machine[x] = parameters_[x].p_machine_misses;
+    human[x] = parameters_[x].p_human_misses;
+  }
+  return stats::weighted_covariance(machine, human,
+                                    profile.distribution().probabilities());
+}
+
+double ParallelDetectionModel::system_failure_assuming_independence(
+    const DemandProfile& profile) const {
+  check_profile(*this, profile);
+  double p_mf = 0.0, p_hmiss = 0.0, p_hmisclass = 0.0;
+  for (std::size_t x = 0; x < class_count(); ++x) {
+    p_mf += profile[x] * parameters_[x].p_machine_misses;
+    p_hmiss += profile[x] * parameters_[x].p_human_misses;
+    p_hmisclass += profile[x] * parameters_[x].p_human_misclassifies;
+  }
+  const double detection_failure = p_mf * p_hmiss;
+  return detection_failure + p_hmisclass * (1.0 - detection_failure);
+}
+
+rbd::Structure ParallelDetectionModel::structure() {
+  using rbd::Structure;
+  return Structure::series(
+      {Structure::any_of(
+           {Structure::component(
+                static_cast<std::size_t>(ParallelBlock::kMachineDetects)),
+            Structure::component(
+                static_cast<std::size_t>(ParallelBlock::kHumanDetects))}),
+       Structure::component(
+           static_cast<std::size_t>(ParallelBlock::kHumanClassifies))});
+}
+
+SequentialModel ParallelDetectionModel::to_sequential() const {
+  std::vector<ClassConditional> sequential;
+  sequential.reserve(parameters_.size());
+  for (const auto& c : parameters_) {
+    ClassConditional s;
+    s.p_machine_fails = c.p_machine_misses;
+    // Machine succeeded => features are prompted => detection is certain;
+    // only classification can fail.
+    s.p_human_fails_given_machine_succeeds = c.p_human_misclassifies;
+    // Machine failed => the human must detect unaided, then classify.
+    s.p_human_fails_given_machine_fails =
+        c.p_human_misses + (1.0 - c.p_human_misses) * c.p_human_misclassifies;
+    sequential.push_back(s);
+  }
+  return SequentialModel(names_, std::move(sequential));
+}
+
+}  // namespace hmdiv::core

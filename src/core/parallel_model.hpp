@@ -1,0 +1,114 @@
+// The paper's "parallel detection" model (Section 3, Fig. 2).
+//
+// Under the *intended* procedure of use, the reader first examines the
+// films unaided, then reviews the machine's prompts; detection is therefore
+// 1-out-of-2 parallel between human and machine, followed in series by the
+// human's classification step:
+//
+//   P(FN) = P(Mf AND Hmiss) + P(NOT(Mf AND Hmiss) AND Hmisclass)   (Eq. 1)
+//
+// With *conditional* independence given the case class (the human's and the
+// machine's detection behaviour both depend on the case, but not on each
+// other's output), the detection-failure probability marginally is Eq. (3):
+//
+//   P(detection failure) = PMf·PHmiss + cov_x(pMf(x), pHmiss(x))
+//
+// The naive fully-independent form (Eq. 2) drops the covariance — this
+// class exposes both so benches can show the size of that error.
+//
+// The parallel model is strictly a special case of the sequential model:
+//   PHf|Ms(x) = pHmisclass(x)                          (machine prompted →
+//                                                       detection certain)
+//   PHf|Mf(x) = pHmiss(x) + (1 − pHmiss(x))·pHmisclass(x)
+// `to_sequential()` performs that embedding; tests assert the two models
+// then agree on every probability.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/demand_profile.hpp"
+#include "core/sequential_model.hpp"
+#include "rbd/structure.hpp"
+
+namespace hmdiv::core {
+
+/// Component indices of the Fig. 2 RBD produced by
+/// ParallelDetectionModel::structure().
+enum class ParallelBlock : std::size_t {
+  kMachineDetects = 0,
+  kHumanDetects = 1,
+  kHumanClassifies = 2,
+};
+
+/// Per-class parameters of the parallel-detection model.
+struct ParallelClassConditional {
+  /// pMf(x): machine misses every relevant feature.
+  double p_machine_misses = 0.0;
+  /// pHmiss(x): human misses every relevant feature unaided.
+  double p_human_misses = 0.0;
+  /// pHmisclass(x): human sees the features but still decides "no recall".
+  double p_human_misclassifies = 0.0;
+
+  /// P(FN | class x), Eq. (1) with conditional independence inside x.
+  [[nodiscard]] double system_failure() const {
+    const double detection_failure = p_machine_misses * p_human_misses;
+    return detection_failure +
+           (1.0 - detection_failure) * p_human_misclassifies;
+  }
+};
+
+/// Immutable parallel-detection model over named classes of cases.
+class ParallelDetectionModel {
+ public:
+  ParallelDetectionModel(std::vector<std::string> class_names,
+                         std::vector<ParallelClassConditional> parameters);
+
+  [[nodiscard]] std::size_t class_count() const { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& class_names() const {
+    return names_;
+  }
+  [[nodiscard]] const ParallelClassConditional& parameters(
+      std::size_t x) const;
+  [[nodiscard]] bool compatible_with(const DemandProfile& profile) const;
+
+  /// P(FN | class x).
+  [[nodiscard]] double system_failure_given_class(std::size_t x) const;
+
+  /// Eq. (8)-style profile-weighted system failure probability.
+  [[nodiscard]] double system_failure_probability(
+      const DemandProfile& profile) const;
+
+  /// Marginal detection-failure probability, exact (Eq. 3 left side):
+  /// E_x[pMf(x)·pHmiss(x)].
+  [[nodiscard]] double detection_failure_probability(
+      const DemandProfile& profile) const;
+
+  /// The covariance term of Eq. (3): cov_x(pMf(x), pHmiss(x)).
+  /// Positive => human and machine share difficult cases; negative =>
+  /// useful diversity.
+  [[nodiscard]] double detection_covariance(const DemandProfile& profile) const;
+
+  /// The naive Eq. (2) estimate that assumes full independence between the
+  /// blocks *marginally*: PMf·PHmiss + PHmisclass·(1 − PMf·PHmiss), all
+  /// computed from profile-averaged parameters. Generally wrong; exposed to
+  /// quantify the error of ignoring demand-dependent difficulty.
+  [[nodiscard]] double system_failure_assuming_independence(
+      const DemandProfile& profile) const;
+
+  /// The Fig. 2 reliability block diagram:
+  /// series(any_of(machine detects, human detects), human classifies).
+  [[nodiscard]] static rbd::Structure structure();
+
+  /// Embeds this model into the sequential formalism (see file comment).
+  [[nodiscard]] SequentialModel to_sequential() const;
+
+ private:
+  void check_class(std::size_t x) const;
+
+  std::vector<std::string> names_;
+  std::vector<ParallelClassConditional> parameters_;
+};
+
+}  // namespace hmdiv::core

@@ -1,0 +1,96 @@
+#include "core/roc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special.hpp"
+
+namespace hmdiv::core {
+
+double binormal_auc(double delta_mu, double sigma_ratio) {
+  if (!(sigma_ratio > 0.0)) {
+    throw std::invalid_argument("binormal_auc: sigma_ratio must be > 0");
+  }
+  return stats::normal_cdf(delta_mu /
+                           std::sqrt(1.0 + sigma_ratio * sigma_ratio));
+}
+
+double empirical_auc(std::span<const double> positive_scores,
+                     std::span<const double> negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) {
+    throw std::invalid_argument("empirical_auc: empty score set");
+  }
+  // O((m+n) log(m+n)) via sorted negatives + binary search.
+  std::vector<double> negatives(negative_scores.begin(),
+                                negative_scores.end());
+  std::sort(negatives.begin(), negatives.end());
+  double wins = 0.0;
+  for (const double p : positive_scores) {
+    const auto lower = std::lower_bound(negatives.begin(), negatives.end(), p);
+    const auto upper = std::upper_bound(negatives.begin(), negatives.end(), p);
+    const double below = static_cast<double>(lower - negatives.begin());
+    const double ties = static_cast<double>(upper - lower);
+    wins += below + 0.5 * ties;
+  }
+  return wins / (static_cast<double>(positive_scores.size()) *
+                 static_cast<double>(negatives.size()));
+}
+
+std::vector<RocPoint> empirical_roc_curve(
+    std::span<const double> positive_scores,
+    std::span<const double> negative_scores) {
+  if (positive_scores.empty() || negative_scores.empty()) {
+    throw std::invalid_argument("empirical_roc_curve: empty score set");
+  }
+  std::vector<double> thresholds(positive_scores.begin(),
+                                 positive_scores.end());
+  thresholds.insert(thresholds.end(), negative_scores.begin(),
+                    negative_scores.end());
+  std::sort(thresholds.begin(), thresholds.end(), std::greater<>());
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()),
+                   thresholds.end());
+
+  std::vector<double> positives(positive_scores.begin(),
+                                positive_scores.end());
+  std::vector<double> negatives(negative_scores.begin(),
+                                negative_scores.end());
+  std::sort(positives.begin(), positives.end());
+  std::sort(negatives.begin(), negatives.end());
+  auto rate_above = [](const std::vector<double>& sorted, double threshold) {
+    const auto it =
+        std::upper_bound(sorted.begin(), sorted.end(), threshold);
+    return static_cast<double>(sorted.end() - it) /
+           static_cast<double>(sorted.size());
+  };
+
+  std::vector<RocPoint> curve;
+  curve.reserve(thresholds.size() + 2);
+  curve.push_back(RocPoint{thresholds.front() + 1.0, 0.0, 0.0});
+  for (const double threshold : thresholds) {
+    curve.push_back(RocPoint{threshold, rate_above(positives, threshold),
+                             rate_above(negatives, threshold)});
+  }
+  // Everything is called positive below the lowest threshold.
+  curve.push_back(RocPoint{thresholds.back() - 1.0, 1.0, 1.0});
+  return curve;
+}
+
+double curve_auc(std::span<const RocPoint> curve) {
+  if (curve.size() < 2) {
+    throw std::invalid_argument("curve_auc: need at least two points");
+  }
+  double area = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double width =
+        curve[i].false_positive_rate - curve[i - 1].false_positive_rate;
+    if (width < -1e-12) {
+      throw std::invalid_argument("curve_auc: FPR must be non-decreasing");
+    }
+    area += width * 0.5 *
+            (curve[i].true_positive_rate + curve[i - 1].true_positive_rate);
+  }
+  return area;
+}
+
+}  // namespace hmdiv::core

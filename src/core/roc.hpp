@@ -1,0 +1,45 @@
+// Machine-level ROC analysis.
+//
+// The CADT's discrimination between cancer and normal cases — prior to any
+// human interaction — is what its vendors report and what operating-point
+// choices (§5 item 4) are made from. This module provides the binormal
+// closed form used by the tradeoff analyzer and empirical (Mann–Whitney)
+// AUC / ROC curves from sampled detector scores, so a simulated CADT can
+// be characterised exactly like a real one.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace hmdiv::core {
+
+/// AUC of a unit-variance binormal detector whose class means differ by
+/// `delta_mu` (>= 0 for a better-than-chance detector), with the noise
+/// standard deviation of the second class `sigma_ratio` times the first:
+/// AUC = Phi(delta_mu / sqrt(1 + sigma_ratio^2)).
+[[nodiscard]] double binormal_auc(double delta_mu, double sigma_ratio = 1.0);
+
+/// Empirical AUC: P(positive score > negative score) + 0.5 P(tie), the
+/// Mann–Whitney statistic scaled to [0,1]. Throws on empty inputs.
+[[nodiscard]] double empirical_auc(std::span<const double> positive_scores,
+                                   std::span<const double> negative_scores);
+
+/// One point of an ROC curve.
+struct RocPoint {
+  double threshold = 0.0;
+  double true_positive_rate = 0.0;   ///< P(score > threshold | positive)
+  double false_positive_rate = 0.0;  ///< P(score > threshold | negative)
+};
+
+/// Empirical ROC curve over the pooled score thresholds (descending
+/// thresholds => points ordered by increasing FPR). Includes the (0,0) and
+/// (1,1) endpoints.
+[[nodiscard]] std::vector<RocPoint> empirical_roc_curve(
+    std::span<const double> positive_scores,
+    std::span<const double> negative_scores);
+
+/// Trapezoidal area under an ROC curve returned by empirical_roc_curve;
+/// equals empirical_auc up to tie handling.
+[[nodiscard]] double curve_auc(std::span<const RocPoint> curve);
+
+}  // namespace hmdiv::core

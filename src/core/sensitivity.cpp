@@ -1,0 +1,71 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hmdiv::core {
+
+std::vector<ClassSensitivity> sensitivities(const SequentialModel& model,
+                                            const DemandProfile& profile) {
+  if (!model.compatible_with(profile)) {
+    throw std::invalid_argument(
+        "sensitivities: profile classes do not match model classes");
+  }
+  std::vector<ClassSensitivity> out(model.class_count());
+  for (std::size_t x = 0; x < model.class_count(); ++x) {
+    const ClassConditional& c = model.parameters(x);
+    out[x].d_machine_failure = profile[x] * c.importance_index();
+    out[x].d_human_given_failure = profile[x] * c.p_machine_fails;
+    out[x].d_human_given_success = profile[x] * c.p_machine_succeeds();
+    out[x].d_profile = c.system_failure();
+  }
+  return out;
+}
+
+std::vector<ClassSensitivity> elasticities(const SequentialModel& model,
+                                           const DemandProfile& profile) {
+  auto grads = sensitivities(model, profile);
+  const double failure = model.system_failure_probability(profile);
+  if (failure <= 0.0) {
+    for (auto& g : grads) g = ClassSensitivity{};
+    return grads;
+  }
+  for (std::size_t x = 0; x < model.class_count(); ++x) {
+    const ClassConditional& c = model.parameters(x);
+    grads[x].d_machine_failure *= c.p_machine_fails / failure;
+    grads[x].d_human_given_failure *=
+        c.p_human_fails_given_machine_fails / failure;
+    grads[x].d_human_given_success *=
+        c.p_human_fails_given_machine_succeeds / failure;
+    grads[x].d_profile *= profile[x] / failure;
+  }
+  return grads;
+}
+
+double finite_difference_machine_failure(const SequentialModel& model,
+                                         const DemandProfile& profile,
+                                         std::size_t x, double h) {
+  if (!(h > 0.0)) {
+    throw std::invalid_argument(
+        "finite_difference_machine_failure: step must be > 0");
+  }
+  const double p = model.parameters(x).p_machine_fails;
+  // Keep both perturbed values inside [0,1]; with_machine_improvement scales
+  // multiplicatively, so perturb via factors when p > 0, otherwise use a
+  // one-sided difference from an additively shifted model.
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument(
+        "finite_difference_machine_failure: PMf(x) must be interior to "
+        "(0,1)");
+  }
+  const double step = std::min({h, p / 2.0, (1.0 - p) / 2.0});
+  const SequentialModel up =
+      model.with_machine_improvement(x, (p + step) / p);
+  const SequentialModel down =
+      model.with_machine_improvement(x, (p - step) / p);
+  return (up.system_failure_probability(profile) -
+          down.system_failure_probability(profile)) /
+         (2.0 * step);
+}
+
+}  // namespace hmdiv::core

@@ -1,0 +1,220 @@
+#include "core/sequential_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "stats/summary.hpp"
+
+namespace hmdiv::core {
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("SequentialModel: ") + what +
+                                " outside [0,1]");
+  }
+}
+
+}  // namespace
+
+SequentialModel::SequentialModel(std::vector<std::string> class_names,
+                                 std::vector<ClassConditional> parameters)
+    : names_(std::move(class_names)), parameters_(std::move(parameters)) {
+  if (names_.empty()) {
+    throw std::invalid_argument("SequentialModel: no classes");
+  }
+  if (names_.size() != parameters_.size()) {
+    throw std::invalid_argument(
+        "SequentialModel: names/parameters size mismatch");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& name : names_) {
+    if (name.empty() || !seen.insert(name).second) {
+      throw std::invalid_argument(
+          "SequentialModel: class names must be non-empty and unique");
+    }
+  }
+  for (const auto& c : parameters_) {
+    check_probability(c.p_machine_fails, "PMf(x)");
+    check_probability(c.p_human_fails_given_machine_fails, "PHf|Mf(x)");
+    check_probability(c.p_human_fails_given_machine_succeeds, "PHf|Ms(x)");
+  }
+}
+
+const ClassConditional& SequentialModel::parameters(std::size_t x) const {
+  check_class(x);
+  return parameters_[x];
+}
+
+std::size_t SequentialModel::index_of(const std::string& class_name) const {
+  const auto it = std::find(names_.begin(), names_.end(), class_name);
+  if (it == names_.end()) {
+    throw std::invalid_argument("SequentialModel: unknown class '" +
+                                class_name + "'");
+  }
+  return static_cast<std::size_t>(it - names_.begin());
+}
+
+bool SequentialModel::compatible_with(const DemandProfile& profile) const {
+  return profile.class_names() == names_;
+}
+
+void SequentialModel::check_class(std::size_t x) const {
+  if (x >= parameters_.size()) {
+    throw std::invalid_argument("SequentialModel: class index out of range");
+  }
+}
+
+double SequentialModel::system_failure_given_class(std::size_t x) const {
+  check_class(x);
+  return parameters_[x].system_failure();
+}
+
+double SequentialModel::importance_index(std::size_t x) const {
+  check_class(x);
+  return parameters_[x].importance_index();
+}
+
+ImportanceLine SequentialModel::importance_line(std::size_t x) const {
+  check_class(x);
+  return ImportanceLine{
+      parameters_[x].p_human_fails_given_machine_succeeds,
+      parameters_[x].importance_index()};
+}
+
+namespace {
+
+void check_profile(const SequentialModel& model, const DemandProfile& profile) {
+  if (!model.compatible_with(profile)) {
+    throw std::invalid_argument(
+        "SequentialModel: profile classes do not match model classes");
+  }
+}
+
+}  // namespace
+
+double SequentialModel::system_failure_probability(
+    const DemandProfile& profile) const {
+  check_profile(*this, profile);
+  double total = 0.0;
+  for (std::size_t x = 0; x < class_count(); ++x) {
+    total += profile[x] * parameters_[x].system_failure();
+  }
+  return total;
+}
+
+double SequentialModel::system_failure_probability_eq9(
+    const DemandProfile& profile) const {
+  check_profile(*this, profile);
+  double total = 0.0;
+  for (std::size_t x = 0; x < class_count(); ++x) {
+    const ClassConditional& c = parameters_[x];
+    total += profile[x] * (c.p_human_fails_given_machine_succeeds +
+                           c.p_machine_fails * c.importance_index());
+  }
+  return total;
+}
+
+FailureDecomposition SequentialModel::decompose(
+    const DemandProfile& profile) const {
+  check_profile(*this, profile);
+  std::vector<double> p_mf(class_count());
+  std::vector<double> t(class_count());
+  std::vector<double> floor(class_count());
+  for (std::size_t x = 0; x < class_count(); ++x) {
+    p_mf[x] = parameters_[x].p_machine_fails;
+    t[x] = parameters_[x].importance_index();
+    floor[x] = parameters_[x].p_human_fails_given_machine_succeeds;
+  }
+  const auto weights = profile.distribution().probabilities();
+  FailureDecomposition out;
+  out.floor = stats::weighted_mean(floor, weights);
+  out.mean_field = stats::weighted_mean(p_mf, weights) *
+                   stats::weighted_mean(t, weights);
+  out.covariance = stats::weighted_covariance(p_mf, t, weights);
+  return out;
+}
+
+double SequentialModel::machine_failure_probability(
+    const DemandProfile& profile) const {
+  check_profile(*this, profile);
+  double total = 0.0;
+  for (std::size_t x = 0; x < class_count(); ++x) {
+    total += profile[x] * parameters_[x].p_machine_fails;
+  }
+  return total;
+}
+
+double SequentialModel::failure_floor(const DemandProfile& profile) const {
+  check_profile(*this, profile);
+  double total = 0.0;
+  for (std::size_t x = 0; x < class_count(); ++x) {
+    total += profile[x] * parameters_[x].p_human_fails_given_machine_succeeds;
+  }
+  return total;
+}
+
+double SequentialModel::mean_importance_index(
+    const DemandProfile& profile) const {
+  check_profile(*this, profile);
+  double total = 0.0;
+  for (std::size_t x = 0; x < class_count(); ++x) {
+    total += profile[x] * parameters_[x].importance_index();
+  }
+  return total;
+}
+
+SequentialModel SequentialModel::with_machine_improvement(
+    std::size_t x, double factor) const {
+  check_class(x);
+  if (!(factor >= 0.0)) {
+    throw std::invalid_argument(
+        "SequentialModel::with_machine_improvement: factor must be >= 0");
+  }
+  std::vector<ClassConditional> modified = parameters_;
+  modified[x].p_machine_fails =
+      std::clamp(modified[x].p_machine_fails * factor, 0.0, 1.0);
+  return SequentialModel(names_, std::move(modified));
+}
+
+SequentialModel SequentialModel::with_uniform_machine_improvement(
+    double factor) const {
+  if (!(factor >= 0.0)) {
+    throw std::invalid_argument(
+        "SequentialModel::with_uniform_machine_improvement: factor >= 0");
+  }
+  std::vector<ClassConditional> modified = parameters_;
+  for (auto& c : modified) {
+    c.p_machine_fails = std::clamp(c.p_machine_fails * factor, 0.0, 1.0);
+  }
+  return SequentialModel(names_, std::move(modified));
+}
+
+SequentialModel SequentialModel::with_reader_improvement(double factor) const {
+  if (!(factor >= 0.0)) {
+    throw std::invalid_argument(
+        "SequentialModel::with_reader_improvement: factor >= 0");
+  }
+  std::vector<ClassConditional> modified = parameters_;
+  for (auto& c : modified) {
+    c.p_human_fails_given_machine_fails =
+        std::clamp(c.p_human_fails_given_machine_fails * factor, 0.0, 1.0);
+    c.p_human_fails_given_machine_succeeds =
+        std::clamp(c.p_human_fails_given_machine_succeeds * factor, 0.0, 1.0);
+  }
+  return SequentialModel(names_, std::move(modified));
+}
+
+SequentialModel SequentialModel::with_machine_ignored() const {
+  std::vector<ClassConditional> modified = parameters_;
+  for (auto& c : modified) {
+    const double marginal = c.system_failure();
+    c.p_human_fails_given_machine_fails = marginal;
+    c.p_human_fails_given_machine_succeeds = marginal;
+  }
+  return SequentialModel(names_, std::move(modified));
+}
+
+}  // namespace hmdiv::core

@@ -1,0 +1,174 @@
+// The paper's "sequential operation" model (Section 4, Fig. 3) — its main
+// modelling contribution.
+//
+// The machine (CADT) pre-processes every case; the human reader sees the
+// case *plus* the machine's output and makes the system's decision. No
+// independence between human and machine behaviour is assumed; instead, for
+// every class of cases x three parameters are estimated:
+//
+//   PMf(x)      — probability the machine fails (no prompt on a cancer),
+//   PHf|Mf(x)   — probability the human (thus the system) fails, given the
+//                 machine failed on this case,
+//   PHf|Ms(x)   — ditto, given the machine succeeded.
+//
+// System failure probability under demand profile p(x) is Eq. (8):
+//
+//   PHf = sum_x p(x) · [ PHf|Ms(x)·PMs(x) + PHf|Mf(x)·PMf(x) ]
+//
+// The importance ("coherence") index t(x) = PHf|Mf(x) − PHf|Ms(x) recasts
+// this as Eq. (9):  PHf = sum_x p(x) · [ PHf|Ms(x) + PMf(x)·t(x) ]
+//
+// and Eq. (10) decomposes it into mean-field and covariance parts:
+//
+//   PHf = E[PHf|Ms(x)] + E[PMf(x)]·E[t(x)] + cov_x(PMf(x), t(x)).
+//
+// This file implements all three forms (they agree identically; the tests
+// assert it) plus the what-if transforms used by Sections 5 and 6.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/demand_profile.hpp"
+
+namespace hmdiv::core {
+
+/// Conditional failure parameters for one class of cases.
+///
+/// All values are probabilities in [0,1]; validated on model construction.
+struct ClassConditional {
+  /// P(machine false-negative | case in this class) — PMf(x).
+  double p_machine_fails = 0.0;
+  /// P(human/system false-negative | machine failed, case in class).
+  double p_human_fails_given_machine_fails = 0.0;
+  /// P(human/system false-negative | machine succeeded, case in class).
+  double p_human_fails_given_machine_succeeds = 0.0;
+
+  /// PMs(x) = 1 − PMf(x).
+  [[nodiscard]] double p_machine_succeeds() const {
+    return 1.0 - p_machine_fails;
+  }
+
+  /// The importance / coherence index t(x) = PHf|Mf(x) − PHf|Ms(x).
+  /// Positive: machine failures hurt the human; t(x)=1 means the human is
+  /// right iff the machine is; negative values model "contrarian" readers
+  /// who do better when the machine fails (e.g. prompts distract).
+  [[nodiscard]] double importance_index() const {
+    return p_human_fails_given_machine_fails -
+           p_human_fails_given_machine_succeeds;
+  }
+
+  /// System failure probability on this class — Eq. (4) restricted to x.
+  [[nodiscard]] double system_failure() const {
+    return p_human_fails_given_machine_succeeds * p_machine_succeeds() +
+           p_human_fails_given_machine_fails * p_machine_fails;
+  }
+};
+
+/// The Eq. (10) decomposition of system failure probability.
+struct FailureDecomposition {
+  /// E_x[PHf|Ms(x)] — the floor no machine improvement can beat (§6.1).
+  double floor = 0.0;
+  /// E_x[PMf(x)] · E_x[t(x)] — the mean-field ("averages only") term.
+  double mean_field = 0.0;
+  /// cov_x(PMf(x), t(x)) — positive when machine-difficult cases are also
+  /// the cases where the reader leans on the machine: correlated weakness.
+  double covariance = 0.0;
+
+  /// floor + mean_field + covariance == system failure probability.
+  [[nodiscard]] double total() const { return floor + mean_field + covariance; }
+};
+
+/// The straight line of Fig. 4 for one class: PHf(x) as a function of a
+/// hypothetical machine failure probability, at fixed human response.
+struct ImportanceLine {
+  double intercept = 0.0;  ///< PHf|Ms(x): system failure at PMf = 0.
+  double slope = 0.0;      ///< t(x).
+  [[nodiscard]] double at(double p_machine_fails) const {
+    return intercept + slope * p_machine_fails;
+  }
+};
+
+/// Immutable sequential-operation model over named classes of cases.
+class SequentialModel {
+ public:
+  /// One ClassConditional per class name; all probabilities validated.
+  SequentialModel(std::vector<std::string> class_names,
+                  std::vector<ClassConditional> parameters);
+
+  [[nodiscard]] std::size_t class_count() const { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& class_names() const {
+    return names_;
+  }
+  [[nodiscard]] const ClassConditional& parameters(std::size_t x) const;
+  [[nodiscard]] std::size_t index_of(const std::string& class_name) const;
+
+  /// Checks a profile is defined over exactly this model's classes.
+  [[nodiscard]] bool compatible_with(const DemandProfile& profile) const;
+
+  // --- Per-class quantities -------------------------------------------
+
+  /// PHf(x) — Eq. (4) for class x.
+  [[nodiscard]] double system_failure_given_class(std::size_t x) const;
+  /// t(x).
+  [[nodiscard]] double importance_index(std::size_t x) const;
+  /// Fig. 4 line for class x.
+  [[nodiscard]] ImportanceLine importance_line(std::size_t x) const;
+
+  // --- Profile-weighted quantities (Eqs. 8–10) -------------------------
+
+  /// Eq. (8): system (false-negative) failure probability under `profile`.
+  [[nodiscard]] double system_failure_probability(
+      const DemandProfile& profile) const;
+
+  /// Same value computed via Eq. (9) — sum_x p(x)[PHf|Ms(x) + PMf(x)t(x)].
+  /// Exposed separately so tests can assert the algebraic identity.
+  [[nodiscard]] double system_failure_probability_eq9(
+      const DemandProfile& profile) const;
+
+  /// Eq. (10) decomposition; .total() equals system_failure_probability().
+  [[nodiscard]] FailureDecomposition decompose(
+      const DemandProfile& profile) const;
+
+  /// Marginal machine failure probability E_x[PMf(x)].
+  [[nodiscard]] double machine_failure_probability(
+      const DemandProfile& profile) const;
+
+  /// E_x[PHf|Ms(x)]: the §6.1 lower bound on system failure achievable by
+  /// machine improvement alone (human response held fixed).
+  [[nodiscard]] double failure_floor(const DemandProfile& profile) const;
+
+  /// E_x[t(x)].
+  [[nodiscard]] double mean_importance_index(const DemandProfile& profile) const;
+
+  // --- What-if transforms (Sections 5–6) --------------------------------
+
+  /// A copy with PMf(x) multiplied by `factor` (clamped to [0,1]) for the
+  /// single class `x` — the paper's "reduction by 10" is factor = 0.1.
+  /// Human response parameters are left unchanged, i.e. no indirect effects.
+  [[nodiscard]] SequentialModel with_machine_improvement(std::size_t x,
+                                                         double factor) const;
+
+  /// A copy with PMf scaled by `factor` uniformly across all classes.
+  [[nodiscard]] SequentialModel with_uniform_machine_improvement(
+      double factor) const;
+
+  /// A copy with both human conditional failure probabilities scaled by
+  /// `factor` for every class (e.g. reader training: factor < 1).
+  [[nodiscard]] SequentialModel with_reader_improvement(double factor) const;
+
+  /// A copy in which the reader ignores the machine: both conditionals of
+  /// every class are set to their weighted average under the class's own
+  /// machine behaviour, so t(x) = 0 but PHf(x) is unchanged. Models the
+  /// "readers come to mistrust the CADT" limit of §6.1.
+  [[nodiscard]] SequentialModel with_machine_ignored() const;
+
+ private:
+  void check_class(std::size_t x) const;
+
+  std::vector<std::string> names_;
+  std::vector<ClassConditional> parameters_;
+};
+
+}  // namespace hmdiv::core

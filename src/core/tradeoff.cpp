@@ -1,0 +1,144 @@
+#include "core/tradeoff.hpp"
+
+#include <stdexcept>
+
+#include "stats/special.hpp"
+
+namespace hmdiv::core {
+
+double BinormalMachine::p_false_negative(std::size_t x,
+                                         double threshold) const {
+  if (x >= cancer_class_means.size()) {
+    throw std::invalid_argument("BinormalMachine: cancer class out of range");
+  }
+  return stats::normal_cdf(threshold - cancer_class_means[x]);
+}
+
+double BinormalMachine::p_false_positive(std::size_t x,
+                                         double threshold) const {
+  if (x >= normal_class_means.size()) {
+    throw std::invalid_argument("BinormalMachine: normal class out of range");
+  }
+  return stats::normal_cdf(normal_class_means[x] - threshold);
+}
+
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument(std::string("TradeoffAnalyzer: ") + what +
+                                " outside [0,1]");
+  }
+}
+
+}  // namespace
+
+TradeoffAnalyzer::TradeoffAnalyzer(BinormalMachine machine,
+                                   DemandProfile cancer_profile,
+                                   std::vector<HumanFnResponse> fn_response,
+                                   DemandProfile normal_profile,
+                                   std::vector<HumanFpResponse> fp_response,
+                                   double prevalence)
+    : machine_(std::move(machine)),
+      cancer_profile_(std::move(cancer_profile)),
+      fn_response_(std::move(fn_response)),
+      normal_profile_(std::move(normal_profile)),
+      fp_response_(std::move(fp_response)),
+      prevalence_(prevalence) {
+  if (machine_.cancer_class_means.size() != cancer_profile_.class_count() ||
+      fn_response_.size() != cancer_profile_.class_count()) {
+    throw std::invalid_argument(
+        "TradeoffAnalyzer: cancer-side sizes do not match profile");
+  }
+  if (machine_.normal_class_means.size() != normal_profile_.class_count() ||
+      fp_response_.size() != normal_profile_.class_count()) {
+    throw std::invalid_argument(
+        "TradeoffAnalyzer: normal-side sizes do not match profile");
+  }
+  if (!(prevalence_ > 0.0 && prevalence_ < 1.0)) {
+    throw std::invalid_argument(
+        "TradeoffAnalyzer: prevalence must lie in (0,1)");
+  }
+  for (const auto& r : fn_response_) {
+    check_probability(r.p_fail_given_machine_prompted, "PHf|Ms");
+    check_probability(r.p_fail_given_machine_silent, "PHf|Mf");
+  }
+  for (const auto& r : fp_response_) {
+    check_probability(r.p_recall_given_machine_prompted, "P(recall|prompt)");
+    check_probability(r.p_recall_given_machine_silent, "P(recall|silent)");
+  }
+}
+
+SystemOperatingPoint TradeoffAnalyzer::evaluate(double threshold) const {
+  SystemOperatingPoint out;
+  out.threshold = threshold;
+
+  // Cancer side: Eq. (8) with PMf(x) read off the binormal machine.
+  for (std::size_t x = 0; x < cancer_profile_.class_count(); ++x) {
+    const double p_mf = machine_.p_false_negative(x, threshold);
+    const auto& r = fn_response_[x];
+    out.machine_fn += cancer_profile_[x] * p_mf;
+    out.system_fn += cancer_profile_[x] *
+                     (r.p_fail_given_machine_prompted * (1.0 - p_mf) +
+                      r.p_fail_given_machine_silent * p_mf);
+  }
+
+  // Normal side: mirrored — "machine fails" means a false-positive prompt.
+  for (std::size_t x = 0; x < normal_profile_.class_count(); ++x) {
+    const double p_fp = machine_.p_false_positive(x, threshold);
+    const auto& r = fp_response_[x];
+    out.machine_fp += normal_profile_[x] * p_fp;
+    out.system_fp += normal_profile_[x] *
+                     (r.p_recall_given_machine_prompted * p_fp +
+                      r.p_recall_given_machine_silent * (1.0 - p_fp));
+  }
+
+  out.sensitivity = 1.0 - out.system_fn;
+  out.specificity = 1.0 - out.system_fp;
+  out.recall_rate = prevalence_ * out.sensitivity +
+                    (1.0 - prevalence_) * out.system_fp;
+  out.ppv = out.recall_rate > 0.0
+                ? prevalence_ * out.sensitivity / out.recall_rate
+                : 0.0;
+  return out;
+}
+
+std::vector<SystemOperatingPoint> TradeoffAnalyzer::sweep(
+    const std::vector<double>& thresholds) const {
+  std::vector<SystemOperatingPoint> out;
+  out.reserve(thresholds.size());
+  for (const double t : thresholds) out.push_back(evaluate(t));
+  return out;
+}
+
+SystemOperatingPoint TradeoffAnalyzer::minimise_cost(double cost_fn,
+                                                     double cost_fp, double lo,
+                                                     double hi,
+                                                     std::size_t steps) const {
+  if (!(cost_fn >= 0.0 && cost_fp >= 0.0)) {
+    throw std::invalid_argument("TradeoffAnalyzer: costs must be >= 0");
+  }
+  if (!(lo < hi) || steps < 2) {
+    throw std::invalid_argument(
+        "TradeoffAnalyzer: need lo < hi and at least two grid steps");
+  }
+  SystemOperatingPoint best;
+  double best_cost = 0.0;
+  bool first = true;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double threshold =
+        lo + (hi - lo) * static_cast<double>(i) /
+                 static_cast<double>(steps - 1);
+    const SystemOperatingPoint point = evaluate(threshold);
+    const double cost = prevalence_ * cost_fn * point.system_fn +
+                        (1.0 - prevalence_) * cost_fp * point.system_fp;
+    if (first || cost < best_cost) {
+      best = point;
+      best_cost = cost;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace hmdiv::core

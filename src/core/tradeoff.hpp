@@ -1,0 +1,108 @@
+// False-negative / false-positive trade-off analysis — the paper's stated
+// next step ("Of more general interest ... will be the study of trade-offs
+// between the probabilities of false positive and false negative failures",
+// Conclusions).
+//
+// The machine is modelled with a binormal latent-score detector (the
+// standard ROC model for detection systems): on a case of class x it draws
+// a score ~ Normal(mu(x), 1) and prompts iff score > threshold. Cancer
+// classes have higher means than normal classes, so lowering the threshold
+// reduces machine false negatives but raises machine false positives —
+// exactly the "often possible to reduce greatly ... the probability of
+// false negative failures if one is willing to accept a corresponding
+// increase in false positive failures" of Section 5.
+//
+// The human response is modelled with the same conditional formalism as the
+// sequential model, on both sides:
+//   cancer cases:  P(no-recall | machine prompted / not, class)
+//   normal cases:  P(recall    | machine prompted / not, class)
+// System-level FN and FP rates, recall rate, sensitivity/specificity and
+// PPV then follow for any threshold; `sweep` traces the whole trade-off
+// curve.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/demand_profile.hpp"
+
+namespace hmdiv::core {
+
+/// Machine latent-score means per class; unit-variance binormal model.
+struct BinormalMachine {
+  /// Mean score on each *cancer* class (same order as the cancer profile).
+  std::vector<double> cancer_class_means;
+  /// Mean score on each *normal* (no-cancer) class.
+  std::vector<double> normal_class_means;
+
+  /// P(machine false negative | cancer class x) at `threshold`:
+  /// P(score <= threshold) = Phi(threshold − mu).
+  [[nodiscard]] double p_false_negative(std::size_t x, double threshold) const;
+
+  /// P(machine false positive | normal class x) at `threshold`:
+  /// P(score > threshold) = Phi(mu − threshold).
+  [[nodiscard]] double p_false_positive(std::size_t x, double threshold) const;
+};
+
+/// Human conditional response on cancer cases (false-negative side).
+struct HumanFnResponse {
+  double p_fail_given_machine_prompted = 0.0;   ///< PHf|Ms(x)
+  double p_fail_given_machine_silent = 0.0;     ///< PHf|Mf(x)
+};
+
+/// Human conditional response on normal cases (false-positive side):
+/// probability of (wrongly) recalling a healthy patient.
+struct HumanFpResponse {
+  double p_recall_given_machine_prompted = 0.0;  ///< prompts bias to recall
+  double p_recall_given_machine_silent = 0.0;
+};
+
+/// System-level operating point at one machine threshold.
+struct SystemOperatingPoint {
+  double threshold = 0.0;
+  double machine_fn = 0.0;  ///< machine false-negative rate on cancers
+  double machine_fp = 0.0;  ///< machine false-positive rate on normals
+  double system_fn = 0.0;   ///< P(no recall | cancer)
+  double system_fp = 0.0;   ///< P(recall | no cancer)
+  double sensitivity = 0.0; ///< 1 − system_fn
+  double specificity = 0.0; ///< 1 − system_fp
+  double recall_rate = 0.0; ///< overall P(recall) at the given prevalence
+  double ppv = 0.0;         ///< P(cancer | recall); 0 if nothing is recalled
+};
+
+/// Analyses the two failure modes of the whole human-machine system as a
+/// function of the machine's operating threshold.
+class TradeoffAnalyzer {
+ public:
+  /// `cancer_profile` / `normal_profile`: class mixes among cancer and
+  /// normal cases respectively. `prevalence` = P(cancer) in the screened
+  /// population (paper: "less than 1%").
+  TradeoffAnalyzer(BinormalMachine machine, DemandProfile cancer_profile,
+                   std::vector<HumanFnResponse> fn_response,
+                   DemandProfile normal_profile,
+                   std::vector<HumanFpResponse> fp_response,
+                   double prevalence);
+
+  [[nodiscard]] SystemOperatingPoint evaluate(double threshold) const;
+  [[nodiscard]] std::vector<SystemOperatingPoint> sweep(
+      const std::vector<double>& thresholds) const;
+
+  /// Threshold minimising expected cost
+  /// cost = prevalence·cost_fn·system_fn + (1−prevalence)·cost_fp·system_fp
+  /// over a grid search on [lo, hi] with `steps` points.
+  [[nodiscard]] SystemOperatingPoint minimise_cost(double cost_fn,
+                                                   double cost_fp, double lo,
+                                                   double hi,
+                                                   std::size_t steps) const;
+
+ private:
+  BinormalMachine machine_;
+  DemandProfile cancer_profile_;
+  std::vector<HumanFnResponse> fn_response_;
+  DemandProfile normal_profile_;
+  std::vector<HumanFpResponse> fp_response_;
+  double prevalence_;
+};
+
+}  // namespace hmdiv::core

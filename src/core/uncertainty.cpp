@@ -1,0 +1,118 @@
+#include "core/uncertainty.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace hmdiv::core {
+
+namespace {
+
+constexpr double kJeffreys = 0.5;
+
+double posterior_mean(std::uint64_t k, std::uint64_t n) {
+  return (static_cast<double>(k) + kJeffreys) /
+         (static_cast<double>(n) + 2.0 * kJeffreys);
+}
+
+double posterior_draw(std::uint64_t k, std::uint64_t n, stats::Rng& rng) {
+  return rng.beta(static_cast<double>(k) + kJeffreys,
+                  static_cast<double>(n - k) + kJeffreys);
+}
+
+}  // namespace
+
+PosteriorModelSampler::PosteriorModelSampler(
+    std::vector<std::string> class_names, std::vector<ClassCounts> counts)
+    : names_(std::move(class_names)), counts_(std::move(counts)) {
+  if (names_.empty() || names_.size() != counts_.size()) {
+    throw std::invalid_argument(
+        "PosteriorModelSampler: need one ClassCounts per class name");
+  }
+  for (const auto& c : counts_) {
+    if (c.cases == 0) {
+      throw std::invalid_argument(
+          "PosteriorModelSampler: every class needs at least one case");
+    }
+    if (c.machine_failures > c.cases) {
+      throw std::invalid_argument(
+          "PosteriorModelSampler: machine_failures > cases");
+    }
+    if (c.human_failures_given_machine_failed > c.machine_failures) {
+      throw std::invalid_argument(
+          "PosteriorModelSampler: human failures exceed machine-failure "
+          "cases");
+    }
+    const std::uint64_t machine_successes = c.cases - c.machine_failures;
+    if (c.human_failures_given_machine_succeeded > machine_successes) {
+      throw std::invalid_argument(
+          "PosteriorModelSampler: human failures exceed machine-success "
+          "cases");
+    }
+  }
+}
+
+SequentialModel PosteriorModelSampler::posterior_mean_model() const {
+  std::vector<ClassConditional> params;
+  params.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    ClassConditional p;
+    p.p_machine_fails = posterior_mean(c.machine_failures, c.cases);
+    p.p_human_fails_given_machine_fails = posterior_mean(
+        c.human_failures_given_machine_failed, c.machine_failures);
+    p.p_human_fails_given_machine_succeeds =
+        posterior_mean(c.human_failures_given_machine_succeeded,
+                       c.cases - c.machine_failures);
+    params.push_back(p);
+  }
+  return SequentialModel(names_, std::move(params));
+}
+
+SequentialModel PosteriorModelSampler::sample(stats::Rng& rng) const {
+  std::vector<ClassConditional> params;
+  params.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    ClassConditional p;
+    p.p_machine_fails = posterior_draw(c.machine_failures, c.cases, rng);
+    p.p_human_fails_given_machine_fails = posterior_draw(
+        c.human_failures_given_machine_failed, c.machine_failures, rng);
+    p.p_human_fails_given_machine_succeeds =
+        posterior_draw(c.human_failures_given_machine_succeeded,
+                       c.cases - c.machine_failures, rng);
+    params.push_back(p);
+  }
+  return SequentialModel(names_, std::move(params));
+}
+
+UncertainPrediction PosteriorModelSampler::predict(
+    const DemandProfile& profile, stats::Rng& rng, std::size_t draws,
+    double credibility) const {
+  if (draws == 0) {
+    throw std::invalid_argument("PosteriorModelSampler::predict: draws == 0");
+  }
+  if (!(credibility > 0.0 && credibility < 1.0)) {
+    throw std::invalid_argument(
+        "PosteriorModelSampler::predict: credibility outside (0,1)");
+  }
+  std::vector<double> values;
+  values.reserve(draws);
+  stats::OnlineStats online;
+  for (std::size_t i = 0; i < draws; ++i) {
+    const double failure =
+        sample(rng).system_failure_probability(profile);
+    values.push_back(failure);
+    online.add(failure);
+  }
+  std::sort(values.begin(), values.end());
+  const double alpha = 1.0 - credibility;
+  UncertainPrediction out;
+  out.mean = online.mean();
+  out.stddev = online.stddev();
+  out.lower = stats::sorted_quantile(values, alpha / 2.0);
+  out.upper = stats::sorted_quantile(values, 1.0 - alpha / 2.0);
+  return out;
+}
+
+}  // namespace hmdiv::core

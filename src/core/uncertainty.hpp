@@ -1,0 +1,74 @@
+// Uncertainty propagation from trial counts to the system-level prediction.
+//
+// The paper assumes "narrow enough confidence intervals can be obtained for
+// all parameters" — this module drops that assumption. Each parameter is
+// given a Beta posterior from its trial counts (Jeffreys prior by default);
+// Monte-Carlo draws propagate through Eq. (8) to a distribution of the
+// predicted system failure probability, reported as mean + equal-tailed
+// credible interval. This shows how trial size limits the precision of
+// field predictions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/demand_profile.hpp"
+#include "core/sequential_model.hpp"
+#include "stats/rng.hpp"
+
+namespace hmdiv::core {
+
+/// Trial evidence for one class: counts from which the three conditional
+/// parameters are estimated.
+struct ClassCounts {
+  /// Cases of this class in the trial (cancer cases; FN analysis only).
+  std::uint64_t cases = 0;
+  /// Cases on which the machine failed (no prompt of the relevant features).
+  std::uint64_t machine_failures = 0;
+  /// Human (= system) failures among the machine-failure cases.
+  std::uint64_t human_failures_given_machine_failed = 0;
+  /// Human failures among the machine-success cases.
+  std::uint64_t human_failures_given_machine_succeeded = 0;
+};
+
+/// A propagated prediction: posterior mean and credible interval.
+struct UncertainPrediction {
+  double mean = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  double stddev = 0.0;
+  [[nodiscard]] double width() const { return upper - lower; }
+};
+
+/// Posterior sampler over SequentialModels given per-class trial counts.
+///
+/// Each parameter gets an independent Beta(k + a, n − k + a) posterior with
+/// Jeffreys constant a = 0.5.
+class PosteriorModelSampler {
+ public:
+  /// One ClassCounts per class name. Validates count consistency:
+  /// machine_failures <= cases, human failure counts bounded by their
+  /// denominators.
+  PosteriorModelSampler(std::vector<std::string> class_names,
+                        std::vector<ClassCounts> counts);
+
+  [[nodiscard]] std::size_t class_count() const { return names_.size(); }
+
+  /// Posterior-mean model (each parameter at its Beta posterior mean).
+  [[nodiscard]] SequentialModel posterior_mean_model() const;
+
+  /// Draws one model from the joint (independent-Beta) posterior.
+  [[nodiscard]] SequentialModel sample(stats::Rng& rng) const;
+
+  /// Propagates `draws` posterior samples through Eq. (8) under `profile`.
+  [[nodiscard]] UncertainPrediction predict(const DemandProfile& profile,
+                                            stats::Rng& rng,
+                                            std::size_t draws = 4000,
+                                            double credibility = 0.95) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ClassCounts> counts_;
+};
+
+}  // namespace hmdiv::core

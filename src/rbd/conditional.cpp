@@ -1,0 +1,129 @@
+#include "rbd/conditional.hpp"
+
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace hmdiv::rbd {
+
+DemandConditionalRbd::DemandConditionalRbd(
+    Structure structure, std::vector<std::vector<double>> success_by_class,
+    stats::DiscreteDistribution demand_profile)
+    : structure_(std::move(structure)),
+      success_by_class_(std::move(success_by_class)),
+      demand_profile_(std::move(demand_profile)) {
+  if (success_by_class_.size() != demand_profile_.size()) {
+    throw std::invalid_argument(
+        "DemandConditionalRbd: one probability row per demand class required");
+  }
+  for (const auto& row : success_by_class_) {
+    if (row.size() < structure_.component_count()) {
+      throw std::invalid_argument(
+          "DemandConditionalRbd: row shorter than component count");
+    }
+    for (const double p : row) {
+      if (!(p >= 0.0 && p <= 1.0)) {
+        throw std::invalid_argument(
+            "DemandConditionalRbd: probabilities must lie in [0,1]");
+      }
+    }
+  }
+}
+
+double DemandConditionalRbd::success_given_class(std::size_t x) const {
+  if (x >= success_by_class_.size()) {
+    throw std::invalid_argument("DemandConditionalRbd: class out of range");
+  }
+  const auto& row = success_by_class_[x];
+  return structure_.has_shared_components()
+             ? structure_.success_by_enumeration(row)
+             : structure_.success_probability(row);
+}
+
+double DemandConditionalRbd::success_probability() const {
+  double total = 0.0;
+  for (std::size_t x = 0; x < success_by_class_.size(); ++x) {
+    total += demand_profile_[x] * success_given_class(x);
+  }
+  return total;
+}
+
+void DemandConditionalRbd::check_component(std::size_t i) const {
+  if (i >= structure_.component_count()) {
+    throw std::invalid_argument("DemandConditionalRbd: component out of range");
+  }
+}
+
+std::vector<double> DemandConditionalRbd::failure_column(std::size_t i) const {
+  std::vector<double> out;
+  out.reserve(success_by_class_.size());
+  for (const auto& row : success_by_class_) out.push_back(1.0 - row[i]);
+  return out;
+}
+
+double DemandConditionalRbd::component_failure_probability(
+    std::size_t i) const {
+  check_component(i);
+  const auto failures = failure_column(i);
+  return demand_profile_.expectation(failures);
+}
+
+double DemandConditionalRbd::failure_covariance(std::size_t i,
+                                                std::size_t j) const {
+  check_component(i);
+  check_component(j);
+  const auto fi = failure_column(i);
+  const auto fj = failure_column(j);
+  return stats::weighted_covariance(fi, fj, demand_profile_.probabilities());
+}
+
+double DemandConditionalRbd::joint_failure_probability(std::size_t i,
+                                                       std::size_t j) const {
+  check_component(i);
+  check_component(j);
+  const auto fi = failure_column(i);
+  const auto fj = failure_column(j);
+  double joint = 0.0;
+  for (std::size_t x = 0; x < fi.size(); ++x) {
+    joint += demand_profile_[x] * fi[x] * fj[x];
+  }
+  return joint;
+}
+
+double DemandConditionalRbd::failure_correlation(std::size_t i,
+                                                 std::size_t j) const {
+  check_component(i);
+  check_component(j);
+  const auto fi = failure_column(i);
+  const auto fj = failure_column(j);
+  return stats::weighted_correlation(fi, fj, demand_profile_.probabilities());
+}
+
+double DemandConditionalRbd::failure_probability_assuming_independence()
+    const {
+  std::vector<double> marginal_success;
+  marginal_success.reserve(structure_.component_count());
+  for (std::size_t i = 0; i < structure_.component_count(); ++i) {
+    marginal_success.push_back(1.0 - component_failure_probability(i));
+  }
+  const double success =
+      structure_.has_shared_components()
+          ? structure_.success_by_enumeration(marginal_success)
+          : structure_.success_probability(marginal_success);
+  return 1.0 - success;
+}
+
+double DemandConditionalRbd::failure_probability_under(
+    const stats::DiscreteDistribution& profile) const {
+  if (profile.size() != success_by_class_.size()) {
+    throw std::invalid_argument(
+        "DemandConditionalRbd: profile class count mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t x = 0; x < success_by_class_.size(); ++x) {
+    total += profile[x] * (1.0 - success_given_class(x));
+  }
+  return total;
+}
+
+}  // namespace hmdiv::rbd

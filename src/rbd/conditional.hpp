@@ -1,0 +1,87 @@
+// Demand-conditional RBD evaluation: the Littlewood–Popov–Strigini
+// "difficulty function" view that the paper builds on [its refs 4, 5].
+//
+// Components are *conditionally independent given the demand class*: each
+// class x carries its own vector of component success probabilities.
+// Marginally the components are correlated, with the covariance term of the
+// paper's Eq. (3):
+//
+//   P(A and B fail) = PA·PB + cov_x(pA(x), pB(x)).
+//
+// `DemandConditionalRbd` evaluates a structure per class and mixes over the
+// demand profile, and exposes the pairwise covariance/correlation
+// diagnostics that quantify human-machine diversity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rbd/structure.hpp"
+#include "stats/distributions.hpp"
+
+namespace hmdiv::rbd {
+
+/// A structure + per-demand-class component success probabilities + demand
+/// profile.
+class DemandConditionalRbd {
+ public:
+  /// `success_by_class[x][i]` is the success probability of component i on
+  /// class x. Every row must have at least structure.component_count()
+  /// entries, and there must be one row per profile category.
+  DemandConditionalRbd(Structure structure,
+                       std::vector<std::vector<double>> success_by_class,
+                       stats::DiscreteDistribution demand_profile);
+
+  [[nodiscard]] const Structure& structure() const { return structure_; }
+  [[nodiscard]] std::size_t class_count() const {
+    return success_by_class_.size();
+  }
+  [[nodiscard]] const stats::DiscreteDistribution& demand_profile() const {
+    return demand_profile_;
+  }
+
+  /// P(system works on class x), conditional independence within the class.
+  [[nodiscard]] double success_given_class(std::size_t x) const;
+
+  /// P(system works) = sum_x p(x) · success_given_class(x).
+  [[nodiscard]] double success_probability() const;
+  [[nodiscard]] double failure_probability() const {
+    return 1.0 - success_probability();
+  }
+
+  /// Marginal failure probability of component i: E_x[1 - p_i(x)].
+  [[nodiscard]] double component_failure_probability(std::size_t i) const;
+
+  /// cov_x(q_i(x), q_j(x)) where q = per-class failure probabilities —
+  /// the Eq. (3) covariance. Positive => common difficulty (bad);
+  /// negative => diversity (good).
+  [[nodiscard]] double failure_covariance(std::size_t i, std::size_t j) const;
+
+  /// P(components i and j both fail) = q_i·q_j + cov_x(q_i(x), q_j(x)).
+  [[nodiscard]] double joint_failure_probability(std::size_t i,
+                                                 std::size_t j) const;
+
+  /// Weighted Pearson correlation of the two difficulty functions.
+  [[nodiscard]] double failure_correlation(std::size_t i, std::size_t j) const;
+
+  /// System failure probability pretending components fail independently
+  /// with their *marginal* probabilities — the naive estimate the paper
+  /// warns against. Compare with failure_probability() to expose the error
+  /// introduced by ignoring demand-conditional variation.
+  [[nodiscard]] double failure_probability_assuming_independence() const;
+
+  /// Evaluates under a different demand profile (same classes): the
+  /// trial-to-field re-weighting of Section 5.
+  [[nodiscard]] double failure_probability_under(
+      const stats::DiscreteDistribution& profile) const;
+
+ private:
+  void check_component(std::size_t i) const;
+  [[nodiscard]] std::vector<double> failure_column(std::size_t i) const;
+
+  Structure structure_;
+  std::vector<std::vector<double>> success_by_class_;
+  stats::DiscreteDistribution demand_profile_;
+};
+
+}  // namespace hmdiv::rbd

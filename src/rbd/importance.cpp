@@ -1,0 +1,68 @@
+#include "rbd/importance.hpp"
+
+#include <stdexcept>
+
+namespace hmdiv::rbd {
+
+namespace {
+
+double evaluate(const Structure& structure, std::span<const double> success) {
+  return structure.has_shared_components()
+             ? structure.success_by_enumeration(success)
+             : structure.success_probability(success);
+}
+
+std::vector<double> with_component(std::span<const double> success,
+                                   std::size_t index, double value) {
+  std::vector<double> modified(success.begin(), success.end());
+  modified.at(index) = value;
+  return modified;
+}
+
+}  // namespace
+
+double birnbaum_importance(const Structure& structure,
+                           std::span<const double> success,
+                           std::size_t index) {
+  if (index >= structure.component_count()) {
+    throw std::invalid_argument("birnbaum_importance: index out of range");
+  }
+  const double up = evaluate(structure, with_component(success, index, 1.0));
+  const double down = evaluate(structure, with_component(success, index, 0.0));
+  return up - down;
+}
+
+std::vector<double> birnbaum_importances(const Structure& structure,
+                                         std::span<const double> success) {
+  std::vector<double> out;
+  out.reserve(structure.component_count());
+  for (std::size_t i = 0; i < structure.component_count(); ++i) {
+    out.push_back(birnbaum_importance(structure, success, i));
+  }
+  return out;
+}
+
+double improvement_potential(const Structure& structure,
+                             std::span<const double> success,
+                             std::size_t index) {
+  if (index >= structure.component_count()) {
+    throw std::invalid_argument("improvement_potential: index out of range");
+  }
+  const double up = evaluate(structure, with_component(success, index, 1.0));
+  return up - evaluate(structure, success);
+}
+
+double criticality_importance(const Structure& structure,
+                              std::span<const double> success,
+                              std::size_t index) {
+  if (index >= structure.component_count()) {
+    throw std::invalid_argument("criticality_importance: index out of range");
+  }
+  const double system_failure = 1.0 - evaluate(structure, success);
+  if (system_failure <= 0.0) return 0.0;
+  const double component_failure = 1.0 - success[index];
+  return birnbaum_importance(structure, success, index) * component_failure /
+         system_failure;
+}
+
+}  // namespace hmdiv::rbd

@@ -1,0 +1,218 @@
+#include "rbd/structure.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace hmdiv::rbd {
+
+Structure Structure::component(std::size_t index) {
+  Structure s;
+  Node node;
+  node.kind = Kind::kComponent;
+  node.component = index;
+  s.nodes_.push_back(node);
+  s.component_count_ = index + 1;
+  return s;
+}
+
+Structure Structure::combine(Kind kind, std::size_t k,
+                             std::vector<Structure> children) {
+  if (children.empty()) {
+    throw std::invalid_argument("Structure: combinator needs children");
+  }
+  Structure s;
+  Node root;
+  root.kind = kind;
+  root.k = k;
+  for (auto& child : children) {
+    // Splice the child's nodes in, offsetting its internal indices.
+    const std::size_t offset = s.nodes_.size();
+    for (auto node : child.nodes_) {
+      for (auto& c : node.children) c += offset;
+      s.nodes_.push_back(std::move(node));
+    }
+    root.children.push_back(s.nodes_.size() - 1);  // child's root
+    s.component_count_ = std::max(s.component_count_, child.component_count_);
+  }
+  s.nodes_.push_back(std::move(root));
+  return s;
+}
+
+Structure Structure::series(std::vector<Structure> children) {
+  return combine(Kind::kSeries, 0, std::move(children));
+}
+
+Structure Structure::any_of(std::vector<Structure> children) {
+  return combine(Kind::kAnyOf, 0, std::move(children));
+}
+
+Structure Structure::k_out_of_n(std::size_t k,
+                                std::vector<Structure> children) {
+  if (k == 0 || k > children.size()) {
+    throw std::invalid_argument("Structure::k_out_of_n: k outside [1, n]");
+  }
+  return combine(Kind::kKOutOfN, k, std::move(children));
+}
+
+bool Structure::evaluate(std::span<const bool> states) const {
+  if (states.size() < component_count_) {
+    throw std::invalid_argument("Structure::evaluate: too few states");
+  }
+  return evaluate_node(nodes_.size() - 1, states);
+}
+
+bool Structure::evaluate_node(std::size_t node,
+                              std::span<const bool> states) const {
+  const Node& n = nodes_[node];
+  switch (n.kind) {
+    case Kind::kComponent:
+      return states[n.component];
+    case Kind::kSeries:
+      for (const std::size_t c : n.children) {
+        if (!evaluate_node(c, states)) return false;
+      }
+      return true;
+    case Kind::kAnyOf:
+      for (const std::size_t c : n.children) {
+        if (evaluate_node(c, states)) return true;
+      }
+      return false;
+    case Kind::kKOutOfN: {
+      std::size_t working = 0;
+      for (const std::size_t c : n.children) {
+        if (evaluate_node(c, states)) ++working;
+      }
+      return working >= n.k;
+    }
+  }
+  return false;  // Unreachable.
+}
+
+namespace {
+
+void check_probabilities(std::span<const double> probabilities,
+                         std::size_t needed) {
+  if (probabilities.size() < needed) {
+    throw std::invalid_argument("Structure: too few component probabilities");
+  }
+  for (const double p : probabilities) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument(
+          "Structure: component probabilities must lie in [0,1]");
+    }
+  }
+}
+
+}  // namespace
+
+double Structure::success_probability(
+    std::span<const double> component_success) const {
+  check_probabilities(component_success, component_count_);
+  return success_node(nodes_.size() - 1, component_success);
+}
+
+double Structure::success_node(
+    std::size_t node, std::span<const double> component_success) const {
+  const Node& n = nodes_[node];
+  switch (n.kind) {
+    case Kind::kComponent:
+      return component_success[n.component];
+    case Kind::kSeries: {
+      double p = 1.0;
+      for (const std::size_t c : n.children) {
+        p *= success_node(c, component_success);
+      }
+      return p;
+    }
+    case Kind::kAnyOf: {
+      double all_fail = 1.0;
+      for (const std::size_t c : n.children) {
+        all_fail *= 1.0 - success_node(c, component_success);
+      }
+      return 1.0 - all_fail;
+    }
+    case Kind::kKOutOfN: {
+      // Poisson-binomial DP: dp[j] = P(exactly j children work so far).
+      std::vector<double> dp(n.children.size() + 1, 0.0);
+      dp[0] = 1.0;
+      std::size_t seen = 0;
+      for (const std::size_t c : n.children) {
+        const double p = success_node(c, component_success);
+        for (std::size_t j = seen + 1; j-- > 0;) {
+          dp[j + 1] += dp[j] * p;
+          dp[j] *= 1.0 - p;
+        }
+        ++seen;
+      }
+      double at_least_k = 0.0;
+      for (std::size_t j = n.k; j <= n.children.size(); ++j) at_least_k += dp[j];
+      return at_least_k;
+    }
+  }
+  return 0.0;  // Unreachable.
+}
+
+double Structure::success_by_enumeration(
+    std::span<const double> component_success) const {
+  check_probabilities(component_success, component_count_);
+  if (component_count_ > 24) {
+    throw std::invalid_argument(
+        "Structure::success_by_enumeration: too many components (>24)");
+  }
+  const std::size_t n = component_count_;
+  std::array<bool, 24> states{};  // std::vector<bool> cannot back a span.
+  double total = 0.0;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    double weight = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool works = ((mask >> i) & 1U) != 0;
+      states[i] = works;
+      weight *= works ? component_success[i] : 1.0 - component_success[i];
+    }
+    if (weight > 0.0 && evaluate(std::span<const bool>(states.data(), n))) {
+      total += weight;
+    }
+  }
+  return total;
+}
+
+bool Structure::has_shared_components() const {
+  std::vector<int> uses(component_count_, 0);
+  for (const Node& n : nodes_) {
+    if (n.kind == Kind::kComponent) ++uses[n.component];
+  }
+  return std::any_of(uses.begin(), uses.end(), [](int u) { return u > 1; });
+}
+
+void Structure::to_string_node(std::size_t node, std::string& out) const {
+  const Node& n = nodes_[node];
+  switch (n.kind) {
+    case Kind::kComponent:
+      out += "c" + std::to_string(n.component);
+      return;
+    case Kind::kSeries:
+      out += "series(";
+      break;
+    case Kind::kAnyOf:
+      out += "any_of(";
+      break;
+    case Kind::kKOutOfN:
+      out += std::to_string(n.k) + "_of_" + std::to_string(n.children.size()) +
+             "(";
+      break;
+  }
+  for (std::size_t i = 0; i < n.children.size(); ++i) {
+    if (i != 0) out += ", ";
+    to_string_node(n.children[i], out);
+  }
+  out += ")";
+}
+
+std::string Structure::to_string() const {
+  std::string out;
+  to_string_node(nodes_.size() - 1, out);
+  return out;
+}
+
+}  // namespace hmdiv::rbd

@@ -1,0 +1,98 @@
+// Reliability block diagram (RBD) substrate.
+//
+// A `Structure` is a coherent structure function over named components,
+// built from series / parallel (1-out-of-N) / k-out-of-N combinators. The
+// paper's Fig. 2 — machine detection in parallel with human detection, in
+// series with human classification — is three components:
+//
+//   auto s = Structure::series({
+//       Structure::any_of({Structure::component(kMachineDetects),
+//                          Structure::component(kHumanDetects)}),
+//       Structure::component(kHumanClassifies)});
+//
+// Evaluation assumes component failures independent *given the supplied
+// probabilities*; correlation induced by case difficulty is handled one
+// level up by `DemandConditionalRbd` (see conditional.hpp), which evaluates
+// the structure separately per class of demands and mixes — exactly the
+// paper's "conditional independence given the case" argument.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hmdiv::rbd {
+
+/// A coherent structure function over components 0..component_count()-1.
+///
+/// Immutable after construction; cheap to copy (small node vector).
+class Structure {
+ public:
+  /// Leaf: the system path through component `index`.
+  [[nodiscard]] static Structure component(std::size_t index);
+
+  /// All children must work (series / AND of successes).
+  [[nodiscard]] static Structure series(std::vector<Structure> children);
+
+  /// At least one child must work (parallel / 1-out-of-N).
+  [[nodiscard]] static Structure any_of(std::vector<Structure> children);
+
+  /// At least `k` of the children must work. k in [1, children.size()].
+  [[nodiscard]] static Structure k_out_of_n(std::size_t k,
+                                            std::vector<Structure> children);
+
+  /// Number of distinct component indices referenced (max index + 1).
+  [[nodiscard]] std::size_t component_count() const { return component_count_; }
+
+  /// Evaluates the structure function on a boolean component-state vector
+  /// (true = component works). `states.size()` must be >= component_count().
+  [[nodiscard]] bool evaluate(std::span<const bool> states) const;
+
+  /// P(system works) given independent per-component success probabilities
+  /// (each in [0,1]; size >= component_count()). Computed recursively:
+  /// series multiplies, parallel multiplies complements, k-of-n uses a
+  /// Poisson-binomial DP. Exact when the same component index is not
+  /// repeated across sibling subtrees; use success_by_enumeration() when
+  /// components are shared.
+  [[nodiscard]] double success_probability(
+      std::span<const double> component_success) const;
+
+  /// P(system works) by exhaustive enumeration over all 2^n component
+  /// states — exact even with shared components. Throws if
+  /// component_count() > 24.
+  [[nodiscard]] double success_by_enumeration(
+      std::span<const double> component_success) const;
+
+  /// True if the same component index appears in more than one leaf, in
+  /// which case success_probability() may be inexact.
+  [[nodiscard]] bool has_shared_components() const;
+
+  /// Human-readable rendering, e.g. "series(any_of(c0, c1), c2)".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  enum class Kind { kComponent, kSeries, kAnyOf, kKOutOfN };
+
+  struct Node {
+    Kind kind = Kind::kComponent;
+    std::size_t component = 0;          // kComponent
+    std::size_t k = 0;                  // kKOutOfN
+    std::vector<std::size_t> children;  // indices into nodes_
+  };
+
+  Structure() = default;
+  [[nodiscard]] static Structure combine(Kind kind, std::size_t k,
+                                         std::vector<Structure> children);
+
+  [[nodiscard]] bool evaluate_node(std::size_t node,
+                                   std::span<const bool> states) const;
+  [[nodiscard]] double success_node(
+      std::size_t node, std::span<const double> component_success) const;
+  void to_string_node(std::size_t node, std::string& out) const;
+
+  std::vector<Node> nodes_;   // nodes_.back() is the root
+  std::size_t component_count_ = 0;
+};
+
+}  // namespace hmdiv::rbd

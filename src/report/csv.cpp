@@ -1,0 +1,39 @@
+#include "report/csv.hpp"
+
+#include <ostream>
+
+#include "report/format.hpp"
+
+namespace hmdiv::report {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char ch : field) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) os_ << ',';
+    os_ << csv_escape(fields[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::numeric_row(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (const double v : values) fields.push_back(sig(v, 17));
+  row(fields);
+}
+
+}  // namespace hmdiv::report

@@ -1,0 +1,35 @@
+// RFC-4180-style CSV writing, used by benches to dump plot series (e.g. the
+// Figure 4 line sweeps) for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hmdiv::report {
+
+/// Escapes a single CSV field: quotes it iff it contains a comma, a quote or
+/// a newline; embedded quotes are doubled.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Streams rows of fields as CSV lines ("\n" line endings).
+class CsvWriter {
+ public:
+  /// Writes to `os`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row. Each field is escaped independently.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience for numeric rows: formats each value with 17 significant
+  /// digits (round-trippable doubles).
+  void numeric_row(const std::vector<double>& values);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace hmdiv::report

@@ -1,0 +1,68 @@
+#include "report/format.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace hmdiv::report {
+
+namespace {
+
+std::string printf_format(const char* spec, int precision, double value) {
+  char buffer[64];
+  const int written = std::snprintf(buffer, sizeof buffer, spec, precision, value);
+  if (written < 0 || static_cast<std::size_t>(written) >= sizeof buffer) {
+    throw std::runtime_error("report::format: value does not fit buffer");
+  }
+  return std::string(buffer);
+}
+
+}  // namespace
+
+std::string fixed(double value, int decimals) {
+  if (decimals < 0 || decimals > 17) {
+    throw std::invalid_argument("report::fixed: decimals out of range [0,17]");
+  }
+  return printf_format("%.*f", decimals, value);
+}
+
+std::string sig(double value, int digits) {
+  if (digits < 1 || digits > 17) {
+    throw std::invalid_argument("report::sig: digits out of range [1,17]");
+  }
+  return printf_format("%.*g", digits, value);
+}
+
+std::string percent(double probability, int decimals) {
+  return fixed(probability * 100.0, decimals) + "%";
+}
+
+std::string with_thousands(long long value) {
+  const bool negative = value < 0;
+  // Build the digit string; insert ',' every three digits from the right.
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return negative ? "-" + out : out;
+}
+
+std::string pad_left(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text;
+  return std::string(width - text.size(), ' ') + text;
+}
+
+std::string pad_right(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text;
+  return text + std::string(width - text.size(), ' ');
+}
+
+std::string with_interval(double point, double lo, double hi, int decimals) {
+  return fixed(point, decimals) + " [" + fixed(lo, decimals) + ", " +
+         fixed(hi, decimals) + "]";
+}
+
+}  // namespace hmdiv::report

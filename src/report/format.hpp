@@ -1,0 +1,36 @@
+// Numeric formatting helpers shared by benches, examples and table rendering.
+//
+// All functions are pure and locale-independent: they always use '.' as the
+// decimal separator so that generated tables and CSV files are stable across
+// environments.
+#pragma once
+
+#include <string>
+
+namespace hmdiv::report {
+
+/// Formats `value` with exactly `decimals` digits after the decimal point
+/// (round-half-away-from-zero, as std::snprintf does). `fixed(0.1887, 3)`
+/// yields `"0.189"` — the paper's tables use three decimals throughout.
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+/// Formats `value` with `digits` significant digits using the shortest of
+/// fixed/scientific notation (printf %g semantics).
+[[nodiscard]] std::string sig(double value, int digits);
+
+/// Formats a probability in [0,1] as a percentage string, e.g. `"18.9%"`.
+/// Values outside [0,1] are formatted anyway (useful for differences).
+[[nodiscard]] std::string percent(double probability, int decimals = 1);
+
+/// Formats an integer with thousands separators: 12860 -> "12,860".
+[[nodiscard]] std::string with_thousands(long long value);
+
+/// Left/right-pads `text` with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_left(const std::string& text, std::size_t width);
+[[nodiscard]] std::string pad_right(const std::string& text, std::size_t width);
+
+/// Formats a 95% interval as "0.123 [0.100, 0.150]".
+[[nodiscard]] std::string with_interval(double point, double lo, double hi,
+                                        int decimals = 3);
+
+}  // namespace hmdiv::report

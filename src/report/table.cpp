@@ -1,0 +1,100 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "report/format.hpp"
+
+namespace hmdiv::report {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw std::invalid_argument("Table: header must be non-empty");
+  }
+  alignments_.assign(header_.size(), Align::kRight);
+  alignments_.front() = Align::kLeft;
+}
+
+Table& Table::caption(std::string text) {
+  caption_ = std::move(text);
+  return *this;
+}
+
+Table& Table::align(std::size_t index, Align alignment) {
+  if (index >= alignments_.size()) {
+    throw std::invalid_argument("Table::align: column index out of range");
+  }
+  alignments_[index] = alignment;
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table::row: cell count does not match header");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::vector<std::size_t> Table::column_widths() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  return widths;
+}
+
+std::string Table::to_text() const {
+  const auto widths = column_widths();
+  std::ostringstream out;
+  if (!caption_.empty()) out << caption_ << '\n';
+
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) out << "  ";
+      out << (alignments_[c] == Align::kLeft ? pad_right(cells[c], widths[c])
+                                             : pad_left(cells[c], widths[c]));
+    }
+    out << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return out.str();
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream out;
+  if (!caption_.empty()) out << "**" << caption_ << "**\n\n";
+
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (const auto& cell : cells) out << ' ' << cell << " |";
+    out << '\n';
+  };
+
+  emit_row(header_);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << (alignments_[c] == Align::kLeft ? ":---" : "---:") << '|';
+  }
+  out << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return out.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& table) {
+  return os << table.to_text();
+}
+
+}  // namespace hmdiv::report

@@ -1,0 +1,60 @@
+// Minimal table model + renderers (plain text and GitHub markdown).
+//
+// Benches use this to print the paper's tables side by side with reproduced
+// values; the renderer guarantees stable, aligned output so runs can be
+// diffed across revisions.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hmdiv::report {
+
+enum class Align { kLeft, kRight };
+
+/// A rectangular table of strings with a header row.
+///
+/// Invariant: every appended row has exactly as many cells as the header.
+class Table {
+ public:
+  /// Creates a table whose columns are named by `header` (must be non-empty).
+  explicit Table(std::vector<std::string> header);
+
+  /// Optional caption printed above the table.
+  Table& caption(std::string text);
+
+  /// Sets the alignment of column `index` (default: first column left,
+  /// all other columns right — the common layout for numeric tables).
+  Table& align(std::size_t index, Align alignment);
+
+  /// Appends a row; throws std::invalid_argument on cell-count mismatch.
+  Table& row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t column_count() const { return header_.size(); }
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  /// Renders with box-drawing-free ASCII, columns padded to content width.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders as a GitHub-flavoured markdown table.
+  [[nodiscard]] std::string to_markdown() const;
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> column_widths() const;
+
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<Align> alignments_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience: renders to_text() to `os`.
+std::ostream& operator<<(std::ostream& os, const Table& table);
+
+}  // namespace hmdiv::report

@@ -1,0 +1,44 @@
+#include "screening/metrics.hpp"
+
+#include <stdexcept>
+
+namespace hmdiv::screening {
+
+ProgrammeMetrics ProgrammeMetrics::from_counts(const ConfusionCounts& counts,
+                                               double readings_per_case) {
+  ProgrammeMetrics m;
+  const double cancers = static_cast<double>(counts.cancers());
+  const double healthy = static_cast<double>(counts.healthy());
+  const double total = static_cast<double>(counts.total());
+  const double recalls = static_cast<double>(counts.recalls());
+  if (cancers > 0.0) {
+    m.sensitivity = static_cast<double>(counts.true_positives) / cancers;
+  }
+  if (healthy > 0.0) {
+    m.specificity = static_cast<double>(counts.true_negatives) / healthy;
+  }
+  if (total > 0.0) {
+    m.recall_rate = recalls / total;
+    m.cancer_detection_rate_per_1000 =
+        1000.0 * static_cast<double>(counts.true_positives) / total;
+  }
+  if (recalls > 0.0) {
+    m.ppv = static_cast<double>(counts.true_positives) / recalls;
+  }
+  m.readings_per_case = readings_per_case;
+  return m;
+}
+
+double CostModel::cost_per_case(const ProgrammeMetrics& metrics,
+                                double prevalence, bool uses_cadt) const {
+  if (!(prevalence >= 0.0 && prevalence <= 1.0)) {
+    throw std::invalid_argument("CostModel: prevalence outside [0,1]");
+  }
+  const double miss_rate = prevalence * (1.0 - metrics.sensitivity);
+  return metrics.readings_per_case * cost_per_reading +
+         metrics.recall_rate * cost_per_recall +
+         miss_rate * cost_per_missed_cancer +
+         (uses_cadt ? cost_per_case_cadt : 0.0);
+}
+
+}  // namespace hmdiv::screening

@@ -1,0 +1,63 @@
+// Programme-level metrics and a simple cost model.
+//
+// A screening programme is judged on both failure modes at once (the
+// trade-off the paper's Conclusions call "a very common problem"):
+// sensitivity (1 − FN rate), specificity (1 − FP rate), the recall rate it
+// imposes on the screened population, and the workload/cost of achieving
+// them. These are the quantities the programme-comparison bench reports
+// for each policy (single reader, reader+CADT, double reading, ...).
+#pragma once
+
+#include <cstdint>
+
+namespace hmdiv::screening {
+
+/// Raw confusion counts accumulated over a simulated programme run.
+struct ConfusionCounts {
+  std::uint64_t true_positives = 0;   ///< cancer, recalled
+  std::uint64_t false_negatives = 0;  ///< cancer, not recalled
+  std::uint64_t false_positives = 0;  ///< healthy, recalled
+  std::uint64_t true_negatives = 0;   ///< healthy, not recalled
+
+  [[nodiscard]] std::uint64_t cancers() const {
+    return true_positives + false_negatives;
+  }
+  [[nodiscard]] std::uint64_t healthy() const {
+    return false_positives + true_negatives;
+  }
+  [[nodiscard]] std::uint64_t total() const { return cancers() + healthy(); }
+  [[nodiscard]] std::uint64_t recalls() const {
+    return true_positives + false_positives;
+  }
+};
+
+/// Derived programme metrics. Rates are 0 when their denominator is 0.
+struct ProgrammeMetrics {
+  double sensitivity = 0.0;  ///< TP / cancers
+  double specificity = 0.0;  ///< TN / healthy
+  double recall_rate = 0.0;  ///< recalls / total
+  double ppv = 0.0;          ///< TP / recalls
+  /// Cancers detected per 1000 screened (the screening literature's CDR).
+  double cancer_detection_rate_per_1000 = 0.0;
+  /// Average readings (human film interpretations) per case — workload.
+  double readings_per_case = 0.0;
+
+  [[nodiscard]] static ProgrammeMetrics from_counts(
+      const ConfusionCounts& counts, double readings_per_case);
+};
+
+/// Linear cost model per screened case.
+struct CostModel {
+  double cost_per_reading = 1.0;        ///< one human interpretation
+  double cost_per_recall = 20.0;        ///< assessment clinic visit
+  double cost_per_missed_cancer = 500.0;///< downstream harm proxy
+  double cost_per_case_cadt = 0.1;      ///< machine processing
+
+  /// Expected cost per screened case for a programme with the given
+  /// metrics, at the given cancer prevalence; `uses_cadt` adds the machine
+  /// processing cost.
+  [[nodiscard]] double cost_per_case(const ProgrammeMetrics& metrics,
+                                     double prevalence, bool uses_cadt) const;
+};
+
+}  // namespace hmdiv::screening

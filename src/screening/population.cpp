@@ -1,0 +1,69 @@
+#include "screening/population.hpp"
+
+#include <stdexcept>
+
+namespace hmdiv::screening {
+
+PopulationGenerator::PopulationGenerator(sim::CaseGenerator cancer_cases,
+                                         sim::CaseGenerator healthy_cases,
+                                         double prevalence)
+    : cancer_cases_(std::move(cancer_cases)),
+      healthy_cases_(std::move(healthy_cases)),
+      prevalence_(prevalence) {
+  if (!(prevalence_ > 0.0 && prevalence_ < 1.0)) {
+    throw std::invalid_argument(
+        "PopulationGenerator: prevalence must lie in (0,1)");
+  }
+}
+
+sim::Case PopulationGenerator::generate(stats::Rng& rng) {
+  const bool has_cancer = rng.bernoulli(prevalence_);
+  sim::Case c =
+      has_cancer ? cancer_cases_.generate(rng) : healthy_cases_.generate(rng);
+  c.has_cancer = has_cancer;
+  return c;
+}
+
+PopulationGenerator PopulationGenerator::reference(double prevalence) {
+  std::vector<sim::CaseClassSpec> cancer_specs(2);
+  cancer_specs[0].name = "easy";
+  cancer_specs[0].human_difficulty_mean = -0.6;
+  cancer_specs[0].human_difficulty_sigma = 0.8;
+  cancer_specs[0].machine_difficulty_mean = -0.9;
+  cancer_specs[0].machine_difficulty_sigma = 0.8;
+  cancer_specs[0].difficulty_correlation = 0.3;
+  cancer_specs[1].name = "difficult";
+  cancer_specs[1].human_difficulty_mean = 1.4;
+  cancer_specs[1].human_difficulty_sigma = 0.9;
+  cancer_specs[1].machine_difficulty_mean = 1.1;
+  cancer_specs[1].machine_difficulty_sigma = 1.0;
+  cancer_specs[1].difficulty_correlation = 0.55;
+  sim::CaseGenerator cancers(
+      std::move(cancer_specs),
+      core::DemandProfile({"easy", "difficult"}, {0.9, 0.1}));
+
+  // Healthy cases: "human_difficulty" = suspiciousness (mostly negative =
+  // obviously benign), "machine_difficulty" = resistance to false prompts
+  // (high = the CADT rarely prompts them).
+  std::vector<sim::CaseClassSpec> healthy_specs(2);
+  healthy_specs[0].name = "typical";
+  healthy_specs[0].human_difficulty_mean = -1.5;
+  healthy_specs[0].human_difficulty_sigma = 0.7;
+  healthy_specs[0].machine_difficulty_mean = 3.0;
+  healthy_specs[0].machine_difficulty_sigma = 0.8;
+  healthy_specs[0].difficulty_correlation = -0.4;
+  healthy_specs[1].name = "complex";
+  healthy_specs[1].human_difficulty_mean = 0.2;
+  healthy_specs[1].human_difficulty_sigma = 0.8;
+  healthy_specs[1].machine_difficulty_mean = 1.8;
+  healthy_specs[1].machine_difficulty_sigma = 0.9;
+  healthy_specs[1].difficulty_correlation = -0.5;
+  sim::CaseGenerator healthy(
+      std::move(healthy_specs),
+      core::DemandProfile({"typical", "complex"}, {0.85, 0.15}));
+
+  return PopulationGenerator(std::move(cancers), std::move(healthy),
+                             prevalence);
+}
+
+}  // namespace hmdiv::screening

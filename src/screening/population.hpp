@@ -1,0 +1,50 @@
+// Mixed screened population: rare cancer cases plus healthy cases.
+//
+// The paper notes the screened population has a cancer prevalence "less
+// than 1%" while trials are enriched. This generator samples a case's
+// ground truth from the prevalence, then its class and latent scores from
+// the corresponding per-class generator. For healthy cases the latent
+// scores are reinterpreted: `human_difficulty` is how *suspicious* the case
+// looks to a reader (higher = more likely false recall), and
+// `machine_difficulty` is how resistant it is to false prompts (higher =
+// fewer machine false positives).
+#pragma once
+
+#include "core/demand_profile.hpp"
+#include "sim/case_generator.hpp"
+#include "stats/rng.hpp"
+
+namespace hmdiv::screening {
+
+/// Samples a screened population with the given cancer prevalence.
+class PopulationGenerator {
+ public:
+  /// `cancer_cases` / `healthy_cases` generate class + latent scores for
+  /// the two subpopulations; `prevalence` = P(cancer) in (0,1).
+  PopulationGenerator(sim::CaseGenerator cancer_cases,
+                      sim::CaseGenerator healthy_cases, double prevalence);
+
+  [[nodiscard]] double prevalence() const { return prevalence_; }
+  [[nodiscard]] const sim::CaseGenerator& cancer_generator() const {
+    return cancer_cases_;
+  }
+  [[nodiscard]] const sim::CaseGenerator& healthy_generator() const {
+    return healthy_cases_;
+  }
+
+  /// Draws one screened case (has_cancer set from the prevalence).
+  [[nodiscard]] sim::Case generate(stats::Rng& rng);
+
+  /// A reference population: the two cancer classes of
+  /// sim::reference_feature_world under the field mix, plus two healthy
+  /// classes ("typical", "complex") with low suspiciousness, at `prevalence`
+  /// (default 0.7%, matching the paper's "less than 1%").
+  [[nodiscard]] static PopulationGenerator reference(double prevalence = 0.007);
+
+ private:
+  sim::CaseGenerator cancer_cases_;
+  sim::CaseGenerator healthy_cases_;
+  double prevalence_;
+};
+
+}  // namespace hmdiv::screening

@@ -1,0 +1,96 @@
+#include "screening/tuning.hpp"
+
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace hmdiv::screening {
+
+namespace {
+
+/// Recall probability of one case under reader+CADT, integrated over the
+/// prompt outcome analytically.
+double recall_probability(const sim::Case& c, const sim::ReaderModel& reader,
+                          const sim::CadtModel& cadt) {
+  const double p_prompt = cadt.prompt_probability(c.machine_difficulty);
+  if (c.has_cancer) {
+    const double recall_prompted =
+        1.0 - reader.failure_probability(c.human_difficulty, true);
+    const double recall_silent =
+        1.0 - reader.failure_probability(c.human_difficulty, false);
+    return p_prompt * recall_prompted + (1.0 - p_prompt) * recall_silent;
+  }
+  return p_prompt * reader.false_recall_probability(c.human_difficulty, true) +
+         (1.0 - p_prompt) *
+             reader.false_recall_probability(c.human_difficulty, false);
+}
+
+}  // namespace
+
+double analytic_recall_rate(const PopulationGenerator& population,
+                            const sim::ReaderModel& reader,
+                            const sim::CadtModel& cadt, stats::Rng& rng,
+                            std::size_t samples) {
+  if (samples == 0) {
+    throw std::invalid_argument("analytic_recall_rate: samples == 0");
+  }
+  PopulationGenerator generator = population;  // local sampling state
+  stats::KahanAccumulator acc;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const sim::Case c = generator.generate(rng);
+    acc.add(recall_probability(c, reader, cadt));
+  }
+  return acc.total() / static_cast<double>(samples);
+}
+
+TuningResult tune_threshold_for_recall_rate(
+    const PopulationGenerator& population, const sim::ReaderModel& reader,
+    const sim::CadtModel& cadt, double target_recall_rate, double lo_shift,
+    double hi_shift, stats::Rng& rng, std::size_t samples, int iterations) {
+  if (!(target_recall_rate > 0.0 && target_recall_rate < 1.0)) {
+    throw std::invalid_argument(
+        "tune_threshold_for_recall_rate: target outside (0,1)");
+  }
+  if (!(lo_shift < hi_shift)) {
+    throw std::invalid_argument(
+        "tune_threshold_for_recall_rate: need lo_shift < hi_shift");
+  }
+  if (iterations < 1) {
+    throw std::invalid_argument(
+        "tune_threshold_for_recall_rate: iterations < 1");
+  }
+  // Common random numbers: every evaluation uses the same case stream, so
+  // the recall-vs-shift curve is exactly monotone (recall probability is
+  // pointwise monotone in the prompt probability, which is monotone in the
+  // shift) and bisection is sound.
+  const std::uint64_t stream_seed = rng.next_u64();
+  auto recall_at = [&](double shift) {
+    stats::Rng stream(stream_seed);
+    return analytic_recall_rate(population, reader,
+                                cadt.with_threshold_shift(shift), stream,
+                                samples);
+  };
+  // Lower shift = more eager machine = more prompts = more recalls.
+  double recall_lo = recall_at(lo_shift);   // highest recall
+  double recall_hi = recall_at(hi_shift);   // lowest recall
+  if (target_recall_rate > recall_lo || target_recall_rate < recall_hi) {
+    throw std::invalid_argument(
+        "tune_threshold_for_recall_rate: target outside the achievable "
+        "range on the given bracket");
+  }
+  double lo = lo_shift, hi = hi_shift;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (recall_at(mid) >= target_recall_rate) {
+      lo = mid;  // still too many recalls: move stricter
+    } else {
+      hi = mid;
+    }
+  }
+  TuningResult out{0.5 * (lo + hi), 0.0,
+                   cadt.with_threshold_shift(0.5 * (lo + hi))};
+  out.achieved_recall_rate = recall_at(out.threshold_shift);
+  return out;
+}
+
+}  // namespace hmdiv::screening

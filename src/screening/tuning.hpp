@@ -1,0 +1,46 @@
+// Programme-level CADT tuning.
+//
+// Screening programmes run against recall-rate budgets (assessment-clinic
+// capacity): "different tuning of the detection algorithms ... may be
+// decided as a consequence of measuring their performance" (paper §5 item
+// 4). This module computes the analytic (Rao-Blackwellised) recall rate of
+// a reader+CADT policy over a population as a function of the CADT's
+// threshold shift, and solves for the shift that meets a target recall
+// rate.
+#pragma once
+
+#include "screening/population.hpp"
+#include "sim/cadt.hpp"
+#include "sim/reader.hpp"
+#include "stats/rng.hpp"
+
+namespace hmdiv::screening {
+
+/// Analytic recall rate of a single reader + `cadt` over `population`
+/// (cancer and healthy cases both contribute), estimated by integrating
+/// the per-case recall probability over `samples` sampled cases — no
+/// Bernoulli noise, so the value is smooth in the threshold shift.
+[[nodiscard]] double analytic_recall_rate(const PopulationGenerator& population,
+                                          const sim::ReaderModel& reader,
+                                          const sim::CadtModel& cadt,
+                                          stats::Rng& rng,
+                                          std::size_t samples = 100000);
+
+/// Result of tuning.
+struct TuningResult {
+  double threshold_shift = 0.0;   ///< additive shift applied to the CADT
+  double achieved_recall_rate = 0.0;
+  sim::CadtModel tuned_cadt;      ///< the CADT at the solved shift
+};
+
+/// Finds the threshold shift in [lo_shift, hi_shift] whose analytic recall
+/// rate is closest to `target_recall_rate` (bisection on the monotone
+/// recall-vs-shift curve, common random numbers across evaluations).
+/// Throws if the target is outside the achievable range on the bracket.
+[[nodiscard]] TuningResult tune_threshold_for_recall_rate(
+    const PopulationGenerator& population, const sim::ReaderModel& reader,
+    const sim::CadtModel& cadt, double target_recall_rate, double lo_shift,
+    double hi_shift, stats::Rng& rng, std::size_t samples = 60000,
+    int iterations = 40);
+
+}  // namespace hmdiv::screening

@@ -1,0 +1,40 @@
+// Synthetic screening cases.
+//
+// The paper's demands are sets of X-ray films about one patient; their
+// relevant property for the models is *difficulty* — for the human and for
+// the machine, separately, and possibly correlated. A synthetic `Case`
+// therefore carries two latent difficulty scores:
+//
+//   human_difficulty   — how hard the relevant features are for a reader to
+//                        notice and interpret (subtlety, breast density,
+//                        lesion size all fold into this scalar);
+//   machine_difficulty — how hard they are for the pattern-matching
+//                        algorithms (film artefacts, atypical textures).
+//
+// The correlation between the two within a class is the diversity knob: at
+// +1 the machine is weak exactly where the human is (no diversity), at −1
+// the machine is strongest where the human is weakest (ideal diversity).
+// This is a faithful executable version of the paper's "difficulty
+// function" discussion (Sections 2.2, 4, 6.2).
+#pragma once
+
+#include <cstdint>
+
+namespace hmdiv::sim {
+
+/// One synthetic screening demand.
+struct Case {
+  std::uint64_t id = 0;
+  /// Which class of cases (index into the generating profile).
+  std::size_t class_index = 0;
+  /// Ground truth: does this patient have cancer? (False-negative analysis
+  /// uses cancer cases; false-positive analysis uses non-cancer ones.)
+  bool has_cancer = true;
+  /// Latent difficulty for the human reader (standard-normal scale; higher
+  /// is harder).
+  double human_difficulty = 0.0;
+  /// Latent difficulty for the machine's detection algorithms.
+  double machine_difficulty = 0.0;
+};
+
+}  // namespace hmdiv::sim

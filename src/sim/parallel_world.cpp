@@ -1,0 +1,197 @@
+#include "sim/parallel_world.hpp"
+
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace hmdiv::sim {
+
+ParallelProcedureWorld::ParallelProcedureWorld(CaseGenerator generator,
+                                               CadtModel cadt,
+                                               ReaderModel reader,
+                                               double prompt_attention,
+                                               double within_class_scale)
+    : generator_(std::move(generator)),
+      cadt_(std::move(cadt)),
+      reader_(std::move(reader)),
+      prompt_attention_(prompt_attention),
+      within_class_scale_(within_class_scale) {
+  if (!(prompt_attention_ >= 0.0 && prompt_attention_ <= 1.0)) {
+    throw std::invalid_argument(
+        "ParallelProcedureWorld: prompt_attention outside [0,1]");
+  }
+  if (!(within_class_scale_ >= 0.0 && within_class_scale_ <= 1.0)) {
+    throw std::invalid_argument(
+        "ParallelProcedureWorld: within_class_scale outside [0,1]");
+  }
+}
+
+std::pair<double, double> ParallelProcedureWorld::sample_scaled_difficulties(
+    std::size_t class_index, stats::Rng& rng) const {
+  const CaseClassSpec& spec = generator_.spec(class_index);
+  const auto [human, machine] =
+      generator_.sample_difficulties(class_index, rng);
+  // Shrink the deviation from the class means by the scale factor.
+  return {spec.human_difficulty_mean +
+              within_class_scale_ * (human - spec.human_difficulty_mean),
+          spec.machine_difficulty_mean +
+              within_class_scale_ * (machine - spec.machine_difficulty_mean)};
+}
+
+ParallelProcedureRecord ParallelProcedureWorld::simulate_case(
+    stats::Rng& rng) {
+  ParallelProcedureRecord r;
+  r.class_index = generator_.profile().sample(rng);
+  const auto [human_difficulty, machine_difficulty] =
+      sample_scaled_difficulties(r.class_index, rng);
+
+  // Step 1: unaided examination, full attention (no machine output yet).
+  const bool detected_unaided = rng.bernoulli(
+      reader_.unaided_detection_probability(human_difficulty));
+  r.human_missed = !detected_unaided;
+
+  // Step 2: CADT output reviewed.
+  const bool prompted = rng.bernoulli(
+      cadt_.prompt_probability(machine_difficulty));
+  r.machine_failed = !prompted;
+  const bool recovered_by_prompt =
+      !detected_unaided && prompted && rng.bernoulli(prompt_attention_);
+  r.detected = detected_unaided || recovered_by_prompt;
+
+  // Step 3: classification of whatever was detected.
+  r.misclassified =
+      r.detected && rng.bernoulli(reader_.misclassification_probability(
+                        human_difficulty));
+  r.system_failed = !r.detected || r.misclassified;
+  return r;
+}
+
+std::vector<ParallelProcedureRecord> ParallelProcedureWorld::run(
+    std::uint64_t cases, stats::Rng& rng) {
+  if (cases == 0) {
+    throw std::invalid_argument("ParallelProcedureWorld: cases == 0");
+  }
+  std::vector<ParallelProcedureRecord> out;
+  out.reserve(cases);
+  for (std::uint64_t i = 0; i < cases; ++i) out.push_back(simulate_case(rng));
+  return out;
+}
+
+core::ParallelDetectionModel ParallelProcedureWorld::ground_truth(
+    stats::Rng& rng, std::size_t samples_per_class) const {
+  if (samples_per_class == 0) {
+    throw std::invalid_argument(
+        "ParallelProcedureWorld: samples_per_class == 0");
+  }
+  std::vector<core::ParallelClassConditional> params;
+  params.reserve(class_count());
+  for (std::size_t x = 0; x < class_count(); ++x) {
+    stats::KahanAccumulator machine_miss, human_miss;
+    stats::KahanAccumulator detected_mass, misclass_mass;
+    for (std::size_t i = 0; i < samples_per_class; ++i) {
+      const auto [human, machine] = sample_scaled_difficulties(x, rng);
+      const double p_unaided = reader_.unaided_detection_probability(human);
+      const double p_prompt = cadt_.prompt_probability(machine);
+      machine_miss.add(1.0 - p_prompt);
+      human_miss.add(1.0 - p_unaided);
+      const double p_detected =
+          p_unaided + (1.0 - p_unaided) * p_prompt * prompt_attention_;
+      detected_mass.add(p_detected);
+      misclass_mass.add(p_detected *
+                        reader_.misclassification_probability(human));
+    }
+    core::ParallelClassConditional c;
+    const double n = static_cast<double>(samples_per_class);
+    c.p_machine_misses = machine_miss.total() / n;
+    c.p_human_misses = human_miss.total() / n;
+    c.p_human_misclassifies = detected_mass.total() > 0.0
+                                  ? misclass_mass.total() /
+                                        detected_mass.total()
+                                  : 0.0;
+    params.push_back(c);
+  }
+  return core::ParallelDetectionModel(class_names(), std::move(params));
+}
+
+double ParallelProcedureWorld::exact_system_failure(
+    stats::Rng& rng, std::size_t samples_per_class) const {
+  if (samples_per_class == 0) {
+    throw std::invalid_argument(
+        "ParallelProcedureWorld: samples_per_class == 0");
+  }
+  double total = 0.0;
+  for (std::size_t x = 0; x < class_count(); ++x) {
+    stats::KahanAccumulator failure;
+    for (std::size_t i = 0; i < samples_per_class; ++i) {
+      const auto [human, machine] = sample_scaled_difficulties(x, rng);
+      const double p_unaided = reader_.unaided_detection_probability(human);
+      const double p_prompt = cadt_.prompt_probability(machine);
+      const double p_detected =
+          p_unaided + (1.0 - p_unaided) * p_prompt * prompt_attention_;
+      const double p_misclass =
+          reader_.misclassification_probability(human);
+      failure.add((1.0 - p_detected) + p_detected * p_misclass);
+    }
+    total += generator_.profile()[x] * failure.total() /
+             static_cast<double>(samples_per_class);
+  }
+  return total;
+}
+
+ParallelEstimate estimate_parallel_model(
+    const std::vector<ParallelProcedureRecord>& records,
+    const std::vector<std::string>& class_names) {
+  const std::size_t k = class_names.size();
+  if (k == 0) {
+    throw std::invalid_argument("estimate_parallel_model: no classes");
+  }
+  struct Counts {
+    std::uint64_t cases = 0, machine_missed = 0, human_missed = 0;
+    std::uint64_t detected = 0, misclassified = 0;
+    std::uint64_t system_failed = 0;
+  };
+  std::vector<Counts> counts(k);
+  std::uint64_t failures = 0;
+  for (const auto& r : records) {
+    if (r.class_index >= k) {
+      throw std::invalid_argument(
+          "estimate_parallel_model: record class out of range");
+    }
+    Counts& c = counts[r.class_index];
+    ++c.cases;
+    c.machine_missed += r.machine_failed ? 1 : 0;
+    c.human_missed += r.human_missed ? 1 : 0;
+    c.detected += r.detected ? 1 : 0;
+    c.misclassified += r.misclassified ? 1 : 0;
+    failures += r.system_failed ? 1 : 0;
+  }
+  ParallelEstimate out;
+  out.class_names = class_names;
+  out.classes.resize(k);
+  for (std::size_t x = 0; x < k; ++x) {
+    const Counts& c = counts[x];
+    if (c.cases == 0) {
+      throw std::invalid_argument("estimate_parallel_model: class '" +
+                                  class_names[x] + "' has no cases");
+    }
+    if (c.detected == 0) {
+      throw std::invalid_argument(
+          "estimate_parallel_model: class '" + class_names[x] +
+          "' has no detected cases; pHmisclass is unidentifiable");
+    }
+    out.classes[x].p_machine_misses =
+        static_cast<double>(c.machine_missed) / static_cast<double>(c.cases);
+    out.classes[x].p_human_misses =
+        static_cast<double>(c.human_missed) / static_cast<double>(c.cases);
+    out.classes[x].p_human_misclassifies =
+        static_cast<double>(c.misclassified) /
+        static_cast<double>(c.detected);
+  }
+  out.observed_system_failure =
+      records.empty() ? 0.0
+                      : static_cast<double>(failures) /
+                            static_cast<double>(records.size());
+  return out;
+}
+
+}  // namespace hmdiv::sim

@@ -1,0 +1,93 @@
+#include "sim/reader_panel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hmdiv::sim {
+
+ReaderPanel::ReaderPanel(std::vector<ReaderModel> readers)
+    : readers_(std::move(readers)) {
+  if (readers_.empty()) {
+    throw std::invalid_argument("ReaderPanel: empty panel");
+  }
+}
+
+ReaderPanel ReaderPanel::sample(const ReaderModel::Config& base,
+                                std::size_t count, double skill_sigma,
+                                stats::Rng& rng) {
+  if (count == 0) throw std::invalid_argument("ReaderPanel: count == 0");
+  if (skill_sigma < 0.0) {
+    throw std::invalid_argument("ReaderPanel: skill_sigma < 0");
+  }
+  std::vector<ReaderModel> readers;
+  readers.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ReaderModel::Config config = base;
+    config.skill = std::max(0.05, rng.normal(base.skill, skill_sigma));
+    readers.emplace_back(config);
+  }
+  return ReaderPanel(std::move(readers));
+}
+
+const ReaderModel& ReaderPanel::reader(std::size_t i) const {
+  if (i >= readers_.size()) {
+    throw std::invalid_argument("ReaderPanel: reader index out of range");
+  }
+  return readers_[i];
+}
+
+std::vector<PanelRecord> run_panel_trial(CaseGenerator generator,
+                                         const CadtModel& cadt,
+                                         const ReaderPanel& panel,
+                                         std::uint64_t cases,
+                                         stats::Rng& rng) {
+  if (cases == 0) throw std::invalid_argument("run_panel_trial: cases == 0");
+  std::vector<PanelRecord> out;
+  out.reserve(cases);
+  for (std::uint64_t i = 0; i < cases; ++i) {
+    const Case demand = generator.generate(rng);
+    const bool prompted = cadt.prompts(demand, rng);
+    const std::size_t reader_index =
+        static_cast<std::size_t>(rng.uniform_index(panel.size()));
+    const bool failed = rng.bernoulli(panel.reader(reader_index)
+                                          .failure_probability(
+                                              demand.human_difficulty,
+                                              prompted));
+    out.push_back(PanelRecord{demand.class_index, reader_index, !prompted,
+                              failed});
+  }
+  return out;
+}
+
+PanelAnalysis analyse_panel(const std::vector<PanelRecord>& records,
+                            std::size_t panel_size) {
+  if (panel_size == 0) {
+    throw std::invalid_argument("analyse_panel: panel_size == 0");
+  }
+  PanelAnalysis out;
+  out.per_reader.assign(panel_size, {});
+  for (const auto& r : records) {
+    if (r.reader_index >= panel_size) {
+      throw std::invalid_argument("analyse_panel: reader index out of range");
+    }
+    ++out.per_reader[r.reader_index].trials;
+    out.per_reader[r.reader_index].failures += r.human_failed ? 1 : 0;
+  }
+  out.failure_rates.reserve(panel_size);
+  for (const auto& o : out.per_reader) {
+    if (o.trials == 0) {
+      throw std::invalid_argument(
+          "analyse_panel: a panel member saw no cases — enlarge the trial");
+    }
+    out.failure_rates.push_back(static_cast<double>(o.failures) /
+                                static_cast<double>(o.trials));
+  }
+  out.fit = stats::fit_beta_binomial_mle(out.per_reader);
+  const auto [lo, hi] =
+      std::minmax_element(out.failure_rates.begin(), out.failure_rates.end());
+  out.lowest_rate = *lo;
+  out.highest_rate = *hi;
+  return out;
+}
+
+}  // namespace hmdiv::sim

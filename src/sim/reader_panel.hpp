@@ -1,0 +1,75 @@
+// Panels of readers with varying ability (Section 5, item 2).
+//
+// Real trials use several readers whose skills differ; the paper notes the
+// trial data "can indicate the range of these abilities, show whether there
+// are strong discrepancies between humans, and if these affect different
+// categories of demands differently". This module simulates a panel trial
+// (each case read by one randomly assigned panel member, as in typical
+// multi-reader studies) and provides the analysis: per-reader failure
+// counts, a beta-binomial over-dispersion fit (rho > 0 means true
+// reader-to-reader variation beyond sampling noise), and per-class
+// per-reader breakdowns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cadt.hpp"
+#include "sim/case_generator.hpp"
+#include "sim/reader.hpp"
+#include "stats/beta_binomial.hpp"
+#include "stats/rng.hpp"
+
+namespace hmdiv::sim {
+
+/// A fixed panel of readers.
+class ReaderPanel {
+ public:
+  explicit ReaderPanel(std::vector<ReaderModel> readers);
+
+  /// Samples `count` readers around `base`: each gets
+  /// skill ~ Normal(base.skill, skill_sigma), clamped above 0.05.
+  [[nodiscard]] static ReaderPanel sample(const ReaderModel::Config& base,
+                                          std::size_t count,
+                                          double skill_sigma, stats::Rng& rng);
+
+  [[nodiscard]] std::size_t size() const { return readers_.size(); }
+  [[nodiscard]] const ReaderModel& reader(std::size_t i) const;
+
+ private:
+  std::vector<ReaderModel> readers_;
+};
+
+/// One panel-trial observation.
+struct PanelRecord {
+  std::size_t class_index = 0;
+  std::size_t reader_index = 0;
+  bool machine_failed = false;
+  bool human_failed = false;
+};
+
+/// Runs a panel trial: for each case, a reader is drawn uniformly from the
+/// panel, the CADT processes the case, the reader decides.
+[[nodiscard]] std::vector<PanelRecord> run_panel_trial(
+    CaseGenerator generator, const CadtModel& cadt, const ReaderPanel& panel,
+    std::uint64_t cases, stats::Rng& rng);
+
+/// Panel variability analysis.
+struct PanelAnalysis {
+  /// failures/cases per reader (all classes pooled).
+  std::vector<stats::CountObservation> per_reader;
+  /// Observed per-reader failure rates, same order.
+  std::vector<double> failure_rates;
+  /// Beta-binomial MLE over per_reader: rho() is the heterogeneity index.
+  stats::BetaBinomialFit fit;
+  /// min/max observed per-reader failure rate (the paper's "range of
+  /// abilities").
+  double lowest_rate = 0.0;
+  double highest_rate = 0.0;
+};
+
+/// Computes the analysis; throws if any reader saw no cases.
+[[nodiscard]] PanelAnalysis analyse_panel(
+    const std::vector<PanelRecord>& records, std::size_t panel_size);
+
+}  // namespace hmdiv::sim

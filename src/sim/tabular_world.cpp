@@ -1,0 +1,33 @@
+#include "sim/tabular_world.hpp"
+
+#include <stdexcept>
+
+namespace hmdiv::sim {
+
+TabularWorld::TabularWorld(core::SequentialModel model,
+                           core::DemandProfile profile)
+    : model_(std::move(model)), profile_(std::move(profile)) {
+  if (!model_.compatible_with(profile_)) {
+    throw std::invalid_argument(
+        "TabularWorld: profile classes do not match model classes");
+  }
+}
+
+CaseRecord TabularWorld::simulate_case(stats::Rng& rng) {
+  CaseRecord r;
+  r.class_index = profile_.sample(rng);
+  const core::ClassConditional& c = model_.parameters(r.class_index);
+  r.machine_failed = rng.bernoulli(c.p_machine_fails);
+  r.human_failed = rng.bernoulli(
+      r.machine_failed ? c.p_human_fails_given_machine_fails
+                       : c.p_human_fails_given_machine_succeeds);
+  return r;
+}
+
+std::size_t TabularWorld::class_count() const { return model_.class_count(); }
+
+const std::vector<std::string>& TabularWorld::class_names() const {
+  return model_.class_names();
+}
+
+}  // namespace hmdiv::sim

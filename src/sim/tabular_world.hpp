@@ -1,0 +1,33 @@
+// A world that *is* a sequential model: demands are drawn from a profile,
+// the machine fails with PMf(x), and the human fails with the appropriate
+// conditional probability. Its ground truth is the model itself, exactly —
+// so it validates Eq. (8) by Monte Carlo, and gives the trial estimator a
+// known target (the Table-1 bench re-estimates the paper's parameters from
+// a simulated trial on this world).
+#pragma once
+
+#include "core/demand_profile.hpp"
+#include "core/sequential_model.hpp"
+#include "sim/trial.hpp"
+
+namespace hmdiv::sim {
+
+class TabularWorld final : public World {
+ public:
+  /// `model` supplies the conditional probabilities; `profile` the demand
+  /// mix. Classes must match.
+  TabularWorld(core::SequentialModel model, core::DemandProfile profile);
+
+  [[nodiscard]] CaseRecord simulate_case(stats::Rng& rng) override;
+  [[nodiscard]] std::size_t class_count() const override;
+  [[nodiscard]] const std::vector<std::string>& class_names() const override;
+
+  [[nodiscard]] const core::SequentialModel& model() const { return model_; }
+  [[nodiscard]] const core::DemandProfile& profile() const { return profile_; }
+
+ private:
+  core::SequentialModel model_;
+  core::DemandProfile profile_;
+};
+
+}  // namespace hmdiv::sim

@@ -1,0 +1,49 @@
+#include "sim/trial.hpp"
+
+#include <stdexcept>
+
+namespace hmdiv::sim {
+
+double TrialData::observed_failure_rate() const {
+  if (records.empty()) return 0.0;
+  std::size_t failures = 0;
+  for (const auto& r : records) failures += r.human_failed ? 1 : 0;
+  return static_cast<double>(failures) / static_cast<double>(records.size());
+}
+
+double TrialData::observed_machine_failure_rate() const {
+  if (records.empty()) return 0.0;
+  std::size_t failures = 0;
+  for (const auto& r : records) failures += r.machine_failed ? 1 : 0;
+  return static_cast<double>(failures) / static_cast<double>(records.size());
+}
+
+std::vector<std::uint64_t> TrialData::class_histogram() const {
+  std::vector<std::uint64_t> counts(class_names.size(), 0);
+  for (const auto& r : records) {
+    if (r.class_index >= counts.size()) {
+      throw std::logic_error("TrialData: record class out of range");
+    }
+    ++counts[r.class_index];
+  }
+  return counts;
+}
+
+TrialRunner::TrialRunner(World& world, std::uint64_t case_count)
+    : world_(world), case_count_(case_count) {
+  if (case_count_ == 0) {
+    throw std::invalid_argument("TrialRunner: case_count == 0");
+  }
+}
+
+TrialData TrialRunner::run(stats::Rng& rng) {
+  TrialData data;
+  data.class_names = world_.class_names();
+  data.records.reserve(case_count_);
+  for (std::uint64_t i = 0; i < case_count_; ++i) {
+    data.records.push_back(world_.simulate_case(rng));
+  }
+  return data;
+}
+
+}  // namespace hmdiv::sim

@@ -1,0 +1,70 @@
+// Trial protocol and data collection.
+//
+// A `World` is anything that can simulate the composite human-machine
+// system on one demand and report the observable outcome: which class the
+// case belonged to, whether the machine failed (no prompt on a cancer) and
+// whether the human — hence the system — failed (no recall). A controlled
+// trial (`TrialRunner`) presents `case_count` demands drawn from the
+// trial's (enriched) profile and records per-case outcomes; the estimator
+// (estimation.hpp) then fits the paper's model parameters from the records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/demand_profile.hpp"
+#include "stats/rng.hpp"
+
+namespace hmdiv::sim {
+
+/// The observable outcome of one demand.
+struct CaseRecord {
+  std::size_t class_index = 0;
+  bool machine_failed = false;
+  bool human_failed = false;
+};
+
+/// Interface: a simulatable composite human-machine system.
+class World {
+ public:
+  virtual ~World() = default;
+
+  /// Simulates one demand end-to-end.
+  [[nodiscard]] virtual CaseRecord simulate_case(stats::Rng& rng) = 0;
+
+  /// Number of demand classes the world can emit.
+  [[nodiscard]] virtual std::size_t class_count() const = 0;
+
+  /// Class names, aligned with CaseRecord::class_index.
+  [[nodiscard]] virtual const std::vector<std::string>& class_names()
+      const = 0;
+};
+
+/// Collected trial data.
+struct TrialData {
+  std::vector<std::string> class_names;
+  std::vector<CaseRecord> records;
+
+  /// Observed fraction of system failures.
+  [[nodiscard]] double observed_failure_rate() const;
+  /// Observed fraction of machine failures.
+  [[nodiscard]] double observed_machine_failure_rate() const;
+  /// Observed class counts (length = class_names.size()).
+  [[nodiscard]] std::vector<std::uint64_t> class_histogram() const;
+};
+
+/// Runs a fixed-size trial against a world.
+class TrialRunner {
+ public:
+  /// `case_count` demands; the world defines the demand profile.
+  TrialRunner(World& world, std::uint64_t case_count);
+
+  /// Runs the whole trial; deterministic in `rng`.
+  [[nodiscard]] TrialData run(stats::Rng& rng);
+
+ private:
+  World& world_;
+  std::uint64_t case_count_;
+};
+
+}  // namespace hmdiv::sim

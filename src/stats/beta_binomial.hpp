@@ -1,0 +1,45 @@
+// Beta–binomial modelling of over-dispersed failure counts.
+//
+// The paper stresses (Section 5, item 2) that readers "have varying levels
+// of ability" — per-reader failure probabilities are not a single p but a
+// distribution. A beta–binomial fit over per-reader failure counts exposes
+// that heterogeneity: rho > 0 means genuine reader-to-reader variation
+// beyond binomial sampling noise.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hmdiv::stats {
+
+/// A group's observations: `failures` out of `trials` for one reader.
+struct CountObservation {
+  std::uint64_t failures = 0;
+  std::uint64_t trials = 0;
+};
+
+/// Fitted beta-binomial parameters.
+struct BetaBinomialFit {
+  double alpha = 1.0;
+  double beta = 1.0;
+  /// Mean failure probability alpha / (alpha + beta).
+  [[nodiscard]] double mean() const { return alpha / (alpha + beta); }
+  /// Intra-class (over-dispersion) correlation 1 / (alpha + beta + 1);
+  /// 0 => plain binomial, larger => more reader heterogeneity.
+  [[nodiscard]] double rho() const { return 1.0 / (alpha + beta + 1.0); }
+};
+
+/// Log-likelihood of the observations under BetaBinomial(alpha, beta).
+[[nodiscard]] double beta_binomial_log_likelihood(
+    std::span<const CountObservation> observations, double alpha, double beta);
+
+/// Method-of-moments fit; falls back to a near-binomial fit when the data
+/// show no over-dispersion. Throws on empty input or all-zero trials.
+[[nodiscard]] BetaBinomialFit fit_beta_binomial_moments(
+    std::span<const CountObservation> observations);
+
+/// Maximum-likelihood fit: coordinate search refining the moments fit.
+[[nodiscard]] BetaBinomialFit fit_beta_binomial_mle(
+    std::span<const CountObservation> observations);
+
+}  // namespace hmdiv::stats

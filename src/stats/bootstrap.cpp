@@ -1,0 +1,82 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace hmdiv::stats {
+
+namespace {
+
+BootstrapResult summarise(double estimate, std::vector<double> replicates,
+                          double confidence) {
+  std::sort(replicates.begin(), replicates.end());
+  const double alpha = 1.0 - confidence;
+  BootstrapResult out;
+  out.estimate = estimate;
+  out.lower = sorted_quantile(replicates, alpha / 2.0);
+  out.upper = sorted_quantile(replicates, 1.0 - alpha / 2.0);
+  OnlineStats stats;
+  for (const double r : replicates) stats.add(r);
+  out.standard_error = stats.stddev();
+  return out;
+}
+
+void check_args(std::size_t sample_size, std::size_t replicates,
+                double confidence) {
+  if (sample_size == 0) throw std::invalid_argument("bootstrap: empty sample");
+  if (replicates == 0) {
+    throw std::invalid_argument("bootstrap: replicates == 0");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("bootstrap: confidence outside (0,1)");
+  }
+}
+
+}  // namespace
+
+BootstrapResult bootstrap_percentile(std::span<const double> sample,
+                                     const Statistic& statistic, Rng& rng,
+                                     std::size_t replicates,
+                                     double confidence) {
+  check_args(sample.size(), replicates, confidence);
+  const double estimate = statistic(sample);
+  std::vector<double> resample(sample.size());
+  std::vector<double> values;
+  values.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (double& v : resample) {
+      v = sample[static_cast<std::size_t>(rng.uniform_index(sample.size()))];
+    }
+    values.push_back(statistic(resample));
+  }
+  return summarise(estimate, std::move(values), confidence);
+}
+
+BootstrapResult bootstrap_paired(std::span<const double> x,
+                                 std::span<const double> y,
+                                 const PairedStatistic& statistic, Rng& rng,
+                                 std::size_t replicates, double confidence) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("bootstrap_paired: size mismatch");
+  }
+  check_args(x.size(), replicates, confidence);
+  const double estimate = statistic(x, y);
+  std::vector<double> rx(x.size()), ry(y.size());
+  std::vector<double> values;
+  values.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const auto j = static_cast<std::size_t>(rng.uniform_index(x.size()));
+      rx[i] = x[j];
+      ry[i] = y[j];
+    }
+    values.push_back(statistic(rx, ry));
+  }
+  return summarise(estimate, std::move(values), confidence);
+}
+
+}  // namespace hmdiv::stats

@@ -1,0 +1,43 @@
+// Nonparametric bootstrap for statistics of i.i.d. samples, used to put
+// intervals on derived quantities (e.g. the importance index t(x) or the
+// covariance term of Eq. (10)) for which no closed-form interval exists.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace hmdiv::stats {
+
+class Rng;
+
+/// Result of a bootstrap run: point estimate on the original sample plus a
+/// percentile interval of the resampled statistic.
+struct BootstrapResult {
+  double estimate = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  /// Bootstrap standard error (stddev of the resampled statistic).
+  double standard_error = 0.0;
+};
+
+/// A statistic maps a sample (span of doubles) to a scalar.
+using Statistic = std::function<double(std::span<const double>)>;
+
+/// Percentile bootstrap with `replicates` resamples at level `confidence`.
+/// Throws if the sample is empty or replicates == 0.
+[[nodiscard]] BootstrapResult bootstrap_percentile(
+    std::span<const double> sample, const Statistic& statistic, Rng& rng,
+    std::size_t replicates = 2000, double confidence = 0.95);
+
+/// Paired bootstrap for statistics of two aligned samples (x_i, y_i), e.g.
+/// a correlation. The pairs are resampled jointly.
+using PairedStatistic =
+    std::function<double(std::span<const double>, std::span<const double>)>;
+
+[[nodiscard]] BootstrapResult bootstrap_paired(
+    std::span<const double> x, std::span<const double> y,
+    const PairedStatistic& statistic, Rng& rng, std::size_t replicates = 2000,
+    double confidence = 0.95);
+
+}  // namespace hmdiv::stats

@@ -1,0 +1,136 @@
+#include "stats/hypothesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/special.hpp"
+
+namespace hmdiv::stats {
+
+TestResult two_proportion_z_test(std::uint64_t successes1,
+                                 std::uint64_t trials1,
+                                 std::uint64_t successes2,
+                                 std::uint64_t trials2) {
+  if (trials1 == 0 || trials2 == 0) {
+    throw std::invalid_argument("two_proportion_z_test: zero trials");
+  }
+  if (successes1 > trials1 || successes2 > trials2) {
+    throw std::invalid_argument("two_proportion_z_test: successes > trials");
+  }
+  const double n1 = static_cast<double>(trials1);
+  const double n2 = static_cast<double>(trials2);
+  const double p1 = static_cast<double>(successes1) / n1;
+  const double p2 = static_cast<double>(successes2) / n2;
+  const double pooled =
+      static_cast<double>(successes1 + successes2) / (n1 + n2);
+  const double se = std::sqrt(pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2));
+  TestResult out;
+  if (se == 0.0) {
+    out.statistic = 0.0;
+    out.p_value = 1.0;
+    return out;
+  }
+  out.statistic = (p1 - p2) / se;
+  out.p_value = 2.0 * (1.0 - normal_cdf(std::fabs(out.statistic)));
+  return out;
+}
+
+double chi_square_sf(double x, double dof) {
+  if (dof <= 0.0) throw std::invalid_argument("chi_square_sf: dof <= 0");
+  if (x <= 0.0) return 1.0;
+  return 1.0 - regularized_lower_incomplete_gamma(dof / 2.0, x / 2.0);
+}
+
+TestResult chi_square_goodness_of_fit(
+    std::span<const std::uint64_t> observed,
+    std::span<const double> expected_probabilities) {
+  if (observed.size() != expected_probabilities.size()) {
+    throw std::invalid_argument("chi_square_goodness_of_fit: size mismatch");
+  }
+  if (observed.size() < 2) {
+    throw std::invalid_argument(
+        "chi_square_goodness_of_fit: need at least two cells");
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t o : observed) total += o;
+  if (total == 0) {
+    throw std::invalid_argument("chi_square_goodness_of_fit: empty sample");
+  }
+  double statistic = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expected =
+        expected_probabilities[i] * static_cast<double>(total);
+    if (expected <= 0.0) {
+      throw std::invalid_argument(
+          "chi_square_goodness_of_fit: expected count <= 0");
+    }
+    const double diff = static_cast<double>(observed[i]) - expected;
+    statistic += diff * diff / expected;
+  }
+  TestResult out;
+  out.statistic = statistic;
+  out.p_value =
+      chi_square_sf(statistic, static_cast<double>(observed.size() - 1));
+  return out;
+}
+
+TestResult kolmogorov_smirnov_test(std::span<const double> sample,
+                                   const std::function<double(double)>& cdf) {
+  if (sample.empty()) {
+    throw std::invalid_argument("kolmogorov_smirnov_test: empty sample");
+  }
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = cdf(sorted[i]);
+    if (!(f >= 0.0 && f <= 1.0)) {
+      throw std::invalid_argument(
+          "kolmogorov_smirnov_test: reference CDF left [0,1]");
+    }
+    const double upper = static_cast<double>(i + 1) / n - f;
+    const double lower = f - static_cast<double>(i) / n;
+    d = std::max({d, upper, lower});
+  }
+  TestResult out;
+  out.statistic = d;
+  // Stephens' effective statistic, then the Kolmogorov series.
+  const double lambda = (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * d;
+  double p = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = 2.0 * std::pow(-1.0, k - 1) *
+                        std::exp(-2.0 * k * k * lambda * lambda);
+    p += term;
+    if (std::fabs(term) < 1e-12) break;
+  }
+  out.p_value = std::clamp(p, 0.0, 1.0);
+  return out;
+}
+
+TestResult chi_square_independence_2x2(std::uint64_t a, std::uint64_t b,
+                                       std::uint64_t c, std::uint64_t d) {
+  const double da = static_cast<double>(a), db = static_cast<double>(b);
+  const double dc = static_cast<double>(c), dd = static_cast<double>(d);
+  const double n = da + db + dc + dd;
+  if (n == 0.0) {
+    throw std::invalid_argument("chi_square_independence_2x2: empty table");
+  }
+  const double row1 = da + db, row2 = dc + dd;
+  const double col1 = da + dc, col2 = db + dd;
+  TestResult out;
+  if (row1 == 0.0 || row2 == 0.0 || col1 == 0.0 || col2 == 0.0) {
+    // A degenerate margin carries no information about association.
+    out.statistic = 0.0;
+    out.p_value = 1.0;
+    return out;
+  }
+  const double det = da * dd - db * dc;
+  out.statistic = n * det * det / (row1 * row2 * col1 * col2);
+  out.p_value = chi_square_sf(out.statistic, 1.0);
+  return out;
+}
+
+}  // namespace hmdiv::stats

@@ -1,0 +1,52 @@
+// Basic hypothesis tests used to analyse trial output: two-proportion z-test
+// (does the CADT change reader failure rate on a class?), chi-square
+// goodness-of-fit (does the simulated demand stream match its profile?), and
+// a 2x2 independence test (are human and machine failures associated?).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace hmdiv::stats {
+
+/// Outcome of a test: the statistic and its (two-sided unless noted) p-value.
+struct TestResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+};
+
+/// Two-sided two-proportion z-test with pooled variance.
+/// Compares successes1/trials1 against successes2/trials2.
+[[nodiscard]] TestResult two_proportion_z_test(std::uint64_t successes1,
+                                               std::uint64_t trials1,
+                                               std::uint64_t successes2,
+                                               std::uint64_t trials2);
+
+/// Chi-square goodness-of-fit of observed counts against expected
+/// probabilities (must sum to ~1; same length; expected count per cell > 0).
+[[nodiscard]] TestResult chi_square_goodness_of_fit(
+    std::span<const std::uint64_t> observed,
+    std::span<const double> expected_probabilities);
+
+/// Chi-square test of independence for a 2x2 contingency table
+/// [[a, b], [c, d]] (no continuity correction). A small p-value indicates
+/// the row and column events are associated — e.g. human failures cluster
+/// on machine failures.
+[[nodiscard]] TestResult chi_square_independence_2x2(std::uint64_t a,
+                                                     std::uint64_t b,
+                                                     std::uint64_t c,
+                                                     std::uint64_t d);
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom: P(X >= x).
+[[nodiscard]] double chi_square_sf(double x, double dof);
+
+/// One-sample Kolmogorov–Smirnov test of `sample` against a continuous
+/// reference CDF. statistic = sup |F_n − F|; p-value from the asymptotic
+/// Kolmogorov distribution with the Stephens small-sample correction.
+/// Used to validate simulated difficulty distributions against their specs.
+[[nodiscard]] TestResult kolmogorov_smirnov_test(
+    std::span<const double> sample, const std::function<double(double)>& cdf);
+
+}  // namespace hmdiv::stats

@@ -1,0 +1,157 @@
+#include "stats/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hmdiv::stats {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  // xoshiro must not start from the all-zero state; SplitMix64 cannot emit
+  // four consecutive zeros, but guard anyway for clarity.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  if (!(lo <= hi)) throw std::invalid_argument("Rng::uniform: lo > hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::uniform_index: bound == 0");
+  // Rejection sampling over the largest multiple of `bound` <= 2^64.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double sigma) {
+  if (sigma < 0.0) throw std::invalid_argument("Rng::normal: sigma < 0");
+  return mean + sigma * normal();
+}
+
+double Rng::gamma(double shape) {
+  if (shape <= 0.0) throw std::invalid_argument("Rng::gamma: shape <= 0");
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia–Tsang note).
+    const double u = uniform();
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+double Rng::beta(double a, double b) {
+  if (a <= 0.0 || b <= 0.0) throw std::invalid_argument("Rng::beta: a,b <= 0");
+  const double x = gamma(a);
+  const double y = gamma(b);
+  return x / (x + y);
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("Rng::binomial: p outside [0,1]");
+  std::uint64_t successes = 0;
+  for (std::uint64_t i = 0; i < n; ++i) successes += bernoulli(p) ? 1 : 0;
+  return successes;
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("Rng::discrete: weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("Rng::discrete: all weights are zero");
+  }
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // Numerical edge: land on the last bucket.
+}
+
+Rng Rng::split(std::uint64_t stream_id) const noexcept {
+  // Key the child stream on the parent's full state plus the stream id.
+  std::uint64_t mix = stream_id ^ 0xA5A5A5A55A5A5A5AULL;
+  for (const std::uint64_t word : state_) mix ^= splitmix64(mix) + word;
+  return Rng(mix);
+}
+
+}  // namespace hmdiv::stats

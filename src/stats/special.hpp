@@ -1,0 +1,31 @@
+// Special functions needed by the statistics layer: regularized incomplete
+// beta and gamma functions, the standard normal CDF and quantile, and log
+// binomial coefficients. Implementations follow the classic Numerical
+// Recipes continued-fraction / series forms with double precision tolerances.
+#pragma once
+
+namespace hmdiv::stats {
+
+/// log(n choose k) for 0 <= k <= n, via lgamma.
+[[nodiscard]] double log_binomial_coefficient(unsigned long long n,
+                                              unsigned long long k);
+
+/// Regularized incomplete beta function I_x(a, b) for a,b > 0, x in [0,1].
+[[nodiscard]] double regularized_incomplete_beta(double a, double b, double x);
+
+/// Inverse of I_x(a,b) in x (quantile of the Beta(a,b) distribution),
+/// for p in [0,1]. Bisection refined by Newton steps; accurate to ~1e-12.
+[[nodiscard]] double inverse_regularized_incomplete_beta(double a, double b,
+                                                         double p);
+
+/// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+[[nodiscard]] double regularized_lower_incomplete_gamma(double a, double x);
+
+/// Standard normal cumulative distribution function.
+[[nodiscard]] double normal_cdf(double z);
+
+/// Standard normal quantile (inverse CDF) for p in (0,1).
+/// Acklam's rational approximation refined by one Halley step; |err| < 1e-12.
+[[nodiscard]] double normal_quantile(double p);
+
+}  // namespace hmdiv::stats

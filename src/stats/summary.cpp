@@ -1,0 +1,161 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hmdiv::stats {
+
+void KahanAccumulator::add(double value) noexcept {
+  const double t = sum_ + value;
+  if (std::fabs(sum_) >= std::fabs(value)) {
+    compensation_ += (sum_ - t) + value;
+  } else {
+    compensation_ += (value - t) + sum_;
+  }
+  sum_ = t;
+}
+
+void OnlineStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double OnlineStats::mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::min() const noexcept { return min_; }
+double OnlineStats::max() const noexcept { return max_; }
+
+double mean(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("mean: empty input");
+  KahanAccumulator acc;
+  for (const double v : values) acc.add(v);
+  return acc.total() / static_cast<double>(values.size());
+}
+
+double sample_variance(std::span<const double> values) {
+  if (values.size() < 2) {
+    throw std::invalid_argument("sample_variance: need at least two values");
+  }
+  const double m = mean(values);
+  KahanAccumulator acc;
+  for (const double v : values) acc.add((v - m) * (v - m));
+  return acc.total() / static_cast<double>(values.size() - 1);
+}
+
+namespace {
+
+void check_weights(std::span<const double> values,
+                   std::span<const double> weights, const char* who) {
+  if (values.size() != weights.size()) {
+    throw std::invalid_argument(std::string(who) + ": size mismatch");
+  }
+  if (values.empty()) {
+    throw std::invalid_argument(std::string(who) + ": empty input");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument(std::string(who) + ": all weights are zero");
+  }
+}
+
+double weight_total(std::span<const double> weights) {
+  KahanAccumulator acc;
+  for (const double w : weights) acc.add(w);
+  return acc.total();
+}
+
+}  // namespace
+
+double weighted_mean(std::span<const double> values,
+                     std::span<const double> weights) {
+  check_weights(values, weights, "weighted_mean");
+  KahanAccumulator acc;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    acc.add(weights[i] * values[i]);
+  }
+  return acc.total() / weight_total(weights);
+}
+
+double weighted_covariance(std::span<const double> x,
+                           std::span<const double> y,
+                           std::span<const double> weights) {
+  check_weights(x, weights, "weighted_covariance");
+  if (y.size() != x.size()) {
+    throw std::invalid_argument("weighted_covariance: size mismatch");
+  }
+  const double mx = weighted_mean(x, weights);
+  const double my = weighted_mean(y, weights);
+  KahanAccumulator acc;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc.add(weights[i] * (x[i] - mx) * (y[i] - my));
+  }
+  return acc.total() / weight_total(weights);
+}
+
+double weighted_correlation(std::span<const double> x,
+                            std::span<const double> y,
+                            std::span<const double> weights) {
+  const double cxy = weighted_covariance(x, y, weights);
+  const double vx = weighted_covariance(x, x, weights);
+  const double vy = weighted_covariance(y, y, weights);
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cxy / std::sqrt(vx * vy);
+}
+
+double correlation(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("correlation: size mismatch");
+  }
+  const std::vector<double> w(x.size(), 1.0);
+  return weighted_correlation(x, y, w);
+}
+
+double sorted_quantile(std::span<const double> sorted, double q) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("sorted_quantile: empty input");
+  }
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("sorted_quantile: q outside [0,1]");
+  }
+  const double position = q * static_cast<double>(sorted.size() - 1);
+  const auto below = static_cast<std::size_t>(position);
+  const std::size_t above = std::min(below + 1, sorted.size() - 1);
+  const double fraction = position - static_cast<double>(below);
+  return sorted[below] * (1.0 - fraction) + sorted[above] * fraction;
+}
+
+std::vector<double> quantiles(std::span<const double> values,
+                              std::span<const double> qs) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) out.push_back(sorted_quantile(sorted, q));
+  return out;
+}
+
+}  // namespace hmdiv::stats

@@ -1,0 +1,85 @@
+// Summary statistics: compensated summation, streaming moments (Welford),
+// and weighted means / covariances / correlations.
+//
+// The covariance helpers are central to the paper: Eq. (3) uses
+// cov(pMf, pHmiss) over the demand profile, and Eq. (10) uses
+// cov_x(PMf(x), t(x)). Weighted versions take the demand profile p(x) as
+// the weight vector.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hmdiv::stats {
+
+/// Kahan–Babuška compensated accumulator for long sums of small terms.
+class KahanAccumulator {
+ public:
+  void add(double value) noexcept;
+  [[nodiscard]] double total() const noexcept { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// Streaming mean / variance / extrema (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; throws on empty input.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Unbiased sample variance; throws if fewer than two values.
+[[nodiscard]] double sample_variance(std::span<const double> values);
+
+/// Weighted mean sum(w_i x_i) / sum(w_i); weights must be non-negative and
+/// not all zero.
+[[nodiscard]] double weighted_mean(std::span<const double> values,
+                                   std::span<const double> weights);
+
+/// Population covariance under the probability weights `weights`
+/// (normalised internally): E[xy] - E[x]E[y]. This is exactly the
+/// cov_x(.,.) of the paper's Eqs. (3) and (10), with weights = demand
+/// profile p(x).
+[[nodiscard]] double weighted_covariance(std::span<const double> x,
+                                         std::span<const double> y,
+                                         std::span<const double> weights);
+
+/// Weighted Pearson correlation; returns 0 when either variable is constant.
+[[nodiscard]] double weighted_correlation(std::span<const double> x,
+                                          std::span<const double> y,
+                                          std::span<const double> weights);
+
+/// Unweighted sample Pearson correlation; returns 0 for constant inputs.
+[[nodiscard]] double correlation(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Quantile of an ascending-sorted sample with linear interpolation between
+/// order statistics (type-7, the R/NumPy default). q in [0,1]; throws on
+/// empty input, unsorted callers beware (not checked, O(1)).
+[[nodiscard]] double sorted_quantile(std::span<const double> sorted, double q);
+
+/// Sorts a copy of `values` and returns the requested quantiles.
+[[nodiscard]] std::vector<double> quantiles(std::span<const double> values,
+                                            std::span<const double> qs);
+
+}  // namespace hmdiv::stats

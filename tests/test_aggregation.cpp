@@ -1,0 +1,187 @@
+// Unit + property tests for core/aggregation.hpp (§6.2 caveat, footnote 1).
+#include "core/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/paper_example.hpp"
+#include "stats/rng.hpp"
+
+namespace hmdiv::core {
+namespace {
+
+SequentialModel four_class_model() {
+  ClassConditional a{0.03, 0.12, 0.10};
+  ClassConditional b{0.20, 0.45, 0.25};
+  ClassConditional c{0.25, 0.60, 0.30};
+  ClassConditional d{0.55, 0.92, 0.45};
+  return SequentialModel({"a", "b", "c", "d"}, {a, b, c, d});
+}
+
+ClassPartition pairs_partition() {
+  ClassPartition p;
+  p.coarse_names = {"ab", "cd"};
+  p.group_of = {0, 0, 1, 1};
+  return p;
+}
+
+TEST(ClassPartition, Validation) {
+  ClassPartition p = pairs_partition();
+  EXPECT_NO_THROW(p.validate(4));
+  EXPECT_THROW(p.validate(3), std::invalid_argument);
+  ClassPartition out_of_range = p;
+  out_of_range.group_of[0] = 7;
+  EXPECT_THROW(out_of_range.validate(4), std::invalid_argument);
+  ClassPartition empty_group = p;
+  empty_group.group_of = {0, 0, 0, 0};
+  EXPECT_THROW(empty_group.validate(4), std::invalid_argument);
+  ClassPartition no_names;
+  EXPECT_THROW(no_names.validate(0), std::invalid_argument);
+}
+
+TEST(Coarsen, PreservesSystemFailureInPlace) {
+  const auto fine = four_class_model();
+  const DemandProfile profile(fine.class_names(), {0.4, 0.3, 0.2, 0.1});
+  const auto view = coarsen(fine, profile, pairs_partition());
+  EXPECT_NEAR(view.model.system_failure_probability(view.profile),
+              fine.system_failure_probability(profile), 1e-12);
+  // Machine marginal also preserved.
+  EXPECT_NEAR(view.model.machine_failure_probability(view.profile),
+              fine.machine_failure_probability(profile), 1e-12);
+}
+
+TEST(Coarsen, MassIsAdditive) {
+  const auto fine = four_class_model();
+  const DemandProfile profile(fine.class_names(), {0.4, 0.3, 0.2, 0.1});
+  const auto view = coarsen(fine, profile, pairs_partition());
+  EXPECT_NEAR(view.profile[0], 0.7, 1e-12);
+  EXPECT_NEAR(view.profile[1], 0.3, 1e-12);
+  const auto coarse_profile = coarsen_profile(profile, pairs_partition());
+  EXPECT_NEAR(coarse_profile[0], 0.7, 1e-12);
+  EXPECT_NEAR(coarse_profile[1], 0.3, 1e-12);
+}
+
+TEST(Coarsen, TrivialPartitionIsIdentity) {
+  const auto fine = paper::example_model();
+  const auto profile = paper::trial_profile();
+  ClassPartition identity;
+  identity.coarse_names = fine.class_names();
+  identity.group_of = {0, 1};
+  const auto view = coarsen(fine, profile, identity);
+  for (std::size_t x = 0; x < 2; ++x) {
+    EXPECT_NEAR(view.model.parameters(x).p_machine_fails,
+                fine.parameters(x).p_machine_fails, 1e-12);
+    EXPECT_NEAR(view.model.importance_index(x), fine.importance_index(x),
+                1e-12);
+  }
+}
+
+TEST(Coarsen, RejectsZeroMassCoarseClass) {
+  const auto fine = four_class_model();
+  const DemandProfile profile(fine.class_names(), {0.5, 0.5, 0.0, 0.0});
+  EXPECT_THROW(static_cast<void>(coarsen(fine, profile, pairs_partition())),
+               std::invalid_argument);
+}
+
+TEST(SpuriousCoherence, MixtureOfMachineBlindClassesShowsPositiveT) {
+  const auto demo = spurious_coherence_demo();
+  // Every fine class is machine-blind.
+  for (std::size_t x = 0; x < demo.fine_model.class_count(); ++x) {
+    EXPECT_NEAR(demo.fine_model.importance_index(x), 0.0, 1e-12) << x;
+  }
+  const double t = coarse_importance_index(demo.fine_model, demo.fine_profile,
+                                           demo.partition, 0);
+  EXPECT_GT(t, 0.05);
+  // And yet machine improvement buys nothing: PHf is the same for any PMf
+  // scaling of the fine model.
+  const auto improved =
+      demo.fine_model.with_uniform_machine_improvement(0.01);
+  EXPECT_NEAR(improved.system_failure_probability(demo.fine_profile),
+              demo.fine_model.system_failure_probability(demo.fine_profile),
+              1e-12);
+}
+
+TEST(AggregationBias, ZeroWithoutMixShift) {
+  const auto fine = four_class_model();
+  const DemandProfile trial(fine.class_names(), {0.6, 0.2, 0.12, 0.08});
+  const auto result = aggregation_bias(fine, trial, trial, pairs_partition());
+  EXPECT_NEAR(result.bias(), 0.0, 1e-12);
+  EXPECT_NEAR(result.fine_trial_failure, result.fine_field_failure, 1e-12);
+}
+
+TEST(AggregationBias, ZeroWhenMixtureScalesUniformlyWithinClasses) {
+  // The coarse mix changes but the within-class composition does not:
+  // extrapolation stays exact (footnote 1's sufficient condition).
+  const auto fine = four_class_model();
+  const DemandProfile trial(fine.class_names(), {0.6, 0.2, 0.15, 0.05});
+  // Same 3:1 and 3:1 within-class ratios, different coarse split.
+  const DemandProfile field(fine.class_names(), {0.45, 0.15, 0.30, 0.10});
+  const auto result = aggregation_bias(fine, trial, field, pairs_partition());
+  EXPECT_NEAR(result.bias(), 0.0, 1e-12);
+}
+
+TEST(AggregationBias, NonzeroUnderHiddenMixShift) {
+  const auto fine = four_class_model();
+  const DemandProfile trial(fine.class_names(), {0.6, 0.2, 0.12, 0.08});
+  const DemandProfile field(fine.class_names(), {0.4, 0.4, 0.05, 0.15});
+  const auto result = aggregation_bias(fine, trial, field, pairs_partition());
+  EXPECT_GT(std::fabs(result.bias()), 0.005);
+}
+
+TEST(AggregationBias, ValidatesProfiles) {
+  const auto fine = four_class_model();
+  const DemandProfile trial(fine.class_names(), {0.6, 0.2, 0.12, 0.08});
+  const DemandProfile other({"w", "x", "y", "z"}, {0.25, 0.25, 0.25, 0.25});
+  EXPECT_THROW(static_cast<void>(
+                   aggregation_bias(fine, trial, other, pairs_partition())),
+               std::invalid_argument);
+}
+
+/// Property: coarsening preserves the Eq.-(8) value in place for random
+/// models, profiles and partitions.
+class CoarsenProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoarsenProperty, InPlacePredictionExact) {
+  stats::Rng rng(GetParam());
+  const std::size_t fine_count = 3 + rng.uniform_index(6);
+  std::vector<std::string> names;
+  std::vector<ClassConditional> params;
+  std::vector<double> weights;
+  for (std::size_t x = 0; x < fine_count; ++x) {
+    names.push_back("f" + std::to_string(x));
+    ClassConditional c;
+    c.p_machine_fails = rng.uniform();
+    c.p_human_fails_given_machine_fails = rng.uniform();
+    c.p_human_fails_given_machine_succeeds = rng.uniform();
+    params.push_back(c);
+    weights.push_back(rng.uniform() + 0.02);
+  }
+  const SequentialModel fine(names, params);
+  const auto profile = DemandProfile::from_weights(names, weights);
+
+  const std::size_t coarse_count = 1 + rng.uniform_index(fine_count);
+  ClassPartition partition;
+  for (std::size_t g = 0; g < coarse_count; ++g) {
+    partition.coarse_names.push_back("g" + std::to_string(g));
+  }
+  partition.group_of.resize(fine_count);
+  // Ensure every group is hit, then randomise the rest.
+  for (std::size_t g = 0; g < coarse_count; ++g) partition.group_of[g] = g;
+  for (std::size_t x = coarse_count; x < fine_count; ++x) {
+    partition.group_of[x] = rng.uniform_index(coarse_count);
+  }
+
+  const auto view = coarsen(fine, profile, partition);
+  EXPECT_NEAR(view.model.system_failure_probability(view.profile),
+              fine.system_failure_probability(profile), 1e-12);
+  EXPECT_NEAR(view.model.machine_failure_probability(view.profile),
+              fine.machine_failure_probability(profile), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoarsenProperty,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+}  // namespace
+}  // namespace hmdiv::core

@@ -1,0 +1,82 @@
+// Unit tests for sim/cadt.hpp.
+#include "sim/cadt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hmdiv::sim {
+namespace {
+
+CadtModel reference_cadt() {
+  CadtModel::Config config;
+  config.capability = 1.5;
+  config.sensitivity_slope = 1.4;
+  return CadtModel(config);
+}
+
+TEST(Cadt, ValidatesConfig) {
+  CadtModel::Config bad;
+  bad.sensitivity_slope = 0.0;
+  EXPECT_THROW(CadtModel{bad}, std::invalid_argument);
+}
+
+TEST(Cadt, PromptProbabilityDecreasesWithDifficulty) {
+  const auto cadt = reference_cadt();
+  double previous = 1.1;
+  for (double difficulty = -3.0; difficulty <= 4.0; difficulty += 0.5) {
+    const double p = cadt.prompt_probability(difficulty);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+    EXPECT_LT(p, previous);
+    previous = p;
+  }
+}
+
+TEST(Cadt, FailureIsComplementOfPrompt) {
+  const auto cadt = reference_cadt();
+  for (double d = -2.0; d <= 2.0; d += 0.7) {
+    EXPECT_NEAR(cadt.failure_probability(d) + cadt.prompt_probability(d), 1.0,
+                1e-12);
+  }
+}
+
+TEST(Cadt, MidpointIsAtCapability) {
+  const auto cadt = reference_cadt();
+  EXPECT_NEAR(cadt.prompt_probability(1.5), 0.5, 1e-12);
+}
+
+TEST(Cadt, ThresholdShiftMovesOperatingPoint) {
+  const auto cadt = reference_cadt();
+  const auto eager = cadt.with_threshold_shift(-1.0);
+  const auto strict = cadt.with_threshold_shift(1.0);
+  for (double d = -1.0; d <= 2.5; d += 0.5) {
+    EXPECT_GT(eager.prompt_probability(d), cadt.prompt_probability(d));
+    EXPECT_LT(strict.prompt_probability(d), cadt.prompt_probability(d));
+  }
+}
+
+TEST(Cadt, CapabilityFactorImprovesDetection) {
+  const auto cadt = reference_cadt();
+  const auto better = cadt.with_capability_factor(1.5);
+  for (double d = 0.0; d <= 3.0; d += 0.5) {
+    EXPECT_LT(better.failure_probability(d), cadt.failure_probability(d));
+  }
+  EXPECT_THROW(static_cast<void>(cadt.with_capability_factor(0.0)),
+               std::invalid_argument);
+}
+
+TEST(Cadt, SimulatedFrequencyMatchesAnalytic) {
+  const auto cadt = reference_cadt();
+  stats::Rng rng(71);
+  Case c;
+  c.machine_difficulty = 1.0;
+  int prompts = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) prompts += cadt.prompts(c, rng) ? 1 : 0;
+  EXPECT_NEAR(prompts / static_cast<double>(n),
+              cadt.prompt_probability(1.0), 0.01);
+}
+
+}  // namespace
+}  // namespace hmdiv::sim

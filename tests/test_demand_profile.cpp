@@ -1,0 +1,76 @@
+// Unit tests for core/demand_profile.hpp.
+#include "core/demand_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace hmdiv::core {
+namespace {
+
+TEST(DemandProfile, ValidatesConstruction) {
+  EXPECT_THROW(DemandProfile({}, {}), std::invalid_argument);
+  EXPECT_THROW(DemandProfile({"a", "a"}, {0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(DemandProfile({"a", ""}, {0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(DemandProfile({"a", "b"}, {0.5}), std::invalid_argument);
+  EXPECT_THROW(DemandProfile({"a", "b"}, {0.5, 0.6}), std::invalid_argument);
+  EXPECT_NO_THROW(DemandProfile({"a", "b"}, {0.5, 0.5}));
+}
+
+TEST(DemandProfile, FromWeightsNormalises) {
+  const auto p = DemandProfile::from_weights({"a", "b", "c"}, {1.0, 1.0, 2.0});
+  EXPECT_NEAR(p[0], 0.25, 1e-12);
+  EXPECT_NEAR(p[2], 0.5, 1e-12);
+}
+
+TEST(DemandProfile, LookupByNameAndIndex) {
+  const DemandProfile p({"easy", "difficult"}, {0.8, 0.2});
+  EXPECT_EQ(p.class_count(), 2u);
+  EXPECT_EQ(p.index_of("difficult"), 1u);
+  EXPECT_EQ(p.class_name(0), "easy");
+  EXPECT_THROW(p.index_of("unknown"), std::invalid_argument);
+  EXPECT_THROW(p.class_name(2), std::invalid_argument);
+  EXPECT_THROW(p.probability(2), std::invalid_argument);
+}
+
+TEST(DemandProfile, ExpectationWeightsValues) {
+  const DemandProfile p({"easy", "difficult"}, {0.8, 0.2});
+  const std::vector<double> values{0.143, 0.605};
+  EXPECT_NEAR(p.expectation(values), 0.2354, 1e-10);
+}
+
+TEST(DemandProfile, SameClassesRequiresSameOrder) {
+  const DemandProfile a({"x", "y"}, {0.5, 0.5});
+  const DemandProfile b({"x", "y"}, {0.1, 0.9});
+  const DemandProfile c({"y", "x"}, {0.5, 0.5});
+  EXPECT_TRUE(a.same_classes(b));
+  EXPECT_FALSE(a.same_classes(c));
+}
+
+TEST(DemandProfile, BlendInterpolatesPointwise) {
+  const DemandProfile trial({"easy", "difficult"}, {0.8, 0.2});
+  const DemandProfile field({"easy", "difficult"}, {0.9, 0.1});
+  const DemandProfile half = trial.blend(field, 0.5);
+  EXPECT_NEAR(half[0], 0.85, 1e-12);
+  EXPECT_NEAR(half[1], 0.15, 1e-12);
+  EXPECT_NEAR(trial.blend(field, 0.0)[0], 0.8, 1e-12);
+  EXPECT_NEAR(trial.blend(field, 1.0)[0], 0.9, 1e-12);
+  EXPECT_THROW(trial.blend(field, 1.5), std::invalid_argument);
+  const DemandProfile other({"a", "b"}, {0.5, 0.5});
+  EXPECT_THROW(trial.blend(other, 0.5), std::invalid_argument);
+}
+
+TEST(DemandProfile, SamplingFollowsProbabilities) {
+  const DemandProfile p({"easy", "difficult"}, {0.8, 0.2});
+  stats::Rng rng(4242);
+  int difficult = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) difficult += p.sample(rng) == 1 ? 1 : 0;
+  EXPECT_NEAR(difficult / static_cast<double>(n), 0.2, 0.01);
+}
+
+}  // namespace
+}  // namespace hmdiv::core

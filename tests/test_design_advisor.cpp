@@ -1,0 +1,96 @@
+// Unit tests for core/design_advisor.hpp (Section 6 design guidance).
+#include "core/design_advisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/paper_example.hpp"
+
+namespace hmdiv::core {
+namespace {
+
+DesignAdvisor field_advisor() {
+  return DesignAdvisor(paper::example_model(), paper::field_profile());
+}
+
+TEST(DesignAdvisor, ValidatesProfile) {
+  const DemandProfile wrong({"x", "y"}, {0.5, 0.5});
+  EXPECT_THROW(DesignAdvisor(paper::example_model(), wrong),
+               std::invalid_argument);
+}
+
+TEST(DesignAdvisor, AnalyticGainEqualsExactGain) {
+  // Eq. (9) is linear in PMf at fixed human response, so the first-order
+  // gain is exact.
+  const auto advisor = field_advisor();
+  for (std::size_t x = 0; x < 2; ++x) {
+    ImprovementCandidate c;
+    c.name = "improve class " + std::to_string(x);
+    c.class_index = x;
+    c.factor = paper::kImprovementFactor;
+    const auto effect = advisor.evaluate(c);
+    EXPECT_NEAR(effect.absolute_gain(), effect.analytic_gain, 1e-12) << x;
+  }
+  ImprovementCandidate uniform;
+  uniform.name = "all";
+  uniform.factor = 0.5;
+  const auto effect = advisor.evaluate(uniform);
+  EXPECT_NEAR(effect.absolute_gain(), effect.analytic_gain, 1e-12);
+}
+
+TEST(DesignAdvisor, RankPutsDifficultClassFirst) {
+  const auto advisor = field_advisor();
+  ImprovementCandidate easy{"easy x10", paper::kEasy, 0.1};
+  ImprovementCandidate difficult{"difficult x10", paper::kDifficult, 0.1};
+  const auto ranked = advisor.rank({easy, difficult});
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].name, "difficult x10");
+  EXPECT_GT(ranked[0].absolute_gain(), ranked[1].absolute_gain());
+}
+
+TEST(DesignAdvisor, BestTargetClassIsDifficult) {
+  // Leverage p(x)·t(x)·PMf(x): easy = 0.9·0.04·0.07 ≈ 0.0025,
+  // difficult = 0.1·0.5·0.41 = 0.0205.
+  EXPECT_EQ(field_advisor().best_target_class(), paper::kDifficult);
+}
+
+TEST(DesignAdvisor, DiagnosisQuantifiesFloorAndCovariance) {
+  const auto d = field_advisor().diagnose();
+  EXPECT_NEAR(d.system_failure, 0.189, 5e-4);
+  EXPECT_NEAR(d.floor, 0.9 * 0.14 + 0.1 * 0.4, 1e-12);  // 0.166
+  EXPECT_NEAR(d.machine_addressable_fraction, 1.0 - d.floor / d.system_failure,
+              1e-12);
+  EXPECT_GT(d.covariance, 0.0);
+  EXPECT_GT(d.correlation, 0.9);  // two classes: near-perfect alignment
+  ASSERT_EQ(d.class_leverage.size(), 2u);
+  EXPECT_NEAR(d.class_leverage[paper::kEasy], 0.9 * 0.04 * 0.07, 1e-12);
+  EXPECT_NEAR(d.class_leverage[paper::kDifficult], 0.1 * 0.5 * 0.41, 1e-12);
+}
+
+TEST(DesignAdvisor, ZeroFactorRealisesFullLeverage) {
+  // Perfecting the machine on a class gains exactly its leverage.
+  const auto advisor = field_advisor();
+  const auto d = advisor.diagnose();
+  for (std::size_t x = 0; x < 2; ++x) {
+    ImprovementCandidate c{"perfect", x, 0.0};
+    EXPECT_NEAR(advisor.evaluate(c).absolute_gain(), d.class_leverage[x],
+                1e-12)
+        << x;
+  }
+}
+
+TEST(DesignAdvisor, UniformCandidateUsesAllClasses) {
+  const auto advisor = field_advisor();
+  ImprovementCandidate uniform{"uniform", ImprovementCandidate::kAllClasses,
+                               0.1};
+  ImprovementCandidate easy{"easy", paper::kEasy, 0.1};
+  ImprovementCandidate difficult{"difficult", paper::kDifficult, 0.1};
+  const double total = advisor.evaluate(uniform).absolute_gain();
+  const double parts = advisor.evaluate(easy).absolute_gain() +
+                       advisor.evaluate(difficult).absolute_gain();
+  EXPECT_NEAR(total, parts, 1e-12);  // linearity in PMf
+}
+
+}  // namespace
+}  // namespace hmdiv::core

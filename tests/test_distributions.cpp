@@ -1,0 +1,107 @@
+// Unit + property tests for stats/distributions.hpp.
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace hmdiv::stats {
+namespace {
+
+TEST(Binomial, PmfSumsToOne) {
+  for (const double p : {0.0, 0.2, 0.5, 0.97, 1.0}) {
+    double total = 0.0;
+    for (std::uint64_t k = 0; k <= 30; ++k) total += binomial_pmf(30, p, k);
+    EXPECT_NEAR(total, 1.0, 1e-12) << p;
+  }
+}
+
+TEST(Binomial, PmfKnownValues) {
+  EXPECT_NEAR(binomial_pmf(4, 0.5, 2), 0.375, 1e-12);
+  EXPECT_NEAR(binomial_pmf(10, 0.1, 0), std::pow(0.9, 10), 1e-12);
+  EXPECT_EQ(binomial_pmf(5, 0.3, 6), 0.0);
+}
+
+TEST(Binomial, CdfMatchesPmfSum) {
+  const std::uint64_t n = 25;
+  const double p = 0.37;
+  double running = 0.0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    running += binomial_pmf(n, p, k);
+    EXPECT_NEAR(binomial_cdf(n, p, k), running, 1e-10) << k;
+  }
+  EXPECT_EQ(binomial_cdf(n, p, n), 1.0);
+}
+
+TEST(Binomial, RejectsBadProbability) {
+  EXPECT_THROW(binomial_pmf(5, -0.1, 2), std::invalid_argument);
+  EXPECT_THROW(binomial_cdf(5, 1.1, 2), std::invalid_argument);
+}
+
+TEST(Beta, PdfIntegratesToOne) {
+  // Trapezoidal integration on interior (a,b > 1 so pdf finite at ends).
+  for (const auto& [a, b] : std::vector<std::pair<double, double>>{
+           {2.0, 2.0}, {3.0, 1.5}, {5.0, 8.0}}) {
+    const int steps = 20000;
+    double total = 0.0;
+    for (int i = 0; i <= steps; ++i) {
+      const double x = static_cast<double>(i) / steps;
+      const double w = (i == 0 || i == steps) ? 0.5 : 1.0;
+      total += w * beta_pdf(a, b, x) / steps;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-4) << a << "," << b;
+  }
+}
+
+TEST(Beta, CdfQuantileRoundTrip) {
+  for (double p = 0.05; p < 1.0; p += 0.1) {
+    const double x = beta_quantile(3.0, 7.0, p);
+    EXPECT_NEAR(beta_cdf(3.0, 7.0, x), p, 1e-9);
+  }
+}
+
+TEST(Beta, PdfOutsideSupportIsZero) {
+  EXPECT_EQ(beta_pdf(2.0, 2.0, -0.1), 0.0);
+  EXPECT_EQ(beta_pdf(2.0, 2.0, 1.1), 0.0);
+}
+
+TEST(DiscreteDistribution, ValidatesInput) {
+  EXPECT_THROW(DiscreteDistribution({}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({0.5, 0.6}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({-0.1, 1.1}), std::invalid_argument);
+  EXPECT_NO_THROW(DiscreteDistribution({0.8, 0.2}));
+}
+
+TEST(DiscreteDistribution, FromWeightsNormalises) {
+  const auto d = DiscreteDistribution::from_weights({2.0, 6.0});
+  EXPECT_NEAR(d[0], 0.25, 1e-12);
+  EXPECT_NEAR(d[1], 0.75, 1e-12);
+  EXPECT_THROW(DiscreteDistribution::from_weights({0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(DiscreteDistribution, ExpectationIsWeightedAverage) {
+  const DiscreteDistribution d({0.8, 0.2});
+  const std::vector<double> values{0.143, 0.605};
+  EXPECT_NEAR(d.expectation(values), 0.8 * 0.143 + 0.2 * 0.605, 1e-12);
+  const std::vector<double> wrong_size{1.0};
+  EXPECT_THROW(d.expectation(wrong_size), std::invalid_argument);
+}
+
+TEST(DiscreteDistribution, SamplingMatchesProbabilities) {
+  const DiscreteDistribution d({0.1, 0.6, 0.3});
+  Rng rng(99);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[d.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.6, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace hmdiv::stats

@@ -1,0 +1,122 @@
+// Unit tests for core/dual_model.hpp — both failure modes combined.
+#include "core/dual_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/paper_example.hpp"
+
+namespace hmdiv::core {
+namespace {
+
+TEST(DualModel, ValidatesConstruction) {
+  const auto fn = paper::example_model();
+  const auto fp = example_dual_model().fp_model();
+  const auto fn_profile = paper::field_profile();
+  const auto fp_profile = example_dual_model().fp_profile();
+  EXPECT_THROW(DualModel(fn, fp_profile, fp, fp_profile, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW(DualModel(fn, fn_profile, fp, fn_profile, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW(DualModel(fn, fn_profile, fp, fp_profile, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(DualModel(fn, fn_profile, fp, fp_profile, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(example_dual_model(1.5)),
+               std::invalid_argument);
+}
+
+TEST(DualModel, FnSideMatchesPaperNumbers) {
+  const auto dual = example_dual_model();
+  const auto p = dual.performance();
+  EXPECT_NEAR(p.false_negative_rate, 0.189, 5e-4);
+  EXPECT_NEAR(p.sensitivity, 1.0 - 0.189, 5e-4);
+}
+
+TEST(DualModel, PerformanceIdentitiesHold) {
+  const auto dual = example_dual_model(0.01);
+  const auto p = dual.performance();
+  EXPECT_NEAR(p.sensitivity + p.false_negative_rate, 1.0, 1e-12);
+  EXPECT_NEAR(p.specificity + p.false_positive_rate, 1.0, 1e-12);
+  EXPECT_NEAR(p.recall_rate,
+              0.01 * p.sensitivity + 0.99 * p.false_positive_rate, 1e-12);
+  EXPECT_NEAR(p.ppv * p.recall_rate, 0.01 * p.sensitivity, 1e-12);
+  EXPECT_NEAR(p.npv * (1.0 - p.recall_rate), 0.99 * p.specificity, 1e-12);
+  EXPECT_NEAR(p.cancer_detection_rate_per_1000, 10.0 * p.sensitivity, 1e-9);
+}
+
+TEST(DualModel, LowPrevalenceMakesPpvSmall) {
+  // The screening reality: even good specificity yields low PPV at 0.7%.
+  const auto p = example_dual_model(0.007).performance();
+  EXPECT_LT(p.ppv, 0.25);
+  EXPECT_GT(p.npv, 0.99);
+}
+
+TEST(DualModel, RetuningTradesTheTwoFailureModes) {
+  const auto dual = example_dual_model();
+  const auto eager = dual.with_machine_retuned(0.5, 2.0);
+  const auto strict = dual.with_machine_retuned(2.0, 0.5);
+  const auto base = dual.performance();
+  EXPECT_GT(eager.performance().sensitivity, base.sensitivity);
+  EXPECT_LT(eager.performance().specificity, base.specificity);
+  EXPECT_LT(strict.performance().sensitivity, base.sensitivity);
+  EXPECT_GT(strict.performance().specificity, base.specificity);
+}
+
+TEST(DualModel, ReaderDriftMovesBothSides) {
+  const auto dual = example_dual_model();
+  const auto complacent = dual.with_reader_drift(1.3, 1.3);
+  EXPECT_LT(complacent.performance().sensitivity,
+            dual.performance().sensitivity);
+  EXPECT_LT(complacent.performance().specificity,
+            dual.performance().specificity);
+}
+
+TEST(DualModel, EnvironmentSwapReweightsBothProfiles) {
+  const auto dual = example_dual_model();
+  // Move to the trial mixes: more difficult cancers, more complex normals.
+  const DemandProfile fn_trial = paper::trial_profile();
+  const DemandProfile fp_enriched({"typical", "complex"}, {0.6, 0.4});
+  const auto moved =
+      dual.with_environment(fn_trial, fp_enriched, dual.prevalence());
+  EXPECT_GT(moved.performance().false_negative_rate,
+            dual.performance().false_negative_rate);
+  EXPECT_GT(moved.performance().false_positive_rate,
+            dual.performance().false_positive_rate);
+}
+
+TEST(DualModel, CostRespondsToCostStructure) {
+  const auto dual = example_dual_model();
+  OutcomeCosts cheap_recalls;
+  cheap_recalls.per_recall = 1.0;
+  cheap_recalls.per_missed_cancer = 1000.0;
+  OutcomeCosts costly_recalls;
+  costly_recalls.per_recall = 100.0;
+  costly_recalls.per_missed_cancer = 1000.0;
+  EXPECT_LT(dual.expected_cost_per_case(cheap_recalls),
+            dual.expected_cost_per_case(costly_recalls));
+  OutcomeCosts negative;
+  negative.per_recall = -1.0;
+  EXPECT_THROW(static_cast<void>(dual.expected_cost_per_case(negative)),
+               std::invalid_argument);
+}
+
+TEST(DualModel, EagerTuningPaysWhenMissesAreExpensive) {
+  const auto dual = example_dual_model();
+  const auto eager = dual.with_machine_retuned(0.5, 2.0);
+  OutcomeCosts miss_averse;
+  miss_averse.per_recall = 1.0;
+  miss_averse.per_missed_cancer = 10000.0;
+  EXPECT_LT(eager.expected_cost_per_case(miss_averse),
+            dual.expected_cost_per_case(miss_averse));
+  OutcomeCosts recall_averse;
+  recall_averse.per_recall = 100.0;
+  recall_averse.per_missed_cancer = 100.0;
+  EXPECT_GT(eager.expected_cost_per_case(recall_averse),
+            dual.expected_cost_per_case(recall_averse));
+}
+
+}  // namespace
+}  // namespace hmdiv::core

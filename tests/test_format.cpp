@@ -1,0 +1,67 @@
+// Unit tests for report/format.hpp.
+#include "report/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace hmdiv::report {
+namespace {
+
+TEST(Format, FixedRendersRequestedDecimals) {
+  EXPECT_EQ(fixed(0.1887, 3), "0.189");
+  EXPECT_EQ(fixed(0.235, 3), "0.235");
+  EXPECT_EQ(fixed(1.0, 0), "1");
+  EXPECT_EQ(fixed(-0.5, 2), "-0.50");
+}
+
+TEST(Format, FixedZeroDecimalsRounds) {
+  EXPECT_EQ(fixed(2.5001, 0), "3");
+  EXPECT_EQ(fixed(2.4999, 0), "2");
+}
+
+TEST(Format, FixedRejectsBadDecimals) {
+  EXPECT_THROW(fixed(1.0, -1), std::invalid_argument);
+  EXPECT_THROW(fixed(1.0, 18), std::invalid_argument);
+}
+
+TEST(Format, SigUsesSignificantDigits) {
+  EXPECT_EQ(sig(0.00012345, 3), "0.000123");
+  EXPECT_EQ(sig(123456.0, 3), "1.23e+05");
+  EXPECT_EQ(sig(1.0, 5), "1");
+}
+
+TEST(Format, SigRejectsBadDigits) {
+  EXPECT_THROW(sig(1.0, 0), std::invalid_argument);
+  EXPECT_THROW(sig(1.0, 18), std::invalid_argument);
+}
+
+TEST(Format, PercentScalesByHundred) {
+  EXPECT_EQ(percent(0.189), "18.9%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+  EXPECT_EQ(percent(0.005, 2), "0.50%");
+}
+
+TEST(Format, WithThousandsGroupsDigits) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(12860), "12,860");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+  EXPECT_EQ(with_thousands(-1234567), "-1,234,567");
+}
+
+TEST(Format, PadLeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+  EXPECT_EQ(pad_right("abcd", 2), "abcd");
+}
+
+TEST(Format, WithIntervalCombinesPointAndBounds) {
+  EXPECT_EQ(with_interval(0.123, 0.1, 0.15), "0.123 [0.100, 0.150]");
+  EXPECT_EQ(with_interval(0.5, 0.25, 0.75, 2), "0.50 [0.25, 0.75]");
+}
+
+}  // namespace
+}  // namespace hmdiv::report

@@ -1,0 +1,143 @@
+// Unit tests for core/model_io.hpp (plain-text model persistence).
+#include "core/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/paper_example.hpp"
+#include "stats/rng.hpp"
+
+namespace hmdiv::core {
+namespace {
+
+TEST(ModelIo, ModelRoundTripIsExact) {
+  const auto original = paper::example_model();
+  const auto parsed = parse_sequential_model(to_text(original));
+  ASSERT_EQ(parsed.class_count(), original.class_count());
+  EXPECT_EQ(parsed.class_names(), original.class_names());
+  for (std::size_t x = 0; x < original.class_count(); ++x) {
+    EXPECT_DOUBLE_EQ(parsed.parameters(x).p_machine_fails,
+                     original.parameters(x).p_machine_fails);
+    EXPECT_DOUBLE_EQ(parsed.parameters(x).p_human_fails_given_machine_fails,
+                     original.parameters(x).p_human_fails_given_machine_fails);
+    EXPECT_DOUBLE_EQ(
+        parsed.parameters(x).p_human_fails_given_machine_succeeds,
+        original.parameters(x).p_human_fails_given_machine_succeeds);
+  }
+}
+
+TEST(ModelIo, ProfileRoundTripIsExact) {
+  const auto original = paper::field_profile();
+  const auto parsed = parse_demand_profile(to_text(original));
+  EXPECT_EQ(parsed.class_names(), original.class_names());
+  for (std::size_t x = 0; x < original.class_count(); ++x) {
+    EXPECT_DOUBLE_EQ(parsed[x], original[x]);
+  }
+}
+
+TEST(ModelIo, RoundTripPreservesAwkwardDoubles) {
+  stats::Rng rng(31415);
+  std::vector<std::string> names;
+  std::vector<ClassConditional> params;
+  for (std::size_t x = 0; x < 5; ++x) {
+    names.push_back("c" + std::to_string(x));
+    ClassConditional c;
+    c.p_machine_fails = rng.uniform();
+    c.p_human_fails_given_machine_fails = rng.uniform();
+    c.p_human_fails_given_machine_succeeds = rng.uniform();
+    params.push_back(c);
+  }
+  const SequentialModel original(names, params);
+  const auto parsed = parse_sequential_model(to_text(original));
+  const DemandProfile uniform =
+      DemandProfile::from_weights(names, {1, 1, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(parsed.system_failure_probability(uniform),
+                   original.system_failure_probability(uniform));
+}
+
+TEST(ModelIo, StreamsMatchStringForms) {
+  const auto model = paper::example_model();
+  std::ostringstream out;
+  write_model(out, model);
+  EXPECT_EQ(out.str(), to_text(model));
+  std::istringstream in(out.str());
+  const auto parsed = read_model(in);
+  EXPECT_EQ(parsed.class_names(), model.class_names());
+
+  const auto profile = paper::trial_profile();
+  std::ostringstream pout;
+  write_profile(pout, profile);
+  std::istringstream pin(pout.str());
+  EXPECT_EQ(read_profile(pin).class_names(), profile.class_names());
+}
+
+TEST(ModelIo, IgnoresCommentsAndBlankLines) {
+  const std::string text =
+      "hmdiv-sequential-model v1\n"
+      "\n"
+      "# a comment\n"
+      "class easy 0.07 0.18 0.14\n"
+      "\n"
+      "class difficult 0.41 0.9 0.4\n";
+  const auto parsed = parse_sequential_model(text);
+  EXPECT_EQ(parsed.class_count(), 2u);
+  EXPECT_NEAR(parsed.parameters(1).p_machine_fails, 0.41, 1e-12);
+}
+
+TEST(ModelIo, RejectsWrongHeader) {
+  EXPECT_THROW(static_cast<void>(parse_sequential_model("bogus v9\n")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_demand_profile(
+                   "hmdiv-sequential-model v1\nclass a 1\n")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(parse_sequential_model("")),
+               std::invalid_argument);
+}
+
+TEST(ModelIo, RejectsMalformedLines) {
+  const std::string missing_field =
+      "hmdiv-sequential-model v1\nclass easy 0.07 0.18\n";
+  EXPECT_THROW(static_cast<void>(parse_sequential_model(missing_field)),
+               std::invalid_argument);
+  const std::string bad_number =
+      "hmdiv-sequential-model v1\nclass easy 0.07 zebra 0.14\n";
+  EXPECT_THROW(static_cast<void>(parse_sequential_model(bad_number)),
+               std::invalid_argument);
+  const std::string out_of_range =
+      "hmdiv-sequential-model v1\nclass easy 1.07 0.18 0.14\n";
+  EXPECT_THROW(static_cast<void>(parse_sequential_model(out_of_range)),
+               std::invalid_argument);
+  const std::string trailing_junk =
+      "hmdiv-sequential-model v1\nclass easy 0.07x 0.18 0.14\n";
+  EXPECT_THROW(static_cast<void>(parse_sequential_model(trailing_junk)),
+               std::invalid_argument);
+  const std::string no_classes = "hmdiv-sequential-model v1\n";
+  EXPECT_THROW(static_cast<void>(parse_sequential_model(no_classes)),
+               std::invalid_argument);
+}
+
+TEST(ModelIo, ErrorsReportLineNumbers) {
+  const std::string text =
+      "hmdiv-sequential-model v1\n"
+      "class ok 0.1 0.2 0.3\n"
+      "class bad 0.1 0.2\n";
+  try {
+    static_cast<void>(parse_sequential_model(text));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ModelIo, ProfileMustSumToOne) {
+  const std::string text =
+      "hmdiv-demand-profile v1\nclass a 0.5\nclass b 0.6\n";
+  EXPECT_THROW(static_cast<void>(parse_demand_profile(text)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hmdiv::core

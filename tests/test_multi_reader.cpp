@@ -1,0 +1,134 @@
+// Unit tests for core/multi_reader.hpp (Conclusions: programme variants).
+#include "core/multi_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace hmdiv::core {
+namespace {
+
+DemandProfile profile() {
+  return DemandProfile({"easy", "difficult"}, {0.8, 0.2});
+}
+
+TEST(DoubleReading, ValidatesConstruction) {
+  EXPECT_THROW(DoubleReadingModel({}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(DoubleReadingModel({"a"}, {0.1, 0.2}, {0.1}),
+               std::invalid_argument);
+  EXPECT_THROW(DoubleReadingModel({"a"}, {1.5}, {0.1}), std::invalid_argument);
+}
+
+TEST(DoubleReading, BothMustFail) {
+  const DoubleReadingModel m({"easy", "difficult"}, {0.1, 0.6}, {0.2, 0.7});
+  EXPECT_NEAR(m.system_failure_given_class(0), 0.02, 1e-12);
+  EXPECT_NEAR(m.system_failure_given_class(1), 0.42, 1e-12);
+  EXPECT_NEAR(m.system_failure_probability(profile()),
+              0.8 * 0.02 + 0.2 * 0.42, 1e-12);
+}
+
+TEST(DoubleReading, BeatsEitherSingleReader) {
+  const DoubleReadingModel m({"easy", "difficult"}, {0.1, 0.6}, {0.2, 0.7});
+  const auto p = profile();
+  EXPECT_LT(m.system_failure_probability(p), m.reader_a_failure(p));
+  EXPECT_LT(m.system_failure_probability(p), m.reader_b_failure(p));
+}
+
+TEST(DoubleReading, SharedDifficultyInducesPositiveCovariance) {
+  const DoubleReadingModel m({"easy", "difficult"}, {0.1, 0.6}, {0.2, 0.7});
+  const auto p = profile();
+  const double cov = m.failure_covariance(p);
+  EXPECT_GT(cov, 0.0);
+  // Joint failure = product of marginals + covariance (Eq. 3 again).
+  EXPECT_NEAR(m.system_failure_probability(p),
+              m.reader_a_failure(p) * m.reader_b_failure(p) + cov, 1e-12);
+}
+
+TEST(DoubleReading, ArbitrationLiesBetweenAndAndOr) {
+  const DoubleReadingModel m({"easy", "difficult"}, {0.1, 0.6}, {0.2, 0.7});
+  const auto p = profile();
+  const std::vector<double> arbiter{0.15, 0.65};
+  const double with_arb = m.system_failure_with_arbitration(p, arbiter);
+  // "Recall if either" (arbiter never wrongly blocks) is the best case.
+  EXPECT_GT(with_arb, m.system_failure_probability(p));
+  // A perfect arbiter recovers the recall-if-either failure rate.
+  const std::vector<double> perfect{0.0, 0.0};
+  EXPECT_NEAR(m.system_failure_with_arbitration(p, perfect),
+              m.system_failure_probability(p), 1e-12);
+  // An always-wrong arbiter: FN whenever at least one reader fails.
+  const std::vector<double> hopeless{1.0, 1.0};
+  const double anyone_fails = 0.8 * (0.1 + 0.2 - 0.1 * 0.2) +
+                              0.2 * (0.6 + 0.7 - 0.6 * 0.7);
+  EXPECT_NEAR(m.system_failure_with_arbitration(p, hopeless), anyone_fails,
+              1e-12);
+  const std::vector<double> short_arb{0.1};
+  EXPECT_THROW(static_cast<void>(
+                   m.system_failure_with_arbitration(p, short_arb)),
+               std::invalid_argument);
+}
+
+TwoReadersWithCadtModel cadt_pair() {
+  std::vector<ReaderConditional> a(2), b(2);
+  a[0] = {0.18, 0.14};
+  a[1] = {0.9, 0.4};
+  b[0] = {0.25, 0.2};
+  b[1] = {0.85, 0.5};
+  return TwoReadersWithCadtModel({"easy", "difficult"}, {0.07, 0.41}, a, b);
+}
+
+TEST(TwoReadersWithCadt, ValidatesConstruction) {
+  std::vector<ReaderConditional> one(1), two(2);
+  EXPECT_THROW(
+      TwoReadersWithCadtModel({"a", "b"}, {0.1, 0.2}, one, two),
+      std::invalid_argument);
+  std::vector<ReaderConditional> bad(2);
+  bad[0].p_fail_given_machine_fails = 2.0;
+  EXPECT_THROW(TwoReadersWithCadtModel({"a", "b"}, {0.1, 0.2}, bad, two),
+               std::invalid_argument);
+  EXPECT_THROW(TwoReadersWithCadtModel({"a", "b"}, {0.1, 1.2}, two, two),
+               std::invalid_argument);
+}
+
+TEST(TwoReadersWithCadt, PerClassClosedForm) {
+  const auto m = cadt_pair();
+  // PMf·pA|Mf·pB|Mf + PMs·pA|Ms·pB|Ms.
+  EXPECT_NEAR(m.system_failure_given_class(0),
+              0.07 * 0.18 * 0.25 + 0.93 * 0.14 * 0.2, 1e-12);
+  EXPECT_NEAR(m.system_failure_given_class(1),
+              0.41 * 0.9 * 0.85 + 0.59 * 0.4 * 0.5, 1e-12);
+}
+
+TEST(TwoReadersWithCadt, BeatsEachSingleReaderWithCadt) {
+  const auto m = cadt_pair();
+  const auto p = profile();
+  const double pair_failure = m.system_failure_probability(p);
+  EXPECT_LT(pair_failure,
+            m.reader_a_alone().system_failure_probability(p));
+  EXPECT_LT(pair_failure,
+            m.reader_b_alone().system_failure_probability(p));
+}
+
+TEST(TwoReadersWithCadt, SharedMachineMakesIndependenceOptimistic) {
+  // Both readers fail together when the shared machine fails (t > 0 for
+  // both), so multiplying single-reader failure rates underestimates.
+  const auto m = cadt_pair();
+  const auto p = profile();
+  EXPECT_LT(m.system_failure_assuming_reader_independence(p),
+            m.system_failure_probability(p));
+}
+
+TEST(TwoReadersWithCadt, SingleReaderSubmodelsMatchInputs) {
+  const auto m = cadt_pair();
+  const auto a = m.reader_a_alone();
+  EXPECT_NEAR(a.parameters(1).p_human_fails_given_machine_fails, 0.9, 1e-12);
+  EXPECT_NEAR(a.parameters(1).p_machine_fails, 0.41, 1e-12);
+  const auto b = m.reader_b_alone();
+  EXPECT_NEAR(b.parameters(0).p_human_fails_given_machine_succeeds, 0.2,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace hmdiv::core

@@ -1,0 +1,131 @@
+// Unit + property tests for core/parallel_model.hpp (Section 3 model).
+#include "core/parallel_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace hmdiv::core {
+namespace {
+
+ParallelDetectionModel two_class_model() {
+  ParallelClassConditional easy;
+  easy.p_machine_misses = 0.07;
+  easy.p_human_misses = 0.1;
+  easy.p_human_misclassifies = 0.13;
+  ParallelClassConditional difficult;
+  difficult.p_machine_misses = 0.41;
+  difficult.p_human_misses = 0.6;
+  difficult.p_human_misclassifies = 0.3;
+  return ParallelDetectionModel({"easy", "difficult"}, {easy, difficult});
+}
+
+DemandProfile trial() { return DemandProfile({"easy", "difficult"}, {0.8, 0.2}); }
+
+TEST(ParallelModel, ValidatesConstruction) {
+  ParallelClassConditional ok;
+  ParallelClassConditional bad;
+  bad.p_human_misses = -0.1;
+  EXPECT_THROW(ParallelDetectionModel({}, {}), std::invalid_argument);
+  EXPECT_THROW(ParallelDetectionModel({"a"}, {ok, ok}), std::invalid_argument);
+  EXPECT_THROW(ParallelDetectionModel({"a"}, {bad}), std::invalid_argument);
+}
+
+TEST(ParallelModel, Equation1PerClass) {
+  const auto m = two_class_model();
+  // Eq. (1): detection failure + (1 − detection failure)·misclass.
+  const double det0 = 0.07 * 0.1;
+  EXPECT_NEAR(m.system_failure_given_class(0), det0 + (1 - det0) * 0.13,
+              1e-12);
+  const double det1 = 0.41 * 0.6;
+  EXPECT_NEAR(m.system_failure_given_class(1), det1 + (1 - det1) * 0.3,
+              1e-12);
+  EXPECT_THROW(static_cast<void>(m.system_failure_given_class(2)),
+               std::invalid_argument);
+}
+
+TEST(ParallelModel, Equation3CovarianceIdentity) {
+  const auto m = two_class_model();
+  const auto p = trial();
+  const double exact = m.detection_failure_probability(p);
+  // Marginal product + covariance must reproduce the exact value.
+  const double p_mf = 0.8 * 0.07 + 0.2 * 0.41;
+  const double p_hmiss = 0.8 * 0.1 + 0.2 * 0.6;
+  EXPECT_NEAR(exact, p_mf * p_hmiss + m.detection_covariance(p), 1e-12);
+  EXPECT_GT(m.detection_covariance(p), 0.0);
+}
+
+TEST(ParallelModel, NaiveIndependenceIsOptimisticHere) {
+  const auto m = two_class_model();
+  const auto p = trial();
+  EXPECT_LT(m.system_failure_assuming_independence(p),
+            m.system_failure_probability(p));
+}
+
+TEST(ParallelModel, StructureMatchesFigure2) {
+  const auto s = ParallelDetectionModel::structure();
+  EXPECT_EQ(s.to_string(), "series(any_of(c0, c1), c2)");
+  // RBD evaluation equals Eq. (1) for any parameter set.
+  const double p_mf = 0.2, p_hmiss = 0.3, p_hmisclass = 0.15;
+  const std::vector<double> success{1 - p_mf, 1 - p_hmiss, 1 - p_hmisclass};
+  const double det = p_mf * p_hmiss;
+  EXPECT_NEAR(1.0 - s.success_probability(success),
+              det + (1 - det) * p_hmisclass, 1e-12);
+}
+
+TEST(ParallelModel, ToSequentialPreservesMachineBehaviour) {
+  const auto m = two_class_model();
+  const auto seq = m.to_sequential();
+  for (std::size_t x = 0; x < m.class_count(); ++x) {
+    EXPECT_NEAR(seq.parameters(x).p_machine_fails,
+                m.parameters(x).p_machine_misses, 1e-12);
+  }
+}
+
+TEST(ParallelModel, ToSequentialHasNonnegativeImportance) {
+  // In the parallel-detection world the machine can only help: t(x) >= 0.
+  const auto seq = two_class_model().to_sequential();
+  for (std::size_t x = 0; x < seq.class_count(); ++x) {
+    EXPECT_GE(seq.importance_index(x), 0.0) << x;
+  }
+}
+
+/// Property: the sequential embedding reproduces the parallel model's
+/// failure probabilities exactly, per class and profile-weighted.
+class ParallelEmbedding : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelEmbedding, SequentialEmbeddingIsExact) {
+  stats::Rng rng(GetParam());
+  const std::size_t classes = 2 + rng.uniform_index(5);
+  std::vector<std::string> names;
+  std::vector<ParallelClassConditional> params;
+  std::vector<double> weights;
+  for (std::size_t x = 0; x < classes; ++x) {
+    names.push_back("c" + std::to_string(x));
+    ParallelClassConditional c;
+    c.p_machine_misses = rng.uniform();
+    c.p_human_misses = rng.uniform();
+    c.p_human_misclassifies = rng.uniform();
+    params.push_back(c);
+    weights.push_back(rng.uniform() + 0.01);
+  }
+  const ParallelDetectionModel parallel(names, params);
+  const auto seq = parallel.to_sequential();
+  const auto profile = DemandProfile::from_weights(names, weights);
+  for (std::size_t x = 0; x < classes; ++x) {
+    EXPECT_NEAR(seq.system_failure_given_class(x),
+                parallel.system_failure_given_class(x), 1e-12)
+        << x;
+  }
+  EXPECT_NEAR(seq.system_failure_probability(profile),
+              parallel.system_failure_probability(profile), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelEmbedding,
+                         ::testing::Range<std::uint64_t>(0, 24));
+
+}  // namespace
+}  // namespace hmdiv::core

@@ -1,0 +1,214 @@
+// Cross-cutting property tests (parameterized sweeps) for the core models:
+// linearity, monotonicity, and serialization invariants that must hold for
+// *every* model, not just the paper's example.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dual_model.hpp"
+#include "core/model_io.hpp"
+#include "core/sequential_model.hpp"
+#include "core/tradeoff.hpp"
+#include "rbd/structure.hpp"
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace hmdiv {
+namespace {
+
+using core::ClassConditional;
+using core::DemandProfile;
+using core::SequentialModel;
+
+SequentialModel random_model(stats::Rng& rng, std::size_t classes) {
+  std::vector<std::string> names;
+  std::vector<ClassConditional> params;
+  for (std::size_t x = 0; x < classes; ++x) {
+    names.push_back("c" + std::to_string(x));
+    ClassConditional c;
+    c.p_machine_fails = rng.uniform();
+    c.p_human_fails_given_machine_fails = rng.uniform();
+    c.p_human_fails_given_machine_succeeds = rng.uniform();
+    params.push_back(c);
+  }
+  return SequentialModel(std::move(names), std::move(params));
+}
+
+DemandProfile random_profile(stats::Rng& rng,
+                             const std::vector<std::string>& names) {
+  std::vector<double> weights;
+  weights.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    weights.push_back(rng.uniform() + 0.01);
+  }
+  return DemandProfile::from_weights(names, std::move(weights));
+}
+
+class ModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Eq. (8) is linear in the demand profile: blending two profiles blends
+/// the failure probabilities — the algebra behind trial-to-field
+/// extrapolation being a simple re-weighting.
+TEST_P(ModelProperty, FailureIsLinearInProfileBlend) {
+  stats::Rng rng(GetParam());
+  const auto model = random_model(rng, 2 + rng.uniform_index(5));
+  const auto a = random_profile(rng, model.class_names());
+  const auto b = random_profile(rng, model.class_names());
+  for (const double w : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double blended =
+        model.system_failure_probability(a.blend(b, w));
+    const double expected = (1.0 - w) * model.system_failure_probability(a) +
+                            w * model.system_failure_probability(b);
+    EXPECT_NEAR(blended, expected, 1e-12) << w;
+  }
+}
+
+/// PHf is non-decreasing in every conditional failure parameter.
+TEST_P(ModelProperty, FailureIsMonotoneInHumanParameters) {
+  stats::Rng rng(GetParam() + 1000);
+  const auto model = random_model(rng, 3);
+  const auto profile = random_profile(rng, model.class_names());
+  const double base = model.system_failure_probability(profile);
+  // Worsen the readers: failure must not decrease.
+  EXPECT_GE(model.with_reader_improvement(1.2)
+                .system_failure_probability(profile),
+            base - 1e-12);
+  // Improve the readers: failure must not increase.
+  EXPECT_LE(model.with_reader_improvement(0.8)
+                .system_failure_probability(profile),
+            base + 1e-12);
+}
+
+/// Machine improvement helps iff t(x) >= 0; with t(x) < 0 on some class,
+/// improving the machine there can hurt (prompts distract) — exactly what
+/// Eq. (9)'s slope says.
+TEST_P(ModelProperty, MachineImprovementFollowsTheSignOfT) {
+  stats::Rng rng(GetParam() + 2000);
+  const auto model = random_model(rng, 4);
+  const auto profile = random_profile(rng, model.class_names());
+  const double base = model.system_failure_probability(profile);
+  for (std::size_t x = 0; x < model.class_count(); ++x) {
+    const double improved = model.with_machine_improvement(x, 0.5)
+                                .system_failure_probability(profile);
+    if (model.importance_index(x) >= 0.0) {
+      EXPECT_LE(improved, base + 1e-12) << x;
+    } else {
+      EXPECT_GE(improved, base - 1e-12) << x;
+    }
+  }
+}
+
+/// Serialization round-trips preserve every prediction bit-for-bit.
+TEST_P(ModelProperty, SerializationRoundTripIsLossless) {
+  stats::Rng rng(GetParam() + 3000);
+  const auto model = random_model(rng, 2 + rng.uniform_index(4));
+  const auto profile = random_profile(rng, model.class_names());
+  const auto model_copy = core::parse_sequential_model(core::to_text(model));
+  const auto profile_copy =
+      core::parse_demand_profile(core::to_text(profile));
+  EXPECT_DOUBLE_EQ(model_copy.system_failure_probability(profile_copy),
+                   model.system_failure_probability(profile));
+  EXPECT_DOUBLE_EQ(model_copy.decompose(profile_copy).covariance,
+                   model.decompose(profile).covariance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelProperty,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+/// k-out-of-n of identical components equals the binomial tail.
+class KOutOfNProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(KOutOfNProperty, MatchesBinomialTail) {
+  const auto [n, k] = GetParam();
+  std::vector<rbd::Structure> children;
+  for (std::size_t i = 0; i < n; ++i) {
+    children.push_back(rbd::Structure::component(i));
+  }
+  const auto structure = rbd::Structure::k_out_of_n(k, std::move(children));
+  for (const double p : {0.1, 0.5, 0.9}) {
+    const std::vector<double> success(n, p);
+    // P(at least k of n work) = 1 − P(X <= k−1), X ~ Binomial(n, p).
+    const double expected =
+        1.0 - stats::binomial_cdf(n, p, k - 1);
+    EXPECT_NEAR(structure.success_probability(success), expected, 1e-12)
+        << "n=" << n << " k=" << k << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KOutOfNProperty,
+    ::testing::Values(std::make_tuple(3, 1), std::make_tuple(3, 2),
+                      std::make_tuple(3, 3), std::make_tuple(5, 3),
+                      std::make_tuple(7, 4), std::make_tuple(10, 8)));
+
+/// TradeoffAnalyzer monotonicity holds for random configurations, not just
+/// the bench's reference one.
+class TradeoffProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TradeoffProperty, SystemRatesMonotoneInThreshold) {
+  stats::Rng rng(GetParam() + 5000);
+  core::BinormalMachine machine;
+  machine.cancer_class_means = {rng.uniform(0.5, 2.5), rng.uniform(0.0, 1.5)};
+  machine.normal_class_means = {rng.uniform(-2.5, -0.5),
+                                rng.uniform(-1.5, 0.0)};
+  const DemandProfile cancers({"a", "b"}, {0.7, 0.3});
+  const DemandProfile normals({"c", "d"}, {0.8, 0.2});
+  std::vector<core::HumanFnResponse> fn(2);
+  for (auto& r : fn) {
+    r.p_fail_given_machine_prompted = rng.uniform(0.0, 0.4);
+    r.p_fail_given_machine_silent =
+        r.p_fail_given_machine_prompted + rng.uniform(0.0, 0.5);
+  }
+  std::vector<core::HumanFpResponse> fp(2);
+  for (auto& r : fp) {
+    r.p_recall_given_machine_silent = rng.uniform(0.0, 0.2);
+    r.p_recall_given_machine_prompted =
+        r.p_recall_given_machine_silent + rng.uniform(0.0, 0.5);
+  }
+  const core::TradeoffAnalyzer analyzer(machine, cancers, fn, normals, fp,
+                                        0.01);
+  double previous_fn = -1.0, previous_fp = 2.0;
+  for (double threshold = -2.5; threshold <= 2.5; threshold += 0.5) {
+    const auto point = analyzer.evaluate(threshold);
+    EXPECT_GE(point.system_fn, previous_fn - 1e-12);
+    EXPECT_LE(point.system_fp, previous_fp + 1e-12);
+    previous_fn = point.system_fn;
+    previous_fp = point.system_fp;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TradeoffProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+/// DualModel consistency for random two-sided models.
+class DualProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DualProperty, PerformanceIdentities) {
+  stats::Rng rng(GetParam() + 7000);
+  const auto fn = random_model(rng, 2);
+  const auto fp = random_model(rng, 3);
+  const auto fn_profile = random_profile(rng, fn.class_names());
+  const auto fp_profile = random_profile(rng, fp.class_names());
+  const double prevalence = rng.uniform(0.001, 0.2);
+  const core::DualModel dual(fn, fn_profile, fp, fp_profile, prevalence);
+  const auto p = dual.performance();
+  EXPECT_NEAR(p.recall_rate,
+              prevalence * p.sensitivity +
+                  (1.0 - prevalence) * p.false_positive_rate,
+              1e-12);
+  EXPECT_GE(p.ppv, 0.0);
+  EXPECT_LE(p.ppv, 1.0);
+  EXPECT_GE(p.npv, 0.0);
+  EXPECT_LE(p.npv, 1.0);
+  // Law of total probability: P(cancer) decomposes over recall outcome.
+  const double via_recall = p.ppv * p.recall_rate +
+                            (1.0 - p.npv) * (1.0 - p.recall_rate);
+  EXPECT_NEAR(via_recall, prevalence, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DualProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace hmdiv

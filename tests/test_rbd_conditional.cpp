@@ -1,0 +1,119 @@
+// Unit tests for rbd/conditional.hpp — the difficulty-function view that
+// generates the covariance terms of the paper's Eq. (3).
+#include "rbd/conditional.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace hmdiv::rbd {
+namespace {
+
+Structure detection_pair() {
+  return Structure::any_of(
+      {Structure::component(0), Structure::component(1)});
+}
+
+stats::DiscreteDistribution two_class_profile() {
+  return stats::DiscreteDistribution({0.8, 0.2});
+}
+
+TEST(ConditionalRbd, ValidatesConstruction) {
+  EXPECT_THROW(DemandConditionalRbd(detection_pair(), {{0.9, 0.9}},
+                                    two_class_profile()),
+               std::invalid_argument);  // one row for two classes
+  EXPECT_THROW(DemandConditionalRbd(detection_pair(), {{0.9}, {0.9, 0.9}},
+                                    two_class_profile()),
+               std::invalid_argument);  // short row
+  EXPECT_THROW(DemandConditionalRbd(detection_pair(),
+                                    {{0.9, 1.5}, {0.9, 0.9}},
+                                    two_class_profile()),
+               std::invalid_argument);  // out-of-range probability
+}
+
+TEST(ConditionalRbd, MixesOverClasses) {
+  // Per-class success probabilities (machine, human) in each row.
+  DemandConditionalRbd rbd(detection_pair(),
+                           {{0.93, 0.8}, {0.59, 0.2}}, two_class_profile());
+  const double easy = 1.0 - 0.07 * 0.2;
+  const double difficult = 1.0 - 0.41 * 0.8;
+  EXPECT_NEAR(rbd.success_given_class(0), easy, 1e-12);
+  EXPECT_NEAR(rbd.success_given_class(1), difficult, 1e-12);
+  EXPECT_NEAR(rbd.success_probability(), 0.8 * easy + 0.2 * difficult, 1e-12);
+  EXPECT_THROW(static_cast<void>(rbd.success_given_class(2)),
+               std::invalid_argument);
+}
+
+TEST(ConditionalRbd, Equation3Identity) {
+  // P(both fail) must equal PA·PB + cov, exactly.
+  DemandConditionalRbd rbd(detection_pair(),
+                           {{0.93, 0.8}, {0.59, 0.2}}, two_class_profile());
+  const double pa = rbd.component_failure_probability(0);
+  const double pb = rbd.component_failure_probability(1);
+  const double cov = rbd.failure_covariance(0, 1);
+  EXPECT_NEAR(rbd.joint_failure_probability(0, 1), pa * pb + cov, 1e-12);
+  EXPECT_GT(cov, 0.0);  // both components are worse on the difficult class
+}
+
+TEST(ConditionalRbd, MarginalFailuresAreProfileWeighted) {
+  DemandConditionalRbd rbd(detection_pair(),
+                           {{0.93, 0.8}, {0.59, 0.2}}, two_class_profile());
+  EXPECT_NEAR(rbd.component_failure_probability(0),
+              0.8 * 0.07 + 0.2 * 0.41, 1e-12);
+  EXPECT_NEAR(rbd.component_failure_probability(1), 0.8 * 0.2 + 0.2 * 0.8,
+              1e-12);
+}
+
+TEST(ConditionalRbd, IndependenceAssumptionUnderestimatesFailure) {
+  // With positively correlated difficulty, the naive independent estimate
+  // must be optimistic (lower failure probability) for a parallel pair.
+  DemandConditionalRbd rbd(detection_pair(),
+                           {{0.93, 0.8}, {0.59, 0.2}}, two_class_profile());
+  EXPECT_LT(rbd.failure_probability_assuming_independence(),
+            rbd.failure_probability());
+}
+
+TEST(ConditionalRbd, NegativeCorrelationHelps) {
+  // Machine good exactly where the human is bad and vice versa.
+  DemandConditionalRbd rbd(detection_pair(),
+                           {{0.99, 0.2}, {0.50, 0.95}}, two_class_profile());
+  EXPECT_LT(rbd.failure_covariance(0, 1), 0.0);
+  EXPECT_LT(rbd.failure_probability(),
+            rbd.failure_probability_assuming_independence());
+}
+
+TEST(ConditionalRbd, CorrelationIsNormalised) {
+  DemandConditionalRbd rbd(detection_pair(),
+                           {{0.93, 0.8}, {0.59, 0.2}}, two_class_profile());
+  const double corr = rbd.failure_correlation(0, 1);
+  EXPECT_GT(corr, 0.0);
+  EXPECT_LE(corr, 1.0);
+  // Two classes => difficulty functions are perfectly linearly related.
+  EXPECT_NEAR(corr, 1.0, 1e-9);
+}
+
+TEST(ConditionalRbd, ProfileReweighting) {
+  DemandConditionalRbd rbd(detection_pair(),
+                           {{0.93, 0.8}, {0.59, 0.2}}, two_class_profile());
+  const stats::DiscreteDistribution field({0.9, 0.1});
+  const double trial_failure = rbd.failure_probability();
+  const double field_failure = rbd.failure_probability_under(field);
+  // Fewer difficult cases in the field: failure probability drops.
+  EXPECT_LT(field_failure, trial_failure);
+  const stats::DiscreteDistribution wrong_size({1.0});
+  EXPECT_THROW(static_cast<void>(rbd.failure_probability_under(wrong_size)),
+               std::invalid_argument);
+}
+
+TEST(ConditionalRbd, ComponentIndexValidation) {
+  DemandConditionalRbd rbd(detection_pair(),
+                           {{0.93, 0.8}, {0.59, 0.2}}, two_class_profile());
+  EXPECT_THROW(static_cast<void>(rbd.component_failure_probability(5)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(rbd.failure_covariance(0, 5)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hmdiv::rbd

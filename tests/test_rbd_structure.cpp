@@ -1,0 +1,204 @@
+// Unit + property tests for rbd/structure.hpp.
+#include "rbd/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace hmdiv::rbd {
+namespace {
+
+std::vector<bool> states(std::initializer_list<int> bits) {
+  std::vector<bool> out;
+  for (const int b : bits) out.push_back(b != 0);
+  return out;
+}
+
+// std::vector<bool> cannot back a std::span<const bool>; use a plain array.
+bool eval(const Structure& s, std::initializer_list<int> bits) {
+  bool buffer[16];
+  std::size_t i = 0;
+  for (const int b : bits) buffer[i++] = b != 0;
+  return s.evaluate(std::span<const bool>(buffer, i));
+}
+
+TEST(Structure, ComponentIsIdentity) {
+  const auto s = Structure::component(0);
+  EXPECT_TRUE(eval(s, {1}));
+  EXPECT_FALSE(eval(s, {0}));
+  EXPECT_EQ(s.component_count(), 1u);
+}
+
+TEST(Structure, SeriesRequiresAll) {
+  const auto s = Structure::series(
+      {Structure::component(0), Structure::component(1)});
+  EXPECT_TRUE(eval(s, {1, 1}));
+  EXPECT_FALSE(eval(s, {1, 0}));
+  EXPECT_FALSE(eval(s, {0, 1}));
+  EXPECT_FALSE(eval(s, {0, 0}));
+}
+
+TEST(Structure, AnyOfRequiresOne) {
+  const auto s =
+      Structure::any_of({Structure::component(0), Structure::component(1)});
+  EXPECT_TRUE(eval(s, {1, 0}));
+  EXPECT_TRUE(eval(s, {0, 1}));
+  EXPECT_FALSE(eval(s, {0, 0}));
+}
+
+TEST(Structure, KOutOfNThreshold) {
+  const auto s = Structure::k_out_of_n(
+      2, {Structure::component(0), Structure::component(1),
+          Structure::component(2)});
+  EXPECT_TRUE(eval(s, {1, 1, 0}));
+  EXPECT_TRUE(eval(s, {1, 1, 1}));
+  EXPECT_FALSE(eval(s, {1, 0, 0}));
+}
+
+TEST(Structure, CombinatorsValidate) {
+  EXPECT_THROW(Structure::series({}), std::invalid_argument);
+  EXPECT_THROW(Structure::any_of({}), std::invalid_argument);
+  EXPECT_THROW(Structure::k_out_of_n(0, {Structure::component(0)}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Structure::k_out_of_n(3, {Structure::component(0),
+                                Structure::component(1)}),
+      std::invalid_argument);
+}
+
+TEST(Structure, EvaluateRejectsShortStateVector) {
+  const auto s = Structure::series(
+      {Structure::component(0), Structure::component(3)});
+  EXPECT_EQ(s.component_count(), 4u);
+  const auto short_states = states({1, 1});
+  bool buffer[2] = {true, true};
+  EXPECT_THROW(
+      static_cast<void>(s.evaluate(std::span<const bool>(buffer, 2))),
+      std::invalid_argument);
+  static_cast<void>(short_states);
+}
+
+TEST(Structure, SeriesProbabilityMultiplies) {
+  const auto s = Structure::series(
+      {Structure::component(0), Structure::component(1)});
+  const std::vector<double> p{0.9, 0.8};
+  EXPECT_NEAR(s.success_probability(p), 0.72, 1e-12);
+}
+
+TEST(Structure, ParallelProbabilityComplement) {
+  const auto s =
+      Structure::any_of({Structure::component(0), Structure::component(1)});
+  const std::vector<double> p{0.9, 0.8};
+  EXPECT_NEAR(s.success_probability(p), 1.0 - 0.1 * 0.2, 1e-12);
+}
+
+TEST(Structure, TwoOutOfThreeClosedForm) {
+  const auto s = Structure::k_out_of_n(
+      2, {Structure::component(0), Structure::component(1),
+          Structure::component(2)});
+  const double p = 0.9;
+  const std::vector<double> probs{p, p, p};
+  const double expected = 3.0 * p * p * (1.0 - p) + p * p * p;
+  EXPECT_NEAR(s.success_probability(probs), expected, 1e-12);
+}
+
+TEST(Structure, Figure2ShapeMatchesEquation1) {
+  // series(any_of(machine, human-detect), human-classify), Eq. (1) with
+  // conditional independence.
+  const auto s = Structure::series(
+      {Structure::any_of(
+           {Structure::component(0), Structure::component(1)}),
+       Structure::component(2)});
+  const double p_mf = 0.07, p_hmiss = 0.2, p_hmisclass = 0.1;
+  const std::vector<double> success{1.0 - p_mf, 1.0 - p_hmiss,
+                                    1.0 - p_hmisclass};
+  const double detection_failure = p_mf * p_hmiss;
+  const double expected_failure =
+      detection_failure + (1.0 - detection_failure) * p_hmisclass;
+  EXPECT_NEAR(1.0 - s.success_probability(success), expected_failure, 1e-12);
+}
+
+TEST(Structure, ProbabilityValidatesInput) {
+  const auto s = Structure::component(1);
+  const std::vector<double> short_p{0.5};
+  const std::vector<double> bad_p{0.5, 1.5};
+  EXPECT_THROW(static_cast<void>(s.success_probability(short_p)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(s.success_probability(bad_p)),
+               std::invalid_argument);
+}
+
+TEST(Structure, SharedComponentsDetected) {
+  const auto shared = Structure::any_of(
+      {Structure::series({Structure::component(0), Structure::component(1)}),
+       Structure::series({Structure::component(0), Structure::component(2)})});
+  EXPECT_TRUE(shared.has_shared_components());
+  const auto distinct = Structure::series(
+      {Structure::component(0), Structure::component(1)});
+  EXPECT_FALSE(distinct.has_shared_components());
+}
+
+TEST(Structure, EnumerationExactForSharedComponents) {
+  // Bridge-like structure with a shared component: formula would double
+  // count; enumeration must give P = P(c0)·(1 − (1−P(c1))(1−P(c2))).
+  const auto shared = Structure::any_of(
+      {Structure::series({Structure::component(0), Structure::component(1)}),
+       Structure::series({Structure::component(0), Structure::component(2)})});
+  const std::vector<double> p{0.5, 0.6, 0.7};
+  const double expected = 0.5 * (1.0 - 0.4 * 0.3);
+  EXPECT_NEAR(shared.success_by_enumeration(p), expected, 1e-12);
+}
+
+TEST(Structure, EnumerationRejectsTooManyComponents) {
+  const auto s = Structure::component(24);  // 25 components
+  const std::vector<double> p(25, 0.5);
+  EXPECT_THROW(static_cast<void>(s.success_by_enumeration(p)),
+               std::invalid_argument);
+}
+
+TEST(Structure, ToStringDescribesShape) {
+  const auto s = Structure::series(
+      {Structure::any_of(
+           {Structure::component(0), Structure::component(1)}),
+       Structure::component(2)});
+  EXPECT_EQ(s.to_string(), "series(any_of(c0, c1), c2)");
+  const auto k = Structure::k_out_of_n(
+      2, {Structure::component(0), Structure::component(1),
+          Structure::component(2)});
+  EXPECT_EQ(k.to_string(), "2_of_3(c0, c1, c2)");
+}
+
+/// Property: for random structures without shared components, the recursive
+/// formula and exhaustive enumeration agree.
+class RandomStructure : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomStructure, FormulaMatchesEnumeration) {
+  stats::Rng rng(GetParam());
+  // Build a random 3-level structure over 6 distinct components.
+  std::size_t next_component = 0;
+  auto leaf = [&]() { return Structure::component(next_component++); };
+  auto random_group = [&](auto make_child) {
+    std::vector<Structure> children;
+    const std::size_t n = 2 + rng.uniform_index(2);
+    for (std::size_t i = 0; i < n; ++i) children.push_back(make_child());
+    const auto choice = rng.uniform_index(3);
+    if (choice == 0) return Structure::series(std::move(children));
+    if (choice == 1) return Structure::any_of(std::move(children));
+    const std::size_t k = 1 + rng.uniform_index(n);
+    return Structure::k_out_of_n(k, std::move(children));
+  };
+  const Structure s = random_group([&] { return random_group(leaf); });
+  ASSERT_FALSE(s.has_shared_components());
+  std::vector<double> p(s.component_count());
+  for (double& v : p) v = rng.uniform();
+  EXPECT_NEAR(s.success_probability(p), s.success_by_enumeration(p), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStructure,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace hmdiv::rbd

@@ -1,0 +1,106 @@
+// Unit + integration tests for sim/reader_panel.hpp (§5 item 2).
+#include "sim/reader_panel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/feature_world.hpp"
+
+namespace hmdiv::sim {
+namespace {
+
+ReaderModel::Config base_config() {
+  return reference_feature_world().reader().config();
+}
+
+TEST(ReaderPanel, SampleValidatesArguments) {
+  stats::Rng rng(1);
+  EXPECT_THROW(static_cast<void>(ReaderPanel::sample(base_config(), 0, 0.1,
+                                                     rng)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(ReaderPanel::sample(base_config(), 3, -0.1,
+                                                     rng)),
+               std::invalid_argument);
+  EXPECT_THROW(ReaderPanel({}), std::invalid_argument);
+}
+
+TEST(ReaderPanel, ZeroSigmaYieldsIdenticalReaders) {
+  stats::Rng rng(2);
+  const auto panel = ReaderPanel::sample(base_config(), 5, 0.0, rng);
+  ASSERT_EQ(panel.size(), 5u);
+  for (std::size_t i = 1; i < panel.size(); ++i) {
+    EXPECT_EQ(panel.reader(i).config().skill, panel.reader(0).config().skill);
+  }
+  EXPECT_THROW(static_cast<void>(panel.reader(5)), std::invalid_argument);
+}
+
+TEST(ReaderPanel, PositiveSigmaSpreadsSkill) {
+  stats::Rng rng(3);
+  const auto panel = ReaderPanel::sample(base_config(), 30, 0.5, rng);
+  double lo = panel.reader(0).config().skill, hi = lo;
+  for (std::size_t i = 1; i < panel.size(); ++i) {
+    lo = std::min(lo, panel.reader(i).config().skill);
+    hi = std::max(hi, panel.reader(i).config().skill);
+  }
+  EXPECT_GT(hi - lo, 0.5);
+  EXPECT_GE(lo, 0.05);  // clamp
+}
+
+TEST(PanelTrial, AssignsCasesAcrossThePanel) {
+  const auto world = reference_feature_world();
+  stats::Rng rng(4);
+  const auto panel = ReaderPanel::sample(base_config(), 8, 0.2, rng);
+  const auto records =
+      run_panel_trial(world.generator(), world.cadt(), panel, 8000, rng);
+  EXPECT_EQ(records.size(), 8000u);
+  std::vector<int> counts(8, 0);
+  for (const auto& r : records) {
+    ASSERT_LT(r.reader_index, 8u);
+    ++counts[r.reader_index];
+  }
+  for (const int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+  EXPECT_THROW(static_cast<void>(run_panel_trial(world.generator(),
+                                                 world.cadt(), panel, 0, rng)),
+               std::invalid_argument);
+}
+
+TEST(PanelAnalysis, HomogeneousPanelShowsNoOverdispersion) {
+  const auto world = reference_feature_world();
+  stats::Rng rng(5);
+  const auto panel = ReaderPanel::sample(base_config(), 10, 0.0, rng);
+  const auto records =
+      run_panel_trial(world.generator(), world.cadt(), panel, 30000, rng);
+  const auto analysis = analyse_panel(records, panel.size());
+  EXPECT_LT(analysis.fit.rho(), 0.005);
+  EXPECT_GT(analysis.fit.mean(), 0.05);
+  EXPECT_LT(analysis.fit.mean(), 0.4);
+}
+
+TEST(PanelAnalysis, HeterogeneousPanelShowsOverdispersionAndRange) {
+  const auto world = reference_feature_world();
+  stats::Rng rng(6);
+  const auto panel = ReaderPanel::sample(base_config(), 10, 0.6, rng);
+  const auto records =
+      run_panel_trial(world.generator(), world.cadt(), panel, 30000, rng);
+  const auto analysis = analyse_panel(records, panel.size());
+  EXPECT_GT(analysis.fit.rho(), 0.001);
+  EXPECT_GT(analysis.highest_rate - analysis.lowest_rate, 0.03);
+  ASSERT_EQ(analysis.failure_rates.size(), 10u);
+}
+
+TEST(PanelAnalysis, ValidatesInput) {
+  EXPECT_THROW(static_cast<void>(analyse_panel({}, 0)),
+               std::invalid_argument);
+  std::vector<PanelRecord> records(1);
+  records[0].reader_index = 3;
+  EXPECT_THROW(static_cast<void>(analyse_panel(records, 2)),
+               std::invalid_argument);
+  // Reader 1 saw no cases.
+  std::vector<PanelRecord> lopsided(5);
+  EXPECT_THROW(static_cast<void>(analyse_panel(lopsided, 2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hmdiv::sim

@@ -1,0 +1,121 @@
+// Unit tests for core/roc.hpp and the CADT score interface.
+#include "core/roc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/cadt.hpp"
+#include "stats/rng.hpp"
+#include "stats/special.hpp"
+
+namespace hmdiv::core {
+namespace {
+
+TEST(BinormalAuc, KnownValues) {
+  EXPECT_NEAR(binormal_auc(0.0), 0.5, 1e-12);
+  // Equal-variance binormal: AUC = Phi(d'/sqrt(2)).
+  EXPECT_NEAR(binormal_auc(1.0), stats::normal_cdf(1.0 / std::sqrt(2.0)),
+              1e-12);
+  EXPECT_GT(binormal_auc(3.0), 0.98);
+  // A worse-than-chance detector mirrors below 0.5.
+  EXPECT_NEAR(binormal_auc(-1.0), 1.0 - binormal_auc(1.0), 1e-12);
+  EXPECT_THROW(static_cast<void>(binormal_auc(1.0, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(EmpiricalAuc, PerfectAndChanceSeparation) {
+  const std::vector<double> high{2.0, 3.0, 4.0};
+  const std::vector<double> low{-1.0, 0.0, 1.0};
+  EXPECT_EQ(empirical_auc(high, low), 1.0);
+  EXPECT_EQ(empirical_auc(low, high), 0.0);
+  EXPECT_NEAR(empirical_auc(high, high), 0.5, 1e-12);  // all ties
+}
+
+TEST(EmpiricalAuc, HandlesTiesAsHalfWins) {
+  const std::vector<double> positives{1.0, 2.0};
+  const std::vector<double> negatives{1.0, 0.0};
+  // Pairs: (1,1)=0.5, (1,0)=1, (2,1)=1, (2,0)=1 => 3.5/4.
+  EXPECT_NEAR(empirical_auc(positives, negatives), 3.5 / 4.0, 1e-12);
+  const std::vector<double> empty;
+  EXPECT_THROW(static_cast<void>(empirical_auc(empty, negatives)),
+               std::invalid_argument);
+}
+
+TEST(EmpiricalAuc, ConvergesToBinormalTruth) {
+  stats::Rng rng(2718);
+  const double delta = 1.3;
+  std::vector<double> positives, negatives;
+  for (int i = 0; i < 20000; ++i) {
+    positives.push_back(rng.normal(delta, 1.0));
+    negatives.push_back(rng.normal(0.0, 1.0));
+  }
+  EXPECT_NEAR(empirical_auc(positives, negatives), binormal_auc(delta),
+              0.006);
+}
+
+TEST(RocCurve, EndpointsAndMonotonicity) {
+  stats::Rng rng(2719);
+  std::vector<double> positives, negatives;
+  for (int i = 0; i < 2000; ++i) {
+    positives.push_back(rng.normal(1.0, 1.0));
+    negatives.push_back(rng.normal(0.0, 1.0));
+  }
+  const auto curve = empirical_roc_curve(positives, negatives);
+  EXPECT_EQ(curve.front().true_positive_rate, 0.0);
+  EXPECT_EQ(curve.front().false_positive_rate, 0.0);
+  EXPECT_EQ(curve.back().true_positive_rate, 1.0);
+  EXPECT_EQ(curve.back().false_positive_rate, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].true_positive_rate, curve[i - 1].true_positive_rate);
+    EXPECT_GE(curve[i].false_positive_rate, curve[i - 1].false_positive_rate);
+  }
+  // Trapezoidal area matches the Mann-Whitney AUC (continuous scores).
+  EXPECT_NEAR(curve_auc(curve), empirical_auc(positives, negatives), 1e-9);
+}
+
+TEST(RocCurve, CurveAucValidatesInput) {
+  const std::vector<RocPoint> one{RocPoint{}};
+  EXPECT_THROW(static_cast<void>(curve_auc(one)), std::invalid_argument);
+}
+
+TEST(CadtScores, ScoreSignReproducesPromptProbability) {
+  sim::CadtModel::Config config;
+  config.capability = 1.5;
+  config.sensitivity_slope = 1.4;
+  const sim::CadtModel cadt(config);
+  stats::Rng rng(31);
+  for (const double difficulty : {-0.5, 1.0, 2.5}) {
+    int prompts = 0;
+    const int n = 60000;
+    for (int i = 0; i < n; ++i) {
+      prompts += cadt.sample_score(difficulty, rng) > 0.0 ? 1 : 0;
+    }
+    EXPECT_NEAR(prompts / static_cast<double>(n),
+                cadt.prompt_probability(difficulty), 0.01)
+        << difficulty;
+  }
+}
+
+TEST(CadtScores, AucSeparatesEasyFromDifficultMachineCases) {
+  // The detector's scores on machine-easy cancers stochastically dominate
+  // those on machine-difficult ones; AUC quantifies the gap.
+  sim::CadtModel::Config config;
+  config.capability = 1.5;
+  config.sensitivity_slope = 1.4;
+  const sim::CadtModel cadt(config);
+  stats::Rng rng(32);
+  std::vector<double> easy_scores, difficult_scores;
+  for (int i = 0; i < 8000; ++i) {
+    easy_scores.push_back(cadt.sample_score(-0.9, rng));
+    difficult_scores.push_back(cadt.sample_score(1.1, rng));
+  }
+  const double auc = empirical_auc(easy_scores, difficult_scores);
+  EXPECT_GT(auc, 0.75);
+  EXPECT_LT(auc, 1.0);
+}
+
+}  // namespace
+}  // namespace hmdiv::core

@@ -1,0 +1,177 @@
+// Unit + property tests for core/sequential_model.hpp — the paper's main
+// model. The central properties: Eq. (8) == Eq. (9) == Eq. (10) identically,
+// and the §6.1 floor.
+#include "core/sequential_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/paper_example.hpp"
+#include "stats/rng.hpp"
+
+namespace hmdiv::core {
+namespace {
+
+SequentialModel tiny_model() {
+  ClassConditional a;
+  a.p_machine_fails = 0.1;
+  a.p_human_fails_given_machine_fails = 0.5;
+  a.p_human_fails_given_machine_succeeds = 0.2;
+  ClassConditional b;
+  b.p_machine_fails = 0.4;
+  b.p_human_fails_given_machine_fails = 0.9;
+  b.p_human_fails_given_machine_succeeds = 0.3;
+  return SequentialModel({"a", "b"}, {a, b});
+}
+
+TEST(SequentialModel, ValidatesConstruction) {
+  ClassConditional ok;
+  ClassConditional bad;
+  bad.p_machine_fails = 1.2;
+  EXPECT_THROW(SequentialModel({}, {}), std::invalid_argument);
+  EXPECT_THROW(SequentialModel({"a"}, {ok, ok}), std::invalid_argument);
+  EXPECT_THROW(SequentialModel({"a", "a"}, {ok, ok}), std::invalid_argument);
+  EXPECT_THROW(SequentialModel({"a"}, {bad}), std::invalid_argument);
+}
+
+TEST(SequentialModel, ClassAccessorsAndErrors) {
+  const auto m = tiny_model();
+  EXPECT_EQ(m.class_count(), 2u);
+  EXPECT_EQ(m.index_of("b"), 1u);
+  EXPECT_THROW(m.index_of("zzz"), std::invalid_argument);
+  EXPECT_THROW(m.parameters(2), std::invalid_argument);
+  EXPECT_NEAR(m.parameters(0).p_machine_succeeds(), 0.9, 1e-12);
+}
+
+TEST(SequentialModel, ImportanceIndexIsDifference) {
+  const auto m = tiny_model();
+  EXPECT_NEAR(m.importance_index(0), 0.3, 1e-12);
+  EXPECT_NEAR(m.importance_index(1), 0.6, 1e-12);
+  const auto line = m.importance_line(1);
+  EXPECT_NEAR(line.intercept, 0.3, 1e-12);
+  EXPECT_NEAR(line.slope, 0.6, 1e-12);
+  EXPECT_NEAR(line.at(0.4), m.system_failure_given_class(1), 1e-12);
+}
+
+TEST(SequentialModel, Equation4PerClass) {
+  const auto m = tiny_model();
+  EXPECT_NEAR(m.system_failure_given_class(0), 0.2 * 0.9 + 0.5 * 0.1, 1e-12);
+  EXPECT_NEAR(m.system_failure_given_class(1), 0.3 * 0.6 + 0.9 * 0.4, 1e-12);
+}
+
+TEST(SequentialModel, ProfileCompatibilityEnforced) {
+  const auto m = tiny_model();
+  const DemandProfile wrong({"x", "y"}, {0.5, 0.5});
+  EXPECT_FALSE(m.compatible_with(wrong));
+  EXPECT_THROW(static_cast<void>(m.system_failure_probability(wrong)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(m.decompose(wrong)), std::invalid_argument);
+}
+
+TEST(SequentialModel, FloorIsLowerBoundUnderMachineImprovement) {
+  const auto m = paper::example_model();
+  const auto field = paper::field_profile();
+  const double floor = m.failure_floor(field);
+  // Even a perfect machine (factor 0) cannot beat the floor.
+  const auto perfect = m.with_uniform_machine_improvement(0.0);
+  EXPECT_NEAR(perfect.system_failure_probability(field), floor, 1e-12);
+  for (const double factor : {0.9, 0.5, 0.1, 0.01}) {
+    EXPECT_GE(m.with_uniform_machine_improvement(factor)
+                  .system_failure_probability(field),
+              floor - 1e-12);
+  }
+}
+
+TEST(SequentialModel, MachineImprovementTransforms) {
+  const auto m = tiny_model();
+  const auto improved = m.with_machine_improvement(1, 0.5);
+  EXPECT_NEAR(improved.parameters(1).p_machine_fails, 0.2, 1e-12);
+  EXPECT_NEAR(improved.parameters(0).p_machine_fails, 0.1, 1e-12);
+  // Human response untouched.
+  EXPECT_NEAR(improved.parameters(1).p_human_fails_given_machine_fails, 0.9,
+              1e-12);
+  EXPECT_THROW(static_cast<void>(m.with_machine_improvement(5, 0.5)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(m.with_machine_improvement(0, -1.0)),
+               std::invalid_argument);
+  // Worsening clamps at 1.
+  const auto worse = m.with_machine_improvement(1, 10.0);
+  EXPECT_NEAR(worse.parameters(1).p_machine_fails, 1.0, 1e-12);
+}
+
+TEST(SequentialModel, ReaderImprovementScalesBothConditionals) {
+  const auto m = tiny_model();
+  const auto better = m.with_reader_improvement(0.5);
+  EXPECT_NEAR(better.parameters(0).p_human_fails_given_machine_fails, 0.25,
+              1e-12);
+  EXPECT_NEAR(better.parameters(0).p_human_fails_given_machine_succeeds, 0.1,
+              1e-12);
+  const DemandProfile p({"a", "b"}, {0.5, 0.5});
+  EXPECT_NEAR(better.system_failure_probability(p),
+              0.5 * m.system_failure_probability(p), 1e-12);
+}
+
+TEST(SequentialModel, MachineIgnoredPreservesFailureButZeroesT) {
+  const auto m = paper::example_model();
+  const auto ignored = m.with_machine_ignored();
+  const auto trial = paper::trial_profile();
+  EXPECT_NEAR(ignored.system_failure_probability(trial),
+              m.system_failure_probability(trial), 1e-12);
+  for (std::size_t x = 0; x < m.class_count(); ++x) {
+    EXPECT_NEAR(ignored.importance_index(x), 0.0, 1e-12) << x;
+    EXPECT_NEAR(ignored.system_failure_given_class(x),
+                m.system_failure_given_class(x), 1e-12)
+        << x;
+  }
+  // With t = 0, machine improvement does nothing (the §6.1 mistrust limit).
+  const auto improved = ignored.with_uniform_machine_improvement(0.1);
+  EXPECT_NEAR(improved.system_failure_probability(trial),
+              ignored.system_failure_probability(trial), 1e-12);
+}
+
+/// Property sweep: Eqs. (8), (9) and (10) are algebraically identical for
+/// random models and random profiles.
+class RandomModelIdentity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomModelIdentity, Eq8EqualsEq9EqualsEq10) {
+  stats::Rng rng(GetParam());
+  const std::size_t classes = 2 + rng.uniform_index(6);
+  std::vector<std::string> names;
+  std::vector<ClassConditional> params;
+  std::vector<double> weights;
+  for (std::size_t x = 0; x < classes; ++x) {
+    names.push_back("class" + std::to_string(x));
+    ClassConditional c;
+    c.p_machine_fails = rng.uniform();
+    c.p_human_fails_given_machine_fails = rng.uniform();
+    c.p_human_fails_given_machine_succeeds = rng.uniform();
+    params.push_back(c);
+    weights.push_back(rng.uniform() + 0.01);
+  }
+  const SequentialModel m(names, params);
+  const auto profile = DemandProfile::from_weights(names, weights);
+  const double eq8 = m.system_failure_probability(profile);
+  const double eq9 = m.system_failure_probability_eq9(profile);
+  const auto eq10 = m.decompose(profile);
+  EXPECT_NEAR(eq8, eq9, 1e-12);
+  EXPECT_NEAR(eq8, eq10.total(), 1e-12);
+  EXPECT_GE(eq8, 0.0);
+  EXPECT_LE(eq8, 1.0);
+  // The §6.1 floor is a lower bound whenever every t(x) >= 0 (machine
+  // failures never *help* the reader); with negative t it need not be.
+  bool all_t_nonnegative = true;
+  for (std::size_t x = 0; x < m.class_count(); ++x) {
+    all_t_nonnegative = all_t_nonnegative && m.importance_index(x) >= 0.0;
+  }
+  if (all_t_nonnegative) {
+    EXPECT_LE(eq10.floor, eq8 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomModelIdentity,
+                         ::testing::Range<std::uint64_t>(0, 32));
+
+}  // namespace
+}  // namespace hmdiv::core

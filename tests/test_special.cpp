@@ -1,0 +1,110 @@
+// Unit + property tests for stats/special.hpp.
+#include "stats/special.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+namespace hmdiv::stats {
+namespace {
+
+TEST(Special, LogBinomialCoefficientKnownValues) {
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(52, 5)), 2598960.0, 1e-3);
+  EXPECT_THROW(log_binomial_coefficient(3, 4), std::invalid_argument);
+}
+
+TEST(Special, IncompleteBetaUniformCase) {
+  // I_x(1,1) = x.
+  for (const double x : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(Special, IncompleteBetaSymmetry) {
+  // I_x(a,b) = 1 − I_{1−x}(b,a).
+  for (const double x : {0.1, 0.3, 0.7}) {
+    EXPECT_NEAR(regularized_incomplete_beta(2.5, 4.0, x),
+                1.0 - regularized_incomplete_beta(4.0, 2.5, 1.0 - x), 1e-12);
+  }
+}
+
+TEST(Special, IncompleteBetaKnownValue) {
+  // I_{0.5}(2,2) = 0.5 by symmetry; I_{0.25}(2,2) = 3x^2 - 2x^3 at 0.25.
+  EXPECT_NEAR(regularized_incomplete_beta(2.0, 2.0, 0.5), 0.5, 1e-12);
+  const double x = 0.25;
+  EXPECT_NEAR(regularized_incomplete_beta(2.0, 2.0, x),
+              3.0 * x * x - 2.0 * x * x * x, 1e-12);
+}
+
+TEST(Special, IncompleteBetaRejectsBadArguments) {
+  EXPECT_THROW(regularized_incomplete_beta(0.0, 1.0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(regularized_incomplete_beta(1.0, 1.0, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(regularized_incomplete_beta(1.0, 1.0, 1.1),
+               std::invalid_argument);
+}
+
+/// Round-trip property: inverse(I_x) recovers x over a grid of (a, b, p).
+class IncompleteBetaRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(IncompleteBetaRoundTrip, InverseRecoversProbability) {
+  const auto [a, b] = GetParam();
+  for (double p = 0.02; p < 1.0; p += 0.07) {
+    const double x = inverse_regularized_incomplete_beta(a, b, p);
+    EXPECT_NEAR(regularized_incomplete_beta(a, b, x), p, 1e-9)
+        << "a=" << a << " b=" << b << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, IncompleteBetaRoundTrip,
+    ::testing::Values(std::make_tuple(0.5, 0.5), std::make_tuple(1.0, 3.0),
+                      std::make_tuple(2.0, 2.0), std::make_tuple(5.0, 1.5),
+                      std::make_tuple(20.0, 80.0),
+                      std::make_tuple(200.0, 300.0)));
+
+TEST(Special, IncompleteGammaBoundariesAndKnownValues) {
+  EXPECT_EQ(regularized_lower_incomplete_gamma(1.0, 0.0), 0.0);
+  // P(1, x) = 1 − e^{−x}.
+  for (const double x : {0.1, 1.0, 3.0}) {
+    EXPECT_NEAR(regularized_lower_incomplete_gamma(1.0, x), 1.0 - std::exp(-x),
+                1e-12);
+  }
+  // Chi-square(2) at its median ~1.3863: P = 0.5.
+  EXPECT_NEAR(regularized_lower_incomplete_gamma(1.0, 0.5 * 1.3862943611),
+              0.5, 1e-9);
+  EXPECT_THROW(regularized_lower_incomplete_gamma(0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(regularized_lower_incomplete_gamma(1.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Special, NormalCdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-9);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-12);
+}
+
+TEST(Special, NormalQuantileRoundTrip) {
+  for (double p = 0.0005; p < 1.0; p += 0.013) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-11) << p;
+  }
+}
+
+TEST(Special, NormalQuantileKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963985, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959963985, 1e-8);
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hmdiv::stats

@@ -1,0 +1,132 @@
+// Unit tests for stats/summary.hpp — including the covariance helpers that
+// implement the cov_x(...) terms of the paper's Eqs. (3) and (10).
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace hmdiv::stats {
+namespace {
+
+TEST(Kahan, RecoversSmallTermsInLargeSums) {
+  KahanAccumulator acc;
+  acc.add(1e16);
+  for (int i = 0; i < 10000; ++i) acc.add(1.0);
+  acc.add(-1e16);
+  EXPECT_NEAR(acc.total(), 10000.0, 1.0);
+}
+
+TEST(OnlineStats, MatchesClosedForm) {
+  OnlineStats s;
+  const std::vector<double> data{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double v : data) s.add(v);
+  EXPECT_EQ(s.count(), data.size());
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, EmptyAndSingleton) {
+  OnlineStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_EQ(s.mean(), 3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Mean, BasicAndErrors) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_NEAR(mean(v), 2.0, 1e-12);
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), std::invalid_argument);
+}
+
+TEST(SampleVariance, BasicAndErrors) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(sample_variance(v), 5.0 / 3.0, 1e-12);
+  const std::vector<double> single{1.0};
+  EXPECT_THROW(sample_variance(single), std::invalid_argument);
+}
+
+TEST(WeightedMean, MatchesHandComputation) {
+  const std::vector<double> x{0.07, 0.41};
+  const std::vector<double> w{0.8, 0.2};
+  EXPECT_NEAR(weighted_mean(x, w), 0.8 * 0.07 + 0.2 * 0.41, 1e-12);
+}
+
+TEST(WeightedMean, NormalisesWeights) {
+  const std::vector<double> x{1.0, 3.0};
+  const std::vector<double> w{2.0, 2.0};
+  EXPECT_NEAR(weighted_mean(x, w), 2.0, 1e-12);
+}
+
+TEST(WeightedMean, Errors) {
+  const std::vector<double> x{1.0, 2.0};
+  const std::vector<double> short_w{1.0};
+  const std::vector<double> zero_w{0.0, 0.0};
+  const std::vector<double> neg_w{1.0, -1.0};
+  EXPECT_THROW(weighted_mean(x, short_w), std::invalid_argument);
+  EXPECT_THROW(weighted_mean(x, zero_w), std::invalid_argument);
+  EXPECT_THROW(weighted_mean(x, neg_w), std::invalid_argument);
+}
+
+TEST(WeightedCovariance, MatchesDefinition) {
+  // The paper-example values: PMf(x) and t(x) under the field profile.
+  const std::vector<double> p_mf{0.07, 0.41};
+  const std::vector<double> t{0.04, 0.5};
+  const std::vector<double> field{0.9, 0.1};
+  const double e_pmf = weighted_mean(p_mf, field);
+  const double e_t = weighted_mean(t, field);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    expected += field[i] * (p_mf[i] - e_pmf) * (t[i] - e_t);
+  }
+  EXPECT_NEAR(weighted_covariance(p_mf, t, field), expected, 1e-14);
+  // E[xy] − E[x]E[y] identity.
+  double e_xy = 0.0;
+  for (std::size_t i = 0; i < 2; ++i) e_xy += field[i] * p_mf[i] * t[i];
+  EXPECT_NEAR(weighted_covariance(p_mf, t, field), e_xy - e_pmf * e_t, 1e-14);
+}
+
+TEST(WeightedCovariance, SelfCovarianceIsVariance) {
+  const std::vector<double> x{1.0, 2.0, 4.0};
+  const std::vector<double> w{0.25, 0.5, 0.25};
+  const double v = weighted_covariance(x, x, w);
+  EXPECT_GT(v, 0.0);
+  // Var = E[x^2] − (E[x])^2 = (0.25 + 2 + 4) − 2.25^2.
+  EXPECT_NEAR(v, 6.25 - 2.25 * 2.25, 1e-12);
+}
+
+TEST(WeightedCorrelation, PerfectAndInverse) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y_same{2.0, 4.0, 6.0};
+  const std::vector<double> y_anti{3.0, 2.0, 1.0};
+  const std::vector<double> w{1.0, 1.0, 1.0};
+  EXPECT_NEAR(weighted_correlation(x, y_same, w), 1.0, 1e-12);
+  EXPECT_NEAR(weighted_correlation(x, y_anti, w), -1.0, 1e-12);
+}
+
+TEST(WeightedCorrelation, ConstantInputYieldsZero) {
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  const std::vector<double> w{1.0, 1.0, 1.0};
+  EXPECT_EQ(weighted_correlation(x, y, w), 0.0);
+}
+
+TEST(Correlation, UnweightedMatchesWeighted) {
+  const std::vector<double> x{1.0, 5.0, 2.0, 8.0};
+  const std::vector<double> y{2.0, 4.0, 1.0, 9.0};
+  const std::vector<double> w(4, 1.0);
+  EXPECT_NEAR(correlation(x, y), weighted_correlation(x, y, w), 1e-12);
+  const std::vector<double> bad{1.0};
+  EXPECT_THROW(correlation(x, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hmdiv::stats

@@ -1,0 +1,101 @@
+// Unit tests for report/table.hpp and report/csv.hpp.
+#include "report/csv.hpp"
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hmdiv::report {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsRowWithWrongCellCount) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsAlignOutOfRange) {
+  Table t({"a"});
+  EXPECT_THROW(t.align(1, Align::kLeft), std::invalid_argument);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"x", "y", "z"});
+  t.row({"1", "2", "3"}).row({"4", "5", "6"});
+  EXPECT_EQ(t.column_count(), 3u);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, TextRenderingAlignsColumns) {
+  Table t({"name", "value"});
+  t.row({"easy", "0.143"});
+  t.row({"difficult", "0.605"});
+  const std::string text = t.to_text();
+  // Header present, separator present, rows aligned right for col 2.
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("difficult"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  // "easy" padded to the width of "difficult" (left-aligned first column).
+  EXPECT_NE(text.find("easy     "), std::string::npos);
+}
+
+TEST(Table, CaptionAppearsFirst) {
+  Table t({"a"});
+  t.caption("My caption");
+  t.row({"1"});
+  EXPECT_EQ(t.to_text().rfind("My caption", 0), 0u);
+}
+
+TEST(Table, MarkdownHasSeparatorAndAlignment) {
+  Table t({"k", "v"});
+  t.row({"a", "1"});
+  const std::string md = t.to_markdown();
+  EXPECT_NE(md.find("| k | v |"), std::string::npos);
+  EXPECT_NE(md.find("|:---|---:|"), std::string::npos);
+  EXPECT_NE(md.find("| a | 1 |"), std::string::npos);
+}
+
+TEST(Table, StreamOperatorMatchesToText) {
+  Table t({"a"});
+  t.row({"1"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.to_text());
+}
+
+TEST(Csv, EscapePassesPlainFieldsThrough) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(Csv, EscapeQuotesSpecialFields) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriterEmitsRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"h1", "h2"});
+  w.row({"a,b", "c"});
+  EXPECT_EQ(os.str(), "h1,h2\n\"a,b\",c\n");
+}
+
+TEST(Csv, NumericRowRoundTripsDoubles) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.numeric_row({0.1, 2.0});
+  const std::string line = os.str();
+  EXPECT_NE(line.find("0.1"), std::string::npos);
+  EXPECT_NE(line.find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmdiv::report

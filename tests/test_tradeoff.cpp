@@ -1,0 +1,139 @@
+// Unit tests for core/tradeoff.hpp (FN/FP trade-off, Conclusions).
+#include "core/tradeoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace hmdiv::core {
+namespace {
+
+TradeoffAnalyzer reference_analyzer(double prevalence = 0.01) {
+  BinormalMachine machine;
+  machine.cancer_class_means = {2.0, 0.8};   // easy, difficult cancers
+  machine.normal_class_means = {-2.0, -0.5}; // typical, complex normals
+  DemandProfile cancers({"easy", "difficult"}, {0.9, 0.1});
+  std::vector<HumanFnResponse> fn(2);
+  fn[0] = {0.14, 0.18};
+  fn[1] = {0.4, 0.9};
+  DemandProfile normals({"typical", "complex"}, {0.85, 0.15});
+  std::vector<HumanFpResponse> fp(2);
+  fp[0] = {0.10, 0.02};
+  fp[1] = {0.35, 0.12};
+  return TradeoffAnalyzer(std::move(machine), std::move(cancers),
+                          std::move(fn), std::move(normals), std::move(fp),
+                          prevalence);
+}
+
+TEST(BinormalMachine, ProbabilitiesFollowThreshold) {
+  BinormalMachine m;
+  m.cancer_class_means = {1.0};
+  m.normal_class_means = {-1.0};
+  // At threshold = mean, FN probability is 0.5.
+  EXPECT_NEAR(m.p_false_negative(0, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(m.p_false_positive(0, -1.0), 0.5, 1e-12);
+  // Lower threshold => fewer FN, more FP.
+  EXPECT_LT(m.p_false_negative(0, 0.0), m.p_false_negative(0, 1.0));
+  EXPECT_GT(m.p_false_positive(0, 0.0), m.p_false_positive(0, 1.0));
+  EXPECT_THROW(static_cast<void>(m.p_false_negative(1, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(m.p_false_positive(1, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(TradeoffAnalyzer, ValidatesConstruction) {
+  BinormalMachine machine;
+  machine.cancer_class_means = {1.0};
+  machine.normal_class_means = {-1.0};
+  DemandProfile one({"a"}, {1.0});
+  std::vector<HumanFnResponse> fn(1);
+  std::vector<HumanFpResponse> fp(1);
+  EXPECT_THROW(TradeoffAnalyzer(machine, one, {}, one, fp, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW(TradeoffAnalyzer(machine, one, fn, one, fp, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(TradeoffAnalyzer(machine, one, fn, one, fp, 1.0),
+               std::invalid_argument);
+  std::vector<HumanFnResponse> bad_fn(1);
+  bad_fn[0].p_fail_given_machine_silent = 1.5;
+  EXPECT_THROW(TradeoffAnalyzer(machine, one, bad_fn, one, fp, 0.01),
+               std::invalid_argument);
+}
+
+TEST(TradeoffAnalyzer, MachineRatesAreMonotoneInThreshold) {
+  const auto analyzer = reference_analyzer();
+  double previous_fn = -1.0, previous_fp = 2.0;
+  for (double threshold = -3.0; threshold <= 3.0; threshold += 0.5) {
+    const auto point = analyzer.evaluate(threshold);
+    EXPECT_GT(point.machine_fn, previous_fn);
+    EXPECT_LT(point.machine_fp, previous_fp);
+    previous_fn = point.machine_fn;
+    previous_fp = point.machine_fp;
+  }
+}
+
+TEST(TradeoffAnalyzer, SystemInheritsTheTradeoffShape) {
+  // With positive importance indices on both sides, the system's FN rises
+  // and FP falls as the machine becomes less eager.
+  const auto analyzer = reference_analyzer();
+  const auto eager = analyzer.evaluate(-1.5);
+  const auto strict = analyzer.evaluate(1.5);
+  EXPECT_LT(eager.system_fn, strict.system_fn);
+  EXPECT_GT(eager.system_fp, strict.system_fp);
+  EXPECT_GT(eager.recall_rate, strict.recall_rate);
+}
+
+TEST(TradeoffAnalyzer, SystemRatesAreBoundedByHumanResponse) {
+  // Even a perfect machine cannot push system FN below the "given prompt"
+  // floor, nor a useless one above the "silent" ceiling (weighted).
+  const auto analyzer = reference_analyzer();
+  const auto perfect = analyzer.evaluate(-50.0);  // prompts everything
+  const auto useless = analyzer.evaluate(50.0);   // prompts nothing
+  // With prompts everywhere: FN = E[PHf|Ms] over cancer classes.
+  EXPECT_NEAR(perfect.system_fn, 0.9 * 0.14 + 0.1 * 0.4, 1e-6);
+  // With no prompts: FN = E[PHf|Mf].
+  EXPECT_NEAR(useless.system_fn, 0.9 * 0.18 + 0.1 * 0.9, 1e-6);
+  // FP side mirrors: prompts everywhere maximises false recalls.
+  EXPECT_GT(perfect.system_fp, useless.system_fp);
+}
+
+TEST(TradeoffAnalyzer, MetricsAreConsistent) {
+  const auto analyzer = reference_analyzer(0.01);
+  const auto point = analyzer.evaluate(0.3);
+  EXPECT_NEAR(point.sensitivity, 1.0 - point.system_fn, 1e-12);
+  EXPECT_NEAR(point.specificity, 1.0 - point.system_fp, 1e-12);
+  EXPECT_NEAR(point.recall_rate,
+              0.01 * point.sensitivity + 0.99 * point.system_fp, 1e-12);
+  EXPECT_NEAR(point.ppv, 0.01 * point.sensitivity / point.recall_rate, 1e-12);
+  EXPECT_GT(point.ppv, 0.0);
+  EXPECT_LT(point.ppv, 1.0);
+}
+
+TEST(TradeoffAnalyzer, SweepPreservesOrder) {
+  const auto analyzer = reference_analyzer();
+  const std::vector<double> thresholds{-1.0, 0.0, 1.0};
+  const auto points = analyzer.sweep(thresholds);
+  ASSERT_EQ(points.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(points[i].threshold, thresholds[i]);
+  }
+}
+
+TEST(TradeoffAnalyzer, CostMinimiserRespondsToCostRatio) {
+  const auto analyzer = reference_analyzer();
+  // Expensive misses => eager machine (low threshold); expensive recalls =>
+  // strict machine (high threshold).
+  const auto miss_averse = analyzer.minimise_cost(1000.0, 1.0, -3.0, 3.0, 61);
+  const auto recall_averse = analyzer.minimise_cost(1.0, 1000.0, -3.0, 3.0, 61);
+  EXPECT_LT(miss_averse.threshold, recall_averse.threshold);
+  EXPECT_THROW(static_cast<void>(
+                   analyzer.minimise_cost(-1.0, 1.0, -3.0, 3.0, 10)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(
+                   analyzer.minimise_cost(1.0, 1.0, 3.0, -3.0, 10)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hmdiv::core

@@ -1,0 +1,130 @@
+// Unit tests for screening/tuning.hpp and the KS test added to stats.
+#include "screening/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/feature_world.hpp"
+#include "stats/hypothesis.hpp"
+#include "stats/special.hpp"
+
+namespace hmdiv::screening {
+namespace {
+
+TEST(AnalyticRecallRate, DeterministicAndSane) {
+  const auto world = sim::reference_feature_world();
+  const auto population = PopulationGenerator::reference(0.007);
+  stats::Rng a(5), b(5);
+  const double r1 =
+      analytic_recall_rate(population, world.reader(), world.cadt(), a, 30000);
+  const double r2 =
+      analytic_recall_rate(population, world.reader(), world.cadt(), b, 30000);
+  EXPECT_EQ(r1, r2);
+  EXPECT_GT(r1, 0.001);
+  EXPECT_LT(r1, 0.5);
+  stats::Rng c(5);
+  EXPECT_THROW(static_cast<void>(analytic_recall_rate(
+                   population, world.reader(), world.cadt(), c, 0)),
+               std::invalid_argument);
+}
+
+TEST(AnalyticRecallRate, MonotoneInThresholdShift) {
+  const auto world = sim::reference_feature_world();
+  const auto population = PopulationGenerator::reference(0.01);
+  const std::uint64_t seed = 99;
+  double previous = 2.0;
+  for (const double shift : {-2.0, -1.0, 0.0, 1.0, 2.0}) {
+    stats::Rng rng(seed);  // common random numbers
+    const double recall = analytic_recall_rate(
+        population, world.reader(), world.cadt().with_threshold_shift(shift),
+        rng, 30000);
+    EXPECT_LT(recall, previous) << shift;
+    previous = recall;
+  }
+}
+
+TEST(Tuner, HitsTheTargetRecallRate) {
+  const auto world = sim::reference_feature_world();
+  const auto population = PopulationGenerator::reference(0.007);
+  stats::Rng rng(7);
+  const double target = 0.05;
+  const auto result = tune_threshold_for_recall_rate(
+      population, world.reader(), world.cadt(), target, -3.0, 4.0, rng,
+      30000, 40);
+  EXPECT_NEAR(result.achieved_recall_rate, target, 0.002);
+  // The tuned CADT really carries the solved shift.
+  EXPECT_NEAR(result.tuned_cadt.config().threshold_shift,
+              world.cadt().config().threshold_shift + result.threshold_shift,
+              1e-12);
+}
+
+TEST(Tuner, ValidatesArguments) {
+  const auto world = sim::reference_feature_world();
+  const auto population = PopulationGenerator::reference(0.007);
+  stats::Rng rng(8);
+  EXPECT_THROW(static_cast<void>(tune_threshold_for_recall_rate(
+                   population, world.reader(), world.cadt(), 0.0, -1.0, 1.0,
+                   rng)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(tune_threshold_for_recall_rate(
+                   population, world.reader(), world.cadt(), 0.05, 1.0, -1.0,
+                   rng)),
+               std::invalid_argument);
+  // Unreachable target on a tiny bracket.
+  EXPECT_THROW(static_cast<void>(tune_threshold_for_recall_rate(
+                   population, world.reader(), world.cadt(), 0.9, -0.1, 0.1,
+                   rng, 10000)),
+               std::invalid_argument);
+}
+
+TEST(KolmogorovSmirnov, AcceptsMatchingDistribution) {
+  stats::Rng rng(11);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) sample.push_back(rng.normal());
+  const auto result = stats::kolmogorov_smirnov_test(
+      sample, [](double x) { return stats::normal_cdf(x); });
+  EXPECT_GT(result.p_value, 0.01);
+  EXPECT_LT(result.statistic, 0.05);
+}
+
+TEST(KolmogorovSmirnov, RejectsShiftedDistribution) {
+  stats::Rng rng(12);
+  std::vector<double> sample;
+  for (int i = 0; i < 2000; ++i) sample.push_back(rng.normal() + 0.3);
+  const auto result = stats::kolmogorov_smirnov_test(
+      sample, [](double x) { return stats::normal_cdf(x); });
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(KolmogorovSmirnov, ValidatesInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW(static_cast<void>(stats::kolmogorov_smirnov_test(
+                   empty, [](double) { return 0.5; })),
+               std::invalid_argument);
+  const std::vector<double> sample{0.0, 1.0};
+  EXPECT_THROW(static_cast<void>(stats::kolmogorov_smirnov_test(
+                   sample, [](double) { return 2.0; })),
+               std::invalid_argument);
+}
+
+TEST(KolmogorovSmirnov, SimulatedDifficultiesMatchTheirSpec) {
+  // End-use: the easy class's human difficulty must be
+  // Normal(mean, sigma) as specified.
+  const auto world = sim::reference_feature_world();
+  const auto spec = world.generator().spec(0);
+  stats::Rng rng(13);
+  std::vector<double> sample;
+  for (int i = 0; i < 3000; ++i) {
+    sample.push_back(world.generator().sample_difficulties(0, rng).first);
+  }
+  const auto result = stats::kolmogorov_smirnov_test(sample, [&](double x) {
+    return stats::normal_cdf((x - spec.human_difficulty_mean) /
+                             spec.human_difficulty_sigma);
+  });
+  EXPECT_GT(result.p_value, 0.01);
+}
+
+}  // namespace
+}  // namespace hmdiv::screening

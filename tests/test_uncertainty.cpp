@@ -1,0 +1,119 @@
+// Unit tests for core/uncertainty.hpp — trial-size-aware predictions.
+#include "core/uncertainty.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/paper_example.hpp"
+
+namespace hmdiv::core {
+namespace {
+
+std::vector<ClassCounts> plausible_counts() {
+  // Roughly the paper's parameters observed in a 1000-case trial (800/200).
+  ClassCounts easy;
+  easy.cases = 800;
+  easy.machine_failures = 56;                         // ~0.07
+  easy.human_failures_given_machine_failed = 10;      // ~0.18
+  easy.human_failures_given_machine_succeeded = 104;  // ~0.14
+  ClassCounts difficult;
+  difficult.cases = 200;
+  difficult.machine_failures = 82;                        // ~0.41
+  difficult.human_failures_given_machine_failed = 74;     // ~0.9
+  difficult.human_failures_given_machine_succeeded = 47;  // ~0.4
+  return {easy, difficult};
+}
+
+TEST(Uncertainty, ValidatesCounts) {
+  ClassCounts bad;
+  bad.cases = 10;
+  bad.machine_failures = 12;
+  EXPECT_THROW(PosteriorModelSampler({"a"}, {bad}), std::invalid_argument);
+  ClassCounts zero;
+  EXPECT_THROW(PosteriorModelSampler({"a"}, {zero}), std::invalid_argument);
+  ClassCounts inconsistent;
+  inconsistent.cases = 10;
+  inconsistent.machine_failures = 2;
+  inconsistent.human_failures_given_machine_failed = 3;
+  EXPECT_THROW(PosteriorModelSampler({"a"}, {inconsistent}),
+               std::invalid_argument);
+  EXPECT_THROW(PosteriorModelSampler({}, {}), std::invalid_argument);
+}
+
+TEST(Uncertainty, PosteriorMeanTracksObservedProportions) {
+  const PosteriorModelSampler sampler({"easy", "difficult"},
+                                      plausible_counts());
+  const auto m = sampler.posterior_mean_model();
+  EXPECT_NEAR(m.parameters(0).p_machine_fails, 56.0 / 800.0, 0.01);
+  EXPECT_NEAR(m.parameters(1).p_machine_fails, 82.0 / 200.0, 0.01);
+  EXPECT_NEAR(m.parameters(1).p_human_fails_given_machine_fails, 74.0 / 82.0,
+              0.02);
+}
+
+TEST(Uncertainty, SamplesAreValidModels) {
+  const PosteriorModelSampler sampler({"easy", "difficult"},
+                                      plausible_counts());
+  stats::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const auto m = sampler.sample(rng);
+    for (std::size_t x = 0; x < 2; ++x) {
+      const auto& c = m.parameters(x);
+      EXPECT_GE(c.p_machine_fails, 0.0);
+      EXPECT_LE(c.p_machine_fails, 1.0);
+      EXPECT_GE(c.p_human_fails_given_machine_fails, 0.0);
+      EXPECT_LE(c.p_human_fails_given_machine_fails, 1.0);
+    }
+  }
+}
+
+TEST(Uncertainty, PredictionCoversEq8Value) {
+  const PosteriorModelSampler sampler({"easy", "difficult"},
+                                      plausible_counts());
+  stats::Rng rng(10);
+  const auto prediction =
+      sampler.predict(paper::field_profile(), rng, 4000);
+  // The generating parameters are close to the paper's: 0.189 must lie in
+  // the credible interval, and the mean near it.
+  EXPECT_LT(prediction.lower, 0.189);
+  EXPECT_GT(prediction.upper, 0.189);
+  EXPECT_NEAR(prediction.mean, 0.189, 0.02);
+  EXPECT_GT(prediction.stddev, 0.0);
+}
+
+TEST(Uncertainty, IntervalShrinksWithTrialSize) {
+  auto scale = [](const std::vector<ClassCounts>& base, std::uint64_t k) {
+    std::vector<ClassCounts> out = base;
+    for (auto& c : out) {
+      c.cases *= k;
+      c.machine_failures *= k;
+      c.human_failures_given_machine_failed *= k;
+      c.human_failures_given_machine_succeeded *= k;
+    }
+    return out;
+  };
+  const auto base = plausible_counts();
+  stats::Rng rng(11);
+  const auto small = PosteriorModelSampler({"easy", "difficult"}, base)
+                         .predict(paper::field_profile(), rng, 3000);
+  const auto large =
+      PosteriorModelSampler({"easy", "difficult"}, scale(base, 16))
+          .predict(paper::field_profile(), rng, 3000);
+  EXPECT_LT(large.width(), small.width());
+  EXPECT_LT(large.width(), 0.5 * small.width());  // ~4x shrink expected
+}
+
+TEST(Uncertainty, PredictValidatesArguments) {
+  const PosteriorModelSampler sampler({"easy", "difficult"},
+                                      plausible_counts());
+  stats::Rng rng(12);
+  EXPECT_THROW(static_cast<void>(
+                   sampler.predict(paper::field_profile(), rng, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(
+                   sampler.predict(paper::field_profile(), rng, 100, 1.5)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hmdiv::core
