@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregation_bias.dir/aggregation_bias.cpp.o"
+  "CMakeFiles/aggregation_bias.dir/aggregation_bias.cpp.o.d"
+  "aggregation_bias"
+  "aggregation_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregation_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complacency_dynamics.dir/complacency_dynamics.cpp.o"
+  "CMakeFiles/complacency_dynamics.dir/complacency_dynamics.cpp.o.d"
+  "complacency_dynamics"
+  "complacency_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complacency_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for complacency_dynamics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covariance_decomposition.dir/covariance_decomposition.cpp.o"
+  "CMakeFiles/covariance_decomposition.dir/covariance_decomposition.cpp.o.d"
+  "covariance_decomposition"
+  "covariance_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covariance_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diversity_ablation.dir/diversity_ablation.cpp.o"
+  "CMakeFiles/diversity_ablation.dir/diversity_ablation.cpp.o.d"
+  "diversity_ablation"
+  "diversity_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diversity_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_mode_whatif.dir/dual_mode_whatif.cpp.o"
+  "CMakeFiles/dual_mode_whatif.dir/dual_mode_whatif.cpp.o.d"
+  "dual_mode_whatif"
+  "dual_mode_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_mode_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_parallel_rbd.dir/fig2_parallel_rbd.cpp.o"
+  "CMakeFiles/fig2_parallel_rbd.dir/fig2_parallel_rbd.cpp.o.d"
+  "fig2_parallel_rbd"
+  "fig2_parallel_rbd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_parallel_rbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_sequential_pipeline.dir/fig3_sequential_pipeline.cpp.o"
+  "CMakeFiles/fig3_sequential_pipeline.dir/fig3_sequential_pipeline.cpp.o.d"
+  "fig3_sequential_pipeline"
+  "fig3_sequential_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_sequential_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_importance_line.cpp" "bench/CMakeFiles/fig4_importance_line.dir/fig4_importance_line.cpp.o" "gcc" "bench/CMakeFiles/fig4_importance_line.dir/fig4_importance_line.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/screening/CMakeFiles/hmdiv_screening.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hmdiv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hmdiv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbd/CMakeFiles/hmdiv_rbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hmdiv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/hmdiv_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_importance_line.dir/fig4_importance_line.cpp.o"
+  "CMakeFiles/fig4_importance_line.dir/fig4_importance_line.cpp.o.d"
+  "fig4_importance_line"
+  "fig4_importance_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_importance_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procedure_validity.dir/procedure_validity.cpp.o"
+  "CMakeFiles/procedure_validity.dir/procedure_validity.cpp.o.d"
+  "procedure_validity"
+  "procedure_validity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procedure_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

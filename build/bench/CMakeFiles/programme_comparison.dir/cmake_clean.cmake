@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/programme_comparison.dir/programme_comparison.cpp.o"
+  "CMakeFiles/programme_comparison.dir/programme_comparison.cpp.o.d"
+  "programme_comparison"
+  "programme_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/programme_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reader_variability.dir/reader_variability.cpp.o"
+  "CMakeFiles/reader_variability.dir/reader_variability.cpp.o.d"
+  "reader_variability"
+  "reader_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reader_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

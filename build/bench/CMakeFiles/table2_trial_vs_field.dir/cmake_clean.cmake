@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_trial_vs_field.dir/table2_trial_vs_field.cpp.o"
+  "CMakeFiles/table2_trial_vs_field.dir/table2_trial_vs_field.cpp.o.d"
+  "table2_trial_vs_field"
+  "table2_trial_vs_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_trial_vs_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_trial_vs_field.
+# This may be replaced when dependencies are built.

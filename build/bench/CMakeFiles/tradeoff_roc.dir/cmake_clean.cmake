@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradeoff_roc.dir/tradeoff_roc.cpp.o"
+  "CMakeFiles/tradeoff_roc.dir/tradeoff_roc.cpp.o.d"
+  "tradeoff_roc"
+  "tradeoff_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trial_design.dir/trial_design.cpp.o"
+  "CMakeFiles/trial_design.dir/trial_design.cpp.o.d"
+  "trial_design"
+  "trial_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trial_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automation_bias_study.dir/automation_bias_study.cpp.o"
+  "CMakeFiles/automation_bias_study.dir/automation_bias_study.cpp.o.d"
+  "automation_bias_study"
+  "automation_bias_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automation_bias_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_improvement.dir/design_improvement.cpp.o"
+  "CMakeFiles/design_improvement.dir/design_improvement.cpp.o.d"
+  "design_improvement"
+  "design_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

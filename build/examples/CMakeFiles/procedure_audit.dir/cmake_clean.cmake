@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procedure_audit.dir/procedure_audit.cpp.o"
+  "CMakeFiles/procedure_audit.dir/procedure_audit.cpp.o.d"
+  "procedure_audit"
+  "procedure_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procedure_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/programme_planning.dir/programme_planning.cpp.o"
+  "CMakeFiles/programme_planning.dir/programme_planning.cpp.o.d"
+  "programme_planning"
+  "programme_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/programme_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

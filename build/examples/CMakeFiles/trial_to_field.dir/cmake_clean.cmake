@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trial_to_field.dir/trial_to_field.cpp.o"
+  "CMakeFiles/trial_to_field.dir/trial_to_field.cpp.o.d"
+  "trial_to_field"
+  "trial_to_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trial_to_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for trial_to_field.
+# This may be replaced when dependencies are built.

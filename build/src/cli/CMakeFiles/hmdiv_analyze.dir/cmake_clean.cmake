@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmdiv_analyze.dir/hmdiv_analyze.cpp.o"
+  "CMakeFiles/hmdiv_analyze.dir/hmdiv_analyze.cpp.o.d"
+  "hmdiv_analyze"
+  "hmdiv_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmdiv_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

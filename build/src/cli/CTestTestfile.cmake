@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/cli
+# Build directory: /root/repo/build/src/cli
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_example "/root/repo/build/src/cli/hmdiv_analyze" "--example")
+set_tests_properties(cli_example PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;6;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test(cli_example_text "/root/repo/build/src/cli/hmdiv_analyze" "--example" "--text" "--improve" "difficult=0.1")
+set_tests_properties(cli_example_text PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;7;add_test;/root/repo/src/cli/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_flag "/root/repo/build/src/cli/hmdiv_analyze" "--bogus")
+set_tests_properties(cli_rejects_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/src/cli/CMakeLists.txt;9;add_test;/root/repo/src/cli/CMakeLists.txt;0;")

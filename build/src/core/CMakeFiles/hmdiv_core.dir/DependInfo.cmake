@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cpp" "src/core/CMakeFiles/hmdiv_core.dir/aggregation.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/aggregation.cpp.o.d"
+  "/root/repo/src/core/analysis_report.cpp" "src/core/CMakeFiles/hmdiv_core.dir/analysis_report.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/analysis_report.cpp.o.d"
+  "/root/repo/src/core/demand_profile.cpp" "src/core/CMakeFiles/hmdiv_core.dir/demand_profile.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/demand_profile.cpp.o.d"
+  "/root/repo/src/core/describe.cpp" "src/core/CMakeFiles/hmdiv_core.dir/describe.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/describe.cpp.o.d"
+  "/root/repo/src/core/design_advisor.cpp" "src/core/CMakeFiles/hmdiv_core.dir/design_advisor.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/design_advisor.cpp.o.d"
+  "/root/repo/src/core/dual_model.cpp" "src/core/CMakeFiles/hmdiv_core.dir/dual_model.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/dual_model.cpp.o.d"
+  "/root/repo/src/core/extrapolation.cpp" "src/core/CMakeFiles/hmdiv_core.dir/extrapolation.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/extrapolation.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/hmdiv_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/multi_reader.cpp" "src/core/CMakeFiles/hmdiv_core.dir/multi_reader.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/multi_reader.cpp.o.d"
+  "/root/repo/src/core/paper_example.cpp" "src/core/CMakeFiles/hmdiv_core.dir/paper_example.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/paper_example.cpp.o.d"
+  "/root/repo/src/core/parallel_model.cpp" "src/core/CMakeFiles/hmdiv_core.dir/parallel_model.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/parallel_model.cpp.o.d"
+  "/root/repo/src/core/roc.cpp" "src/core/CMakeFiles/hmdiv_core.dir/roc.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/roc.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/hmdiv_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/sequential_model.cpp" "src/core/CMakeFiles/hmdiv_core.dir/sequential_model.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/sequential_model.cpp.o.d"
+  "/root/repo/src/core/tradeoff.cpp" "src/core/CMakeFiles/hmdiv_core.dir/tradeoff.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/tradeoff.cpp.o.d"
+  "/root/repo/src/core/trial_design.cpp" "src/core/CMakeFiles/hmdiv_core.dir/trial_design.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/trial_design.cpp.o.d"
+  "/root/repo/src/core/uncertainty.cpp" "src/core/CMakeFiles/hmdiv_core.dir/uncertainty.cpp.o" "gcc" "src/core/CMakeFiles/hmdiv_core.dir/uncertainty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/hmdiv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbd/CMakeFiles/hmdiv_rbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/hmdiv_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rbd/conditional.cpp" "src/rbd/CMakeFiles/hmdiv_rbd.dir/conditional.cpp.o" "gcc" "src/rbd/CMakeFiles/hmdiv_rbd.dir/conditional.cpp.o.d"
+  "/root/repo/src/rbd/importance.cpp" "src/rbd/CMakeFiles/hmdiv_rbd.dir/importance.cpp.o" "gcc" "src/rbd/CMakeFiles/hmdiv_rbd.dir/importance.cpp.o.d"
+  "/root/repo/src/rbd/structure.cpp" "src/rbd/CMakeFiles/hmdiv_rbd.dir/structure.cpp.o" "gcc" "src/rbd/CMakeFiles/hmdiv_rbd.dir/structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/hmdiv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

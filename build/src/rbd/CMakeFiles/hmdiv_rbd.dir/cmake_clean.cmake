@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmdiv_rbd.dir/conditional.cpp.o"
+  "CMakeFiles/hmdiv_rbd.dir/conditional.cpp.o.d"
+  "CMakeFiles/hmdiv_rbd.dir/importance.cpp.o"
+  "CMakeFiles/hmdiv_rbd.dir/importance.cpp.o.d"
+  "CMakeFiles/hmdiv_rbd.dir/structure.cpp.o"
+  "CMakeFiles/hmdiv_rbd.dir/structure.cpp.o.d"
+  "libhmdiv_rbd.a"
+  "libhmdiv_rbd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmdiv_rbd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

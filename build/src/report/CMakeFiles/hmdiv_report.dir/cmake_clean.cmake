@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmdiv_report.dir/csv.cpp.o"
+  "CMakeFiles/hmdiv_report.dir/csv.cpp.o.d"
+  "CMakeFiles/hmdiv_report.dir/format.cpp.o"
+  "CMakeFiles/hmdiv_report.dir/format.cpp.o.d"
+  "CMakeFiles/hmdiv_report.dir/table.cpp.o"
+  "CMakeFiles/hmdiv_report.dir/table.cpp.o.d"
+  "libhmdiv_report.a"
+  "libhmdiv_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmdiv_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/screening/metrics.cpp" "src/screening/CMakeFiles/hmdiv_screening.dir/metrics.cpp.o" "gcc" "src/screening/CMakeFiles/hmdiv_screening.dir/metrics.cpp.o.d"
+  "/root/repo/src/screening/policies.cpp" "src/screening/CMakeFiles/hmdiv_screening.dir/policies.cpp.o" "gcc" "src/screening/CMakeFiles/hmdiv_screening.dir/policies.cpp.o.d"
+  "/root/repo/src/screening/population.cpp" "src/screening/CMakeFiles/hmdiv_screening.dir/population.cpp.o" "gcc" "src/screening/CMakeFiles/hmdiv_screening.dir/population.cpp.o.d"
+  "/root/repo/src/screening/programme.cpp" "src/screening/CMakeFiles/hmdiv_screening.dir/programme.cpp.o" "gcc" "src/screening/CMakeFiles/hmdiv_screening.dir/programme.cpp.o.d"
+  "/root/repo/src/screening/tuning.cpp" "src/screening/CMakeFiles/hmdiv_screening.dir/tuning.cpp.o" "gcc" "src/screening/CMakeFiles/hmdiv_screening.dir/tuning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hmdiv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hmdiv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbd/CMakeFiles/hmdiv_rbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/hmdiv_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hmdiv_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

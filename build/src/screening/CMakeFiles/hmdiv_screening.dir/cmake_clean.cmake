@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmdiv_screening.dir/metrics.cpp.o"
+  "CMakeFiles/hmdiv_screening.dir/metrics.cpp.o.d"
+  "CMakeFiles/hmdiv_screening.dir/policies.cpp.o"
+  "CMakeFiles/hmdiv_screening.dir/policies.cpp.o.d"
+  "CMakeFiles/hmdiv_screening.dir/population.cpp.o"
+  "CMakeFiles/hmdiv_screening.dir/population.cpp.o.d"
+  "CMakeFiles/hmdiv_screening.dir/programme.cpp.o"
+  "CMakeFiles/hmdiv_screening.dir/programme.cpp.o.d"
+  "CMakeFiles/hmdiv_screening.dir/tuning.cpp.o"
+  "CMakeFiles/hmdiv_screening.dir/tuning.cpp.o.d"
+  "libhmdiv_screening.a"
+  "libhmdiv_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmdiv_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cadt.cpp" "src/sim/CMakeFiles/hmdiv_sim.dir/cadt.cpp.o" "gcc" "src/sim/CMakeFiles/hmdiv_sim.dir/cadt.cpp.o.d"
+  "/root/repo/src/sim/case_generator.cpp" "src/sim/CMakeFiles/hmdiv_sim.dir/case_generator.cpp.o" "gcc" "src/sim/CMakeFiles/hmdiv_sim.dir/case_generator.cpp.o.d"
+  "/root/repo/src/sim/estimation.cpp" "src/sim/CMakeFiles/hmdiv_sim.dir/estimation.cpp.o" "gcc" "src/sim/CMakeFiles/hmdiv_sim.dir/estimation.cpp.o.d"
+  "/root/repo/src/sim/feature_world.cpp" "src/sim/CMakeFiles/hmdiv_sim.dir/feature_world.cpp.o" "gcc" "src/sim/CMakeFiles/hmdiv_sim.dir/feature_world.cpp.o.d"
+  "/root/repo/src/sim/ground_truth.cpp" "src/sim/CMakeFiles/hmdiv_sim.dir/ground_truth.cpp.o" "gcc" "src/sim/CMakeFiles/hmdiv_sim.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/sim/parallel_world.cpp" "src/sim/CMakeFiles/hmdiv_sim.dir/parallel_world.cpp.o" "gcc" "src/sim/CMakeFiles/hmdiv_sim.dir/parallel_world.cpp.o.d"
+  "/root/repo/src/sim/reader.cpp" "src/sim/CMakeFiles/hmdiv_sim.dir/reader.cpp.o" "gcc" "src/sim/CMakeFiles/hmdiv_sim.dir/reader.cpp.o.d"
+  "/root/repo/src/sim/reader_panel.cpp" "src/sim/CMakeFiles/hmdiv_sim.dir/reader_panel.cpp.o" "gcc" "src/sim/CMakeFiles/hmdiv_sim.dir/reader_panel.cpp.o.d"
+  "/root/repo/src/sim/tabular_world.cpp" "src/sim/CMakeFiles/hmdiv_sim.dir/tabular_world.cpp.o" "gcc" "src/sim/CMakeFiles/hmdiv_sim.dir/tabular_world.cpp.o.d"
+  "/root/repo/src/sim/trial.cpp" "src/sim/CMakeFiles/hmdiv_sim.dir/trial.cpp.o" "gcc" "src/sim/CMakeFiles/hmdiv_sim.dir/trial.cpp.o.d"
+  "/root/repo/src/sim/two_reader_world.cpp" "src/sim/CMakeFiles/hmdiv_sim.dir/two_reader_world.cpp.o" "gcc" "src/sim/CMakeFiles/hmdiv_sim.dir/two_reader_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hmdiv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hmdiv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbd/CMakeFiles/hmdiv_rbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/hmdiv_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmdiv_sim.dir/cadt.cpp.o"
+  "CMakeFiles/hmdiv_sim.dir/cadt.cpp.o.d"
+  "CMakeFiles/hmdiv_sim.dir/case_generator.cpp.o"
+  "CMakeFiles/hmdiv_sim.dir/case_generator.cpp.o.d"
+  "CMakeFiles/hmdiv_sim.dir/estimation.cpp.o"
+  "CMakeFiles/hmdiv_sim.dir/estimation.cpp.o.d"
+  "CMakeFiles/hmdiv_sim.dir/feature_world.cpp.o"
+  "CMakeFiles/hmdiv_sim.dir/feature_world.cpp.o.d"
+  "CMakeFiles/hmdiv_sim.dir/ground_truth.cpp.o"
+  "CMakeFiles/hmdiv_sim.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/hmdiv_sim.dir/parallel_world.cpp.o"
+  "CMakeFiles/hmdiv_sim.dir/parallel_world.cpp.o.d"
+  "CMakeFiles/hmdiv_sim.dir/reader.cpp.o"
+  "CMakeFiles/hmdiv_sim.dir/reader.cpp.o.d"
+  "CMakeFiles/hmdiv_sim.dir/reader_panel.cpp.o"
+  "CMakeFiles/hmdiv_sim.dir/reader_panel.cpp.o.d"
+  "CMakeFiles/hmdiv_sim.dir/tabular_world.cpp.o"
+  "CMakeFiles/hmdiv_sim.dir/tabular_world.cpp.o.d"
+  "CMakeFiles/hmdiv_sim.dir/trial.cpp.o"
+  "CMakeFiles/hmdiv_sim.dir/trial.cpp.o.d"
+  "CMakeFiles/hmdiv_sim.dir/two_reader_world.cpp.o"
+  "CMakeFiles/hmdiv_sim.dir/two_reader_world.cpp.o.d"
+  "libhmdiv_sim.a"
+  "libhmdiv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmdiv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/beta_binomial.cpp" "src/stats/CMakeFiles/hmdiv_stats.dir/beta_binomial.cpp.o" "gcc" "src/stats/CMakeFiles/hmdiv_stats.dir/beta_binomial.cpp.o.d"
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/hmdiv_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/hmdiv_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/hmdiv_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/hmdiv_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/hypothesis.cpp" "src/stats/CMakeFiles/hmdiv_stats.dir/hypothesis.cpp.o" "gcc" "src/stats/CMakeFiles/hmdiv_stats.dir/hypothesis.cpp.o.d"
+  "/root/repo/src/stats/intervals.cpp" "src/stats/CMakeFiles/hmdiv_stats.dir/intervals.cpp.o" "gcc" "src/stats/CMakeFiles/hmdiv_stats.dir/intervals.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/hmdiv_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/hmdiv_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/hmdiv_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/hmdiv_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/hmdiv_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/hmdiv_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmdiv_stats.dir/beta_binomial.cpp.o"
+  "CMakeFiles/hmdiv_stats.dir/beta_binomial.cpp.o.d"
+  "CMakeFiles/hmdiv_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/hmdiv_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/hmdiv_stats.dir/distributions.cpp.o"
+  "CMakeFiles/hmdiv_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/hmdiv_stats.dir/hypothesis.cpp.o"
+  "CMakeFiles/hmdiv_stats.dir/hypothesis.cpp.o.d"
+  "CMakeFiles/hmdiv_stats.dir/intervals.cpp.o"
+  "CMakeFiles/hmdiv_stats.dir/intervals.cpp.o.d"
+  "CMakeFiles/hmdiv_stats.dir/rng.cpp.o"
+  "CMakeFiles/hmdiv_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/hmdiv_stats.dir/special.cpp.o"
+  "CMakeFiles/hmdiv_stats.dir/special.cpp.o.d"
+  "CMakeFiles/hmdiv_stats.dir/summary.cpp.o"
+  "CMakeFiles/hmdiv_stats.dir/summary.cpp.o.d"
+  "libhmdiv_stats.a"
+  "libhmdiv_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmdiv_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhmdiv_stats.a"
+)

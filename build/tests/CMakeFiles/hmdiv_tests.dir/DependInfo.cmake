@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aggregation.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_aggregation.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_aggregation.cpp.o.d"
+  "/root/repo/tests/test_analysis_report.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_analysis_report.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_analysis_report.cpp.o.d"
+  "/root/repo/tests/test_beta_binomial.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_beta_binomial.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_beta_binomial.cpp.o.d"
+  "/root/repo/tests/test_bootstrap.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_bootstrap.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_bootstrap.cpp.o.d"
+  "/root/repo/tests/test_cadt.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_cadt.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_cadt.cpp.o.d"
+  "/root/repo/tests/test_case_generator.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_case_generator.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_case_generator.cpp.o.d"
+  "/root/repo/tests/test_demand_profile.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_demand_profile.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_demand_profile.cpp.o.d"
+  "/root/repo/tests/test_describe.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_describe.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_describe.cpp.o.d"
+  "/root/repo/tests/test_design_advisor.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_design_advisor.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_design_advisor.cpp.o.d"
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_dual_model.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_dual_model.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_dual_model.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_extrapolation.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_extrapolation.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_extrapolation.cpp.o.d"
+  "/root/repo/tests/test_feature_world.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_feature_world.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_feature_world.cpp.o.d"
+  "/root/repo/tests/test_format.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_format.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_format.cpp.o.d"
+  "/root/repo/tests/test_hypothesis.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_hypothesis.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_hypothesis.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_intervals.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_intervals.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_intervals.cpp.o.d"
+  "/root/repo/tests/test_model_io.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_model_io.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_model_io.cpp.o.d"
+  "/root/repo/tests/test_multi_reader.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_multi_reader.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_multi_reader.cpp.o.d"
+  "/root/repo/tests/test_paper_tables.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_paper_tables.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_paper_tables.cpp.o.d"
+  "/root/repo/tests/test_parallel_model.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_parallel_model.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_parallel_model.cpp.o.d"
+  "/root/repo/tests/test_parallel_world.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_parallel_world.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_parallel_world.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rbd_conditional.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_rbd_conditional.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_rbd_conditional.cpp.o.d"
+  "/root/repo/tests/test_rbd_importance.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_rbd_importance.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_rbd_importance.cpp.o.d"
+  "/root/repo/tests/test_rbd_structure.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_rbd_structure.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_rbd_structure.cpp.o.d"
+  "/root/repo/tests/test_reader.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_reader.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_reader.cpp.o.d"
+  "/root/repo/tests/test_reader_panel.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_reader_panel.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_reader_panel.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_roc.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_roc.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_roc.cpp.o.d"
+  "/root/repo/tests/test_screening.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_screening.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_screening.cpp.o.d"
+  "/root/repo/tests/test_sensitivity.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_sensitivity.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_sensitivity.cpp.o.d"
+  "/root/repo/tests/test_sequential_model.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_sequential_model.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_sequential_model.cpp.o.d"
+  "/root/repo/tests/test_special.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_special.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_special.cpp.o.d"
+  "/root/repo/tests/test_summary.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_summary.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_summary.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_tradeoff.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_tradeoff.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_tradeoff.cpp.o.d"
+  "/root/repo/tests/test_trial_design.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_trial_design.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_trial_design.cpp.o.d"
+  "/root/repo/tests/test_trial_estimation.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_trial_estimation.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_trial_estimation.cpp.o.d"
+  "/root/repo/tests/test_tuning.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_tuning.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_tuning.cpp.o.d"
+  "/root/repo/tests/test_two_reader_world.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_two_reader_world.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_two_reader_world.cpp.o.d"
+  "/root/repo/tests/test_uncertainty.cpp" "tests/CMakeFiles/hmdiv_tests.dir/test_uncertainty.cpp.o" "gcc" "tests/CMakeFiles/hmdiv_tests.dir/test_uncertainty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/screening/CMakeFiles/hmdiv_screening.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hmdiv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hmdiv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbd/CMakeFiles/hmdiv_rbd.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hmdiv_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/hmdiv_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
