@@ -1,16 +1,28 @@
 // Experiment P1 — engineering microbenchmarks (google-benchmark): cost of
 // model evaluation, decomposition, RBD evaluation (formula vs enumeration),
-// and simulation throughput. These bound the cost of the parameter sweeps
-// and Monte-Carlo analyses the other benches run.
+// simulation throughput, and the thread-scaling of the exec engine's
+// Monte-Carlo hot paths (bootstrap, posterior propagation, trial
+// simulation, threshold sweeps) at 1/2/4/8 threads. The scaling benches
+// use UseRealTime so wall-clock speedup — the quantity the engine buys —
+// is what the trajectory tracks; on an N-core machine the >=4-thread
+// numbers should show close to min(4, N)x throughput.
 #include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <span>
+#include <vector>
 
 #include "core/design_advisor.hpp"
 #include "core/paper_example.hpp"
+#include "core/tradeoff.hpp"
+#include "core/uncertainty.hpp"
+#include "exec/parallel.hpp"
 #include "rbd/structure.hpp"
 #include "sim/estimation.hpp"
 #include "sim/feature_world.hpp"
 #include "sim/tabular_world.hpp"
 #include "sim/trial.hpp"
+#include "stats/bootstrap.hpp"
 
 namespace {
 
@@ -107,5 +119,117 @@ void BM_EstimateFromTrial(benchmark::State& state) {
                           static_cast<std::int64_t>(cases));
 }
 BENCHMARK(BM_EstimateFromTrial)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// --- Thread-scaling benchmarks -------------------------------------------
+// Every BM_*Scaling bench runs the same deterministic workload with a
+// thread budget of state.range(0); the outputs are bit-identical across
+// rows, so any throughput delta is pure scheduling.
+
+void BM_BootstrapScaling(benchmark::State& state) {
+  const exec::Config config{static_cast<unsigned>(state.range(0))};
+  std::vector<double> sample(400);
+  stats::Rng fill(7);
+  for (double& v : sample) v = fill.normal(1.0, 2.0);
+  const auto trimmed_mean = [](std::span<const double> s) {
+    // A statistic with some real per-replicate cost: 10% trimmed mean.
+    std::vector<double> sorted(s.begin(), s.end());
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t trim = sorted.size() / 10;
+    double total = 0.0;
+    for (std::size_t i = trim; i < sorted.size() - trim; ++i) {
+      total += sorted[i];
+    }
+    return total / static_cast<double>(sorted.size() - 2 * trim);
+  };
+  for (auto _ : state) {
+    stats::Rng rng(42);
+    benchmark::DoNotOptimize(
+        stats::bootstrap_percentile(sample, trimmed_mean, rng, 2000, 0.95,
+                                    config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+BENCHMARK(BM_BootstrapScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_UncertaintyScaling(benchmark::State& state) {
+  const exec::Config config{static_cast<unsigned>(state.range(0))};
+  const core::PosteriorModelSampler sampler(
+      {"easy", "difficult"},
+      {core::ClassCounts{800, 56, 28, 40}, core::ClassCounts{200, 82, 74, 30}});
+  const auto profile = core::paper::field_profile();
+  for (auto _ : state) {
+    stats::Rng rng(3);
+    benchmark::DoNotOptimize(
+        sampler.predict(profile, rng, 20'000, 0.95, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          20'000);
+}
+BENCHMARK(BM_UncertaintyScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrialScaling(benchmark::State& state) {
+  const exec::Config config{static_cast<unsigned>(state.range(0))};
+  constexpr std::uint64_t kCases = 200'000;
+  sim::TabularWorld world(core::paper::example_model(),
+                          core::paper::trial_profile());
+  sim::TrialRunner runner(world, kCases);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(1234, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kCases));
+}
+BENCHMARK(BM_TrialScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TradeoffSweepScaling(benchmark::State& state) {
+  const exec::Config config{static_cast<unsigned>(state.range(0))};
+  core::BinormalMachine machine;
+  machine.cancer_class_means = {2.0, 0.5};
+  machine.normal_class_means = {-1.5, -0.5};
+  const auto analyzer = core::TradeoffAnalyzer(
+      machine,
+      core::DemandProfile::from_weights({"easy-cancer", "hard-cancer"},
+                                        {0.9, 0.1}),
+      {{0.1, 0.5}, {0.3, 0.7}},
+      core::DemandProfile::from_weights({"clear-normal", "odd-normal"},
+                                        {0.8, 0.2}),
+      {{0.1, 0.02}, {0.3, 0.1}}, 0.01);
+  std::vector<double> thresholds(50'000);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    thresholds[i] = -4.0 + 8.0 * static_cast<double>(i) /
+                               static_cast<double>(thresholds.size() - 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.sweep(thresholds, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(thresholds.size()));
+}
+BENCHMARK(BM_TradeoffSweepScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -129,6 +129,27 @@ int main() {
             << " cases because machine\nfailures there are rare) the "
                "leverage is even larger.\n\n";
 
+  std::cout << "== X9 planning curve: precision vs trial size ==\n";
+  std::vector<double> budgets;
+  for (double b = 250.0; b <= 8000.0; b *= 2.0) budgets.push_back(b);
+  const auto curve = core::design_curve(model, field, budgets);
+  report::Table curve_table({"total cases", "easy", "difficult",
+                             "predicted SE"});
+  bool curve_monotone = true;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    curve_table.row({fixed(budgets[i], 0), fixed(curve[i].cases[0], 0),
+                     fixed(curve[i].cases[1], 0),
+                     fixed(curve[i].predicted_standard_error, 4)});
+    if (i > 0 && curve[i].predicted_standard_error >
+                     curve[i - 1].predicted_standard_error + 1e-12) {
+      curve_monotone = false;
+    }
+  }
+  std::cout << curve_table << '\n'
+            << "Doubling the budget shrinks the predicted SE by ~sqrt(2):\n"
+               "the planning curve quantifies when a longer trial stops\n"
+               "paying for itself.\n\n";
+
   const bool optimal_best =
       optimal.predicted_standard_error <=
           proportional.predicted_standard_error + 1e-12 &&
@@ -141,9 +162,13 @@ int main() {
       mc[1].t_difficult_se < mc[0].t_difficult_se;
   std::cout << "Neyman allocation minimises the predicted SE: "
             << (optimal_best ? "PASS" : "FAIL") << '\n'
+            << "Planning curve SE decreases with budget: "
+            << (curve_monotone ? "PASS" : "FAIL") << '\n'
             << "Delta-method SE matches Monte-Carlo: "
             << (formula_ok ? "PASS" : "FAIL") << '\n'
             << "Enrichment improves t(difficult) at fixed budget: "
             << (enrichment_helps_t ? "PASS" : "FAIL") << "\n\n";
-  return optimal_best && formula_ok && enrichment_helps_t ? 0 : 1;
+  return optimal_best && curve_monotone && formula_ok && enrichment_helps_t
+             ? 0
+             : 1;
 }

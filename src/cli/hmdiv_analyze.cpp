@@ -20,6 +20,7 @@
 #include "core/design_advisor.hpp"
 #include "core/model_io.hpp"
 #include "core/paper_example.hpp"
+#include "exec/config.hpp"
 #include "report/format.hpp"
 
 namespace {
@@ -30,8 +31,12 @@ using namespace hmdiv;
   std::cerr
       << "usage: hmdiv_analyze --model FILE --trial FILE --field FILE\n"
          "                     [--improve CLASS=FACTOR]... [--text]\n"
-         "                     [--no-advice]\n"
-         "       hmdiv_analyze --example [--text]\n";
+         "                     [--no-advice] [--threads N]\n"
+         "       hmdiv_analyze --example [--text]\n"
+         "\n"
+         "--threads N caps the worker threads of Monte-Carlo and sweep\n"
+         "computations (default: all hardware threads, or HMDIV_THREADS).\n"
+         "Results are identical for any thread count.\n";
   std::exit(exit_code);
 }
 
@@ -101,6 +106,20 @@ int main(int argc, char** argv) {
       improvements.push_back(parse_improvement(next()));
     } else if (arg == "--example") {
       use_example = true;
+    } else if (arg == "--threads") {
+      const std::string& value = next();
+      unsigned threads = 0;
+      try {
+        const unsigned long parsed = std::stoul(value);
+        if (parsed == 0 || parsed > 4096) throw std::out_of_range(value);
+        threads = static_cast<unsigned>(parsed);
+      } catch (const std::exception&) {
+        std::cerr << "hmdiv_analyze: --threads expects an integer in "
+                     "[1, 4096], got '"
+                  << value << "'\n";
+        std::exit(2);
+      }
+      exec::set_default_config(exec::Config{threads});
     } else if (arg == "--text") {
       options.markdown = false;
     } else if (arg == "--no-advice") {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/parallel.hpp"
 #include "stats/special.hpp"
 
 namespace hmdiv::core {
@@ -17,29 +18,41 @@ double binormal_auc(double delta_mu, double sigma_ratio) {
 }
 
 double empirical_auc(std::span<const double> positive_scores,
-                     std::span<const double> negative_scores) {
+                     std::span<const double> negative_scores,
+                     const exec::Config& config) {
   if (positive_scores.empty() || negative_scores.empty()) {
     throw std::invalid_argument("empirical_auc: empty score set");
   }
-  // O((m+n) log(m+n)) via sorted negatives + binary search.
+  // O((m+n) log(m+n)) via sorted negatives + binary search; the scan over
+  // positives is an ordered chunked sum (fixed fold order => the same
+  // floating-point result at any thread count).
   std::vector<double> negatives(negative_scores.begin(),
                                 negative_scores.end());
   std::sort(negatives.begin(), negatives.end());
-  double wins = 0.0;
-  for (const double p : positive_scores) {
-    const auto lower = std::lower_bound(negatives.begin(), negatives.end(), p);
-    const auto upper = std::upper_bound(negatives.begin(), negatives.end(), p);
-    const double below = static_cast<double>(lower - negatives.begin());
-    const double ties = static_cast<double>(upper - lower);
-    wins += below + 0.5 * ties;
-  }
+  const double wins = exec::parallel_reduce(
+      positive_scores.size(), /*grain=*/512, 0.0,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        double chunk_wins = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const double p = positive_scores[i];
+          const auto lower =
+              std::lower_bound(negatives.begin(), negatives.end(), p);
+          const auto upper =
+              std::upper_bound(negatives.begin(), negatives.end(), p);
+          const double below = static_cast<double>(lower - negatives.begin());
+          const double ties = static_cast<double>(upper - lower);
+          chunk_wins += below + 0.5 * ties;
+        }
+        return chunk_wins;
+      },
+      [](double acc, double chunk) { return acc + chunk; }, config);
   return wins / (static_cast<double>(positive_scores.size()) *
                  static_cast<double>(negatives.size()));
 }
 
 std::vector<RocPoint> empirical_roc_curve(
     std::span<const double> positive_scores,
-    std::span<const double> negative_scores) {
+    std::span<const double> negative_scores, const exec::Config& config) {
   if (positive_scores.empty() || negative_scores.empty()) {
     throw std::invalid_argument("empirical_roc_curve: empty score set");
   }
@@ -64,15 +77,18 @@ std::vector<RocPoint> empirical_roc_curve(
            static_cast<double>(sorted.size());
   };
 
-  std::vector<RocPoint> curve;
-  curve.reserve(thresholds.size() + 2);
-  curve.push_back(RocPoint{thresholds.front() + 1.0, 0.0, 0.0});
-  for (const double threshold : thresholds) {
-    curve.push_back(RocPoint{threshold, rate_above(positives, threshold),
-                             rate_above(negatives, threshold)});
-  }
+  std::vector<RocPoint> curve(thresholds.size() + 2);
+  curve.front() = RocPoint{thresholds.front() + 1.0, 0.0, 0.0};
+  exec::parallel_for(
+      thresholds.size(), /*grain=*/256,
+      [&](std::size_t i) {
+        const double threshold = thresholds[i];
+        curve[i + 1] = RocPoint{threshold, rate_above(positives, threshold),
+                                rate_above(negatives, threshold)};
+      },
+      config);
   // Everything is called positive below the lowest threshold.
-  curve.push_back(RocPoint{thresholds.back() - 1.0, 1.0, 1.0});
+  curve.back() = RocPoint{thresholds.back() - 1.0, 1.0, 1.0};
   return curve;
 }
 

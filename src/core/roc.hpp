@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "exec/config.hpp"
+
 namespace hmdiv::core {
 
 /// AUC of a unit-variance binormal detector whose class means differ by
@@ -20,9 +22,13 @@ namespace hmdiv::core {
 [[nodiscard]] double binormal_auc(double delta_mu, double sigma_ratio = 1.0);
 
 /// Empirical AUC: P(positive score > negative score) + 0.5 P(tie), the
-/// Mann–Whitney statistic scaled to [0,1]. Throws on empty inputs.
-[[nodiscard]] double empirical_auc(std::span<const double> positive_scores,
-                                   std::span<const double> negative_scores);
+/// Mann–Whitney statistic scaled to [0,1]. Throws on empty inputs. Large
+/// score sets are scanned in parallel with a fixed-chunk ordered sum, so
+/// the result is bit-identical at any thread count.
+[[nodiscard]] double empirical_auc(
+    std::span<const double> positive_scores,
+    std::span<const double> negative_scores,
+    const exec::Config& config = exec::default_config());
 
 /// One point of an ROC curve.
 struct RocPoint {
@@ -36,7 +42,8 @@ struct RocPoint {
 /// (1,1) endpoints.
 [[nodiscard]] std::vector<RocPoint> empirical_roc_curve(
     std::span<const double> positive_scores,
-    std::span<const double> negative_scores);
+    std::span<const double> negative_scores,
+    const exec::Config& config = exec::default_config());
 
 /// Trapezoidal area under an ROC curve returned by empirical_roc_curve;
 /// equals empirical_auc up to tie handling.

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "exec/parallel.hpp"
 #include "stats/special.hpp"
 
 namespace hmdiv::core {
@@ -104,17 +105,18 @@ SystemOperatingPoint TradeoffAnalyzer::evaluate(double threshold) const {
 }
 
 std::vector<SystemOperatingPoint> TradeoffAnalyzer::sweep(
-    const std::vector<double>& thresholds) const {
-  std::vector<SystemOperatingPoint> out;
-  out.reserve(thresholds.size());
-  for (const double t : thresholds) out.push_back(evaluate(t));
+    const std::vector<double>& thresholds,
+    const exec::Config& config) const {
+  std::vector<SystemOperatingPoint> out(thresholds.size());
+  exec::parallel_for(
+      thresholds.size(), /*grain=*/64,
+      [&](std::size_t i) { out[i] = evaluate(thresholds[i]); }, config);
   return out;
 }
 
-SystemOperatingPoint TradeoffAnalyzer::minimise_cost(double cost_fn,
-                                                     double cost_fp, double lo,
-                                                     double hi,
-                                                     std::size_t steps) const {
+SystemOperatingPoint TradeoffAnalyzer::minimise_cost(
+    double cost_fn, double cost_fp, double lo, double hi, std::size_t steps,
+    const exec::Config& config) const {
   if (!(cost_fn >= 0.0 && cost_fp >= 0.0)) {
     throw std::invalid_argument("TradeoffAnalyzer: costs must be >= 0");
   }
@@ -122,23 +124,37 @@ SystemOperatingPoint TradeoffAnalyzer::minimise_cost(double cost_fn,
     throw std::invalid_argument(
         "TradeoffAnalyzer: need lo < hi and at least two grid steps");
   }
-  SystemOperatingPoint best;
-  double best_cost = 0.0;
-  bool first = true;
-  for (std::size_t i = 0; i < steps; ++i) {
-    const double threshold =
-        lo + (hi - lo) * static_cast<double>(i) /
-                 static_cast<double>(steps - 1);
-    const SystemOperatingPoint point = evaluate(threshold);
-    const double cost = prevalence_ * cost_fn * point.system_fn +
-                        (1.0 - prevalence_) * cost_fp * point.system_fp;
-    if (first || cost < best_cost) {
-      best = point;
-      best_cost = cost;
-      first = false;
+  struct Best {
+    SystemOperatingPoint point;
+    double cost = 0.0;
+    bool valid = false;
+  };
+  auto scan_chunk = [&](std::size_t begin, std::size_t end,
+                        std::size_t) -> Best {
+    Best best;
+    for (std::size_t i = begin; i < end; ++i) {
+      const double threshold = lo + (hi - lo) * static_cast<double>(i) /
+                                        static_cast<double>(steps - 1);
+      const SystemOperatingPoint point = evaluate(threshold);
+      const double cost = prevalence_ * cost_fn * point.system_fn +
+                          (1.0 - prevalence_) * cost_fp * point.system_fp;
+      if (!best.valid || cost < best.cost) {
+        best = Best{point, cost, true};
+      }
     }
-  }
-  return best;
+    return best;
+  };
+  // Strict < in the combine keeps the leftmost grid point on cost ties —
+  // the same answer a serial scan gives.
+  const Best best = exec::parallel_reduce(
+      steps, /*grain=*/64, Best{}, scan_chunk,
+      [](Best acc, Best next) {
+        if (!acc.valid) return next;
+        if (next.valid && next.cost < acc.cost) return next;
+        return acc;
+      },
+      config);
+  return best.point;
 }
 
 }  // namespace hmdiv::core

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/demand_profile.hpp"
+#include "exec/config.hpp"
 
 namespace hmdiv::core {
 
@@ -85,16 +86,22 @@ class TradeoffAnalyzer {
                    double prevalence);
 
   [[nodiscard]] SystemOperatingPoint evaluate(double threshold) const;
+
+  /// Evaluates every threshold; points come back in input order. The
+  /// sweep runs on the exec engine (each point is independent), so large
+  /// curves scale with the thread budget.
   [[nodiscard]] std::vector<SystemOperatingPoint> sweep(
-      const std::vector<double>& thresholds) const;
+      const std::vector<double>& thresholds,
+      const exec::Config& config = exec::default_config()) const;
 
   /// Threshold minimising expected cost
   /// cost = prevalence·cost_fn·system_fn + (1−prevalence)·cost_fp·system_fp
-  /// over a grid search on [lo, hi] with `steps` points.
-  [[nodiscard]] SystemOperatingPoint minimise_cost(double cost_fn,
-                                                   double cost_fp, double lo,
-                                                   double hi,
-                                                   std::size_t steps) const;
+  /// over a grid search on [lo, hi] with `steps` points. Grid chunks are
+  /// scanned in parallel and merged left-to-right (earliest grid point
+  /// wins ties), so the result matches the serial scan exactly.
+  [[nodiscard]] SystemOperatingPoint minimise_cost(
+      double cost_fn, double cost_fp, double lo, double hi, std::size_t steps,
+      const exec::Config& config = exec::default_config()) const;
 
  private:
   BinormalMachine machine_;

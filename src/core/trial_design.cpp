@@ -1,8 +1,10 @@
 #include "core/trial_design.hpp"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
+#include "exec/parallel.hpp"
 #include "stats/special.hpp"
 
 namespace hmdiv::core {
@@ -140,6 +142,25 @@ std::uint64_t cases_for_importance_halfwidth(const ClassConditional& guess,
   const double per_case_variance = s1 / p_mf + s2 / p_ms;
   return static_cast<std::uint64_t>(
       std::ceil(z * z * per_case_variance / (halfwidth * halfwidth)));
+}
+
+std::vector<TrialDesign> design_curve(const SequentialModel& model_guess,
+                                      const DemandProfile& field,
+                                      const std::vector<double>& budgets,
+                                      const exec::Config& config) {
+  // TrialDesign is not default-constructible (DemandProfile has no empty
+  // state), so fill optional slots and unwrap in order.
+  std::vector<std::optional<TrialDesign>> slots(budgets.size());
+  exec::parallel_for(
+      budgets.size(), /*grain=*/16,
+      [&](std::size_t i) {
+        slots[i] = optimal_allocation(model_guess, field, budgets[i]);
+      },
+      config);
+  std::vector<TrialDesign> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
 }
 
 TrialDesign allocation_for_profile(const SequentialModel& model_guess,

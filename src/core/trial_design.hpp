@@ -29,6 +29,7 @@
 
 #include "core/demand_profile.hpp"
 #include "core/sequential_model.hpp"
+#include "exec/config.hpp"
 
 namespace hmdiv::core {
 
@@ -70,6 +71,17 @@ struct TrialDesign {
 [[nodiscard]] TrialDesign allocation_for_profile(
     const SequentialModel& model_guess, const DemandProfile& field,
     const DemandProfile& trial_profile, double total_cases);
+
+/// Neyman-optimal designs for a sweep of total-case budgets — the
+/// planning curve "prediction precision vs trial size" behind the choice
+/// of trial length. Budgets are evaluated in parallel on the exec engine
+/// (each design is independent); the result aligns with `budgets`. Every
+/// budget must satisfy the optimal_allocation precondition (at least one
+/// case per class).
+[[nodiscard]] std::vector<TrialDesign> design_curve(
+    const SequentialModel& model_guess, const DemandProfile& field,
+    const std::vector<double>& budgets,
+    const exec::Config& config = exec::default_config());
 
 /// Cases *of class x* needed to pin the importance index t(x) down to
 /// +/- `halfwidth` at the given confidence:

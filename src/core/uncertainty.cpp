@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/parallel.hpp"
 #include "stats/summary.hpp"
 
 namespace hmdiv::core {
@@ -88,7 +89,7 @@ SequentialModel PosteriorModelSampler::sample(stats::Rng& rng) const {
 
 UncertainPrediction PosteriorModelSampler::predict(
     const DemandProfile& profile, stats::Rng& rng, std::size_t draws,
-    double credibility) const {
+    double credibility, const exec::Config& config) const {
   if (draws == 0) {
     throw std::invalid_argument("PosteriorModelSampler::predict: draws == 0");
   }
@@ -96,15 +97,21 @@ UncertainPrediction PosteriorModelSampler::predict(
     throw std::invalid_argument(
         "PosteriorModelSampler::predict: credibility outside (0,1)");
   }
-  std::vector<double> values;
-  values.reserve(draws);
+  // Draw i samples from substream Rng(base, i); the values vector is then
+  // independent of the chunk-to-thread mapping.
+  const std::uint64_t base = rng.next_u64();
+  std::vector<double> values(draws);
+  exec::parallel_for_chunks(
+      draws, /*grain=*/64,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          stats::Rng draw_rng(base, i);
+          values[i] = sample(draw_rng).system_failure_probability(profile);
+        }
+      },
+      config);
   stats::OnlineStats online;
-  for (std::size_t i = 0; i < draws; ++i) {
-    const double failure =
-        sample(rng).system_failure_probability(profile);
-    values.push_back(failure);
-    online.add(failure);
-  }
+  for (const double failure : values) online.add(failure);
   std::sort(values.begin(), values.end());
   const double alpha = 1.0 - credibility;
   UncertainPrediction out;

@@ -14,6 +14,7 @@
 
 #include "core/demand_profile.hpp"
 #include "core/sequential_model.hpp"
+#include "exec/config.hpp"
 #include "stats/rng.hpp"
 
 namespace hmdiv::core {
@@ -61,10 +62,13 @@ class PosteriorModelSampler {
   [[nodiscard]] SequentialModel sample(stats::Rng& rng) const;
 
   /// Propagates `draws` posterior samples through Eq. (8) under `profile`.
-  [[nodiscard]] UncertainPrediction predict(const DemandProfile& profile,
-                                            stats::Rng& rng,
-                                            std::size_t draws = 4000,
-                                            double credibility = 0.95) const;
+  /// Draws run in parallel on the exec engine; draw i uses the substream
+  /// Rng(base, i) with `base` taken from `rng` (one step), so the result
+  /// is bit-identical for any thread count.
+  [[nodiscard]] UncertainPrediction predict(
+      const DemandProfile& profile, stats::Rng& rng, std::size_t draws = 4000,
+      double credibility = 0.95,
+      const exec::Config& config = exec::default_config()) const;
 
  private:
   std::vector<std::string> names_;

@@ -29,6 +29,13 @@ class FeatureWorld final : public World {
   [[nodiscard]] CaseRecord simulate_case(stats::Rng& rng) override;
   [[nodiscard]] std::size_t class_count() const override;
   [[nodiscard]] const std::vector<std::string>& class_names() const override;
+  /// Copies the full current state, including the reader's adaptation
+  /// level: in a parallel trial every batch restarts adaptation from this
+  /// world's state (freeze it with set_adaptation_enabled(false) for
+  /// controlled measurements).
+  [[nodiscard]] std::unique_ptr<World> clone() const override {
+    return std::make_unique<FeatureWorld>(*this);
+  }
 
   [[nodiscard]] const CaseGenerator& generator() const { return generator_; }
   [[nodiscard]] const CadtModel& cadt() const { return cadt_; }

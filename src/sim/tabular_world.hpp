@@ -21,6 +21,9 @@ class TabularWorld final : public World {
   [[nodiscard]] CaseRecord simulate_case(stats::Rng& rng) override;
   [[nodiscard]] std::size_t class_count() const override;
   [[nodiscard]] const std::vector<std::string>& class_names() const override;
+  [[nodiscard]] std::unique_ptr<World> clone() const override {
+    return std::make_unique<TabularWorld>(*this);
+  }
 
   [[nodiscard]] const core::SequentialModel& model() const { return model_; }
   [[nodiscard]] const core::DemandProfile& profile() const { return profile_; }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "exec/parallel.hpp"
+
 namespace hmdiv::sim {
 
 double TrialData::observed_failure_rate() const {
@@ -43,6 +45,40 @@ TrialData TrialRunner::run(stats::Rng& rng) {
   for (std::uint64_t i = 0; i < case_count_; ++i) {
     data.records.push_back(world_.simulate_case(rng));
   }
+  return data;
+}
+
+TrialData TrialRunner::run(std::uint64_t seed, const exec::Config& config) {
+  TrialData data;
+  data.class_names = world_.class_names();
+  data.records.resize(case_count_);
+  const auto total = static_cast<std::size_t>(case_count_);
+  const bool cloneable = world_.clone() != nullptr;
+  auto simulate_batch = [&](World& world, std::size_t begin, std::size_t end,
+                            std::size_t batch) {
+    stats::Rng batch_rng(seed, batch);
+    for (std::size_t i = begin; i < end; ++i) {
+      data.records[i] = world.simulate_case(batch_rng);
+    }
+  };
+  if (!cloneable) {
+    // No clone: same batch/substream layout, executed serially on the
+    // shared world (stateful worlds keep evolving across batches).
+    exec::parallel_for_chunks(
+        total, kBatchSize,
+        [&](std::size_t begin, std::size_t end, std::size_t batch) {
+          simulate_batch(world_, begin, end, batch);
+        },
+        exec::Config::serial());
+    return data;
+  }
+  exec::parallel_for_chunks(
+      total, kBatchSize,
+      [&](std::size_t begin, std::size_t end, std::size_t batch) {
+        const std::unique_ptr<World> local = world_.clone();
+        simulate_batch(*local, begin, end, batch);
+      },
+      config);
   return data;
 }
 

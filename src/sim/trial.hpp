@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/demand_profile.hpp"
+#include "exec/config.hpp"
 #include "stats/rng.hpp"
 
 namespace hmdiv::sim {
@@ -38,6 +40,14 @@ class World {
   /// Class names, aligned with CaseRecord::class_index.
   [[nodiscard]] virtual const std::vector<std::string>& class_names()
       const = 0;
+
+  /// Returns an independent copy of this world, or nullptr when the world
+  /// cannot be duplicated. Parallel trial runs give each case batch its
+  /// own clone (so per-run state such as reader adaptation restarts per
+  /// batch); worlds without a clone fall back to a single-threaded run.
+  [[nodiscard]] virtual std::unique_ptr<World> clone() const {
+    return nullptr;
+  }
 };
 
 /// Collected trial data.
@@ -56,11 +66,27 @@ struct TrialData {
 /// Runs a fixed-size trial against a world.
 class TrialRunner {
  public:
+  /// Cases per batch in the parallel run. Fixed (never derived from the
+  /// thread count) so the batch decomposition — and hence the output — is
+  /// identical at any parallelism.
+  static constexpr std::uint64_t kBatchSize = 4096;
+
   /// `case_count` demands; the world defines the demand profile.
   TrialRunner(World& world, std::uint64_t case_count);
 
-  /// Runs the whole trial; deterministic in `rng`.
+  /// Runs the whole trial on one thread; deterministic in `rng`. Cases
+  /// share the single stream, and stateful worlds (e.g. an adapting
+  /// reader) evolve across the entire run.
   [[nodiscard]] TrialData run(stats::Rng& rng);
+
+  /// Runs the trial in fixed batches of kBatchSize cases on the exec
+  /// engine: batch b simulates on its own world clone with substream
+  /// Rng(seed, b), and records are merged in case order — bit-identical
+  /// output for any thread count. Worlds whose clone() is null run the
+  /// same batched substream scheme serially on the shared world instead.
+  [[nodiscard]] TrialData run(
+      std::uint64_t seed,
+      const exec::Config& config = exec::default_config());
 
  private:
   World& world_;

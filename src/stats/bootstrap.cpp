@@ -4,12 +4,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "exec/parallel.hpp"
 #include "stats/rng.hpp"
 #include "stats/summary.hpp"
 
 namespace hmdiv::stats {
 
 namespace {
+
+/// Replicates per chunk: large enough to amortise scheduling over the
+/// statistic evaluations, small enough that 2000 replicates still split
+/// into ~125 chunks for wide machines.
+constexpr std::size_t kReplicateGrain = 16;
 
 BootstrapResult summarise(double estimate, std::vector<double> replicates,
                           double confidence) {
@@ -40,42 +46,59 @@ void check_args(std::size_t sample_size, std::size_t replicates,
 
 BootstrapResult bootstrap_percentile(std::span<const double> sample,
                                      const Statistic& statistic, Rng& rng,
-                                     std::size_t replicates,
-                                     double confidence) {
+                                     std::size_t replicates, double confidence,
+                                     const exec::Config& config) {
   check_args(sample.size(), replicates, confidence);
   const double estimate = statistic(sample);
-  std::vector<double> resample(sample.size());
-  std::vector<double> values;
-  values.reserve(replicates);
-  for (std::size_t r = 0; r < replicates; ++r) {
-    for (double& v : resample) {
-      v = sample[static_cast<std::size_t>(rng.uniform_index(sample.size()))];
-    }
-    values.push_back(statistic(resample));
-  }
+  // Replicate r resamples with its own substream Rng(base, r): the values
+  // vector is filled identically no matter how chunks map to threads.
+  const std::uint64_t base = rng.next_u64();
+  std::vector<double> values(replicates);
+  exec::parallel_for_chunks(
+      replicates, kReplicateGrain,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<double> resample(sample.size());
+        for (std::size_t r = begin; r < end; ++r) {
+          Rng replicate_rng(base, r);
+          for (double& v : resample) {
+            v = sample[static_cast<std::size_t>(
+                replicate_rng.uniform_index(sample.size()))];
+          }
+          values[r] = statistic(resample);
+        }
+      },
+      config);
   return summarise(estimate, std::move(values), confidence);
 }
 
 BootstrapResult bootstrap_paired(std::span<const double> x,
                                  std::span<const double> y,
                                  const PairedStatistic& statistic, Rng& rng,
-                                 std::size_t replicates, double confidence) {
+                                 std::size_t replicates, double confidence,
+                                 const exec::Config& config) {
   if (x.size() != y.size()) {
     throw std::invalid_argument("bootstrap_paired: size mismatch");
   }
   check_args(x.size(), replicates, confidence);
   const double estimate = statistic(x, y);
-  std::vector<double> rx(x.size()), ry(y.size());
-  std::vector<double> values;
-  values.reserve(replicates);
-  for (std::size_t r = 0; r < replicates; ++r) {
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      const auto j = static_cast<std::size_t>(rng.uniform_index(x.size()));
-      rx[i] = x[j];
-      ry[i] = y[j];
-    }
-    values.push_back(statistic(rx, ry));
-  }
+  const std::uint64_t base = rng.next_u64();
+  std::vector<double> values(replicates);
+  exec::parallel_for_chunks(
+      replicates, kReplicateGrain,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<double> rx(x.size()), ry(y.size());
+        for (std::size_t r = begin; r < end; ++r) {
+          Rng replicate_rng(base, r);
+          for (std::size_t i = 0; i < x.size(); ++i) {
+            const auto j = static_cast<std::size_t>(
+                replicate_rng.uniform_index(x.size()));
+            rx[i] = x[j];
+            ry[i] = y[j];
+          }
+          values[r] = statistic(rx, ry);
+        }
+      },
+      config);
   return summarise(estimate, std::move(values), confidence);
 }
 

@@ -1,11 +1,18 @@
 // Nonparametric bootstrap for statistics of i.i.d. samples, used to put
 // intervals on derived quantities (e.g. the importance index t(x) or the
 // covariance term of Eq. (10)) for which no closed-form interval exists.
+//
+// Replicates run in parallel on the exec engine: replicate r draws from
+// the substream Rng(base, r), where `base` is one 64-bit draw from the
+// caller's generator, so results are bit-identical for any thread count
+// (the caller's rng advances by exactly one step either way).
 #pragma once
 
 #include <functional>
 #include <span>
 #include <vector>
+
+#include "exec/config.hpp"
 
 namespace hmdiv::stats {
 
@@ -28,7 +35,8 @@ using Statistic = std::function<double(std::span<const double>)>;
 /// Throws if the sample is empty or replicates == 0.
 [[nodiscard]] BootstrapResult bootstrap_percentile(
     std::span<const double> sample, const Statistic& statistic, Rng& rng,
-    std::size_t replicates = 2000, double confidence = 0.95);
+    std::size_t replicates = 2000, double confidence = 0.95,
+    const exec::Config& config = exec::default_config());
 
 /// Paired bootstrap for statistics of two aligned samples (x_i, y_i), e.g.
 /// a correlation. The pairs are resampled jointly.
@@ -38,6 +46,7 @@ using PairedStatistic =
 [[nodiscard]] BootstrapResult bootstrap_paired(
     std::span<const double> x, std::span<const double> y,
     const PairedStatistic& statistic, Rng& rng, std::size_t replicates = 2000,
-    double confidence = 0.95);
+    double confidence = 0.95,
+    const exec::Config& config = exec::default_config());
 
 }  // namespace hmdiv::stats

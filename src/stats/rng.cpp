@@ -31,6 +31,21 @@ Rng::Rng(std::uint64_t seed) noexcept {
   }
 }
 
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Whiten seed and stream through independent SplitMix64 chains before
+  // combining, then expand the combined word into the state. A raw XOR of
+  // the two inputs would alias (s ^ k, 0) with (s, k); hashing each side
+  // first removes that structure.
+  std::uint64_t seed_chain = seed;
+  std::uint64_t stream_chain = ~stream;
+  std::uint64_t sm =
+      splitmix64(seed_chain) ^ (splitmix64(stream_chain) + 0x9E3779B97F4A7C15ULL);
+  for (auto& word : state_) word = splitmix64(sm);
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
 std::uint64_t Rng::next_u64() noexcept {
   const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
   const std::uint64_t t = state_[1] << 17;
@@ -145,6 +160,27 @@ std::size_t Rng::discrete(std::span<const double> weights) {
     if (target < 0.0) return i;
   }
   return weights.size() - 1;  // Numerical edge: land on the last bucket.
+}
+
+void Rng::jump() noexcept {
+  // Jump polynomial published with xoshiro256** (Blackman & Vigna):
+  // advances the state by exactly 2^128 steps of next_u64().
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::array<std::uint64_t, 4> gathered{};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if ((word & (1ULL << bit)) != 0) {
+        for (std::size_t i = 0; i < state_.size(); ++i) {
+          gathered[i] ^= state_[i];
+        }
+      }
+      (void)next_u64();
+    }
+  }
+  state_ = gathered;
+  has_spare_normal_ = false;
 }
 
 Rng Rng::split(std::uint64_t stream_id) const noexcept {

@@ -30,6 +30,14 @@ class Rng {
   /// Seeds the engine deterministically from `seed` via SplitMix64.
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
 
+  /// Seeds substream `stream` of `seed`: both words are whitened through
+  /// SplitMix64 before they meet, so streams 0, 1, 2, … of one seed are as
+  /// unrelated as different seeds, and Rng(s, 0) differs from Rng(s).
+  /// This is the deterministic-parallelism workhorse: give chunk/replicate
+  /// k the engine Rng(seed, k) and the result no longer depends on which
+  /// thread runs it.
+  Rng(std::uint64_t seed, std::uint64_t stream) noexcept;
+
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return ~0ULL; }
 
@@ -73,6 +81,12 @@ class Rng {
   /// jump: hashes the current state with `stream_id`). Use to give each
   /// simulated entity — reader, CADT, case stream — its own generator.
   [[nodiscard]] Rng split(std::uint64_t stream_id) const noexcept;
+
+  /// Advances the engine by 2^128 steps (the xoshiro256** jump
+  /// polynomial): repeated jumps partition one seed's sequence into
+  /// non-overlapping blocks of 2^128 outputs each. Discards any cached
+  /// normal deviate.
+  void jump() noexcept;
 
   /// Fisher–Yates shuffle.
   template <typename T>

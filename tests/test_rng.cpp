@@ -167,6 +167,77 @@ TEST(Rng, ShufflePreservesElements) {
   EXPECT_EQ(shuffled, v);
 }
 
+TEST(Rng, StreamConstructorIsDeterministic) {
+  Rng a(42, 7), b(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, StreamsOfOneSeedAreDistinct) {
+  // Pairwise windows of many substreams share no outputs — the practical
+  // reading of "non-overlapping" for SplitMix64-hashed streams.
+  constexpr int kStreams = 64;
+  constexpr int kWindow = 512;
+  std::set<std::uint64_t> seen;
+  for (int stream = 0; stream < kStreams; ++stream) {
+    Rng rng(123, static_cast<std::uint64_t>(stream));
+    for (int i = 0; i < kWindow; ++i) {
+      EXPECT_TRUE(seen.insert(rng.next_u64()).second)
+          << "streams overlap at stream " << stream << " step " << i;
+    }
+  }
+}
+
+TEST(Rng, StreamZeroDiffersFromPlainSeed) {
+  Rng plain(42);
+  Rng stream0(42, 0);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += plain.next_u64() == stream0.next_u64() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, StreamIsNotXorAlias) {
+  // Rng(s ^ k, 0) must not collide with Rng(s, k): both inputs are
+  // whitened before they are combined.
+  Rng a(0xF0F0F0F0ULL ^ 5ULL, 0);
+  Rng b(0xF0F0F0F0ULL, 5);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, JumpIsDeterministic) {
+  Rng a(99), b(99);
+  a.jump();
+  b.jump();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, JumpedBlocksDoNotOverlap) {
+  // jump() advances by 2^128 steps, so windows taken from consecutive
+  // jumped copies of one engine are disjoint blocks of the same sequence.
+  constexpr int kBlocks = 8;
+  constexpr int kWindow = 4096;
+  std::set<std::uint64_t> seen;
+  Rng rng(2026);
+  for (int block = 0; block < kBlocks; ++block) {
+    Rng window = rng;  // copy: reading the window must not move `rng`
+    for (int i = 0; i < kWindow; ++i) {
+      EXPECT_TRUE(seen.insert(window.next_u64()).second)
+          << "jumped blocks overlap at block " << block << " step " << i;
+    }
+    rng.jump();
+  }
+}
+
+TEST(Rng, JumpChangesTheStream) {
+  Rng jumped(5);
+  jumped.jump();
+  Rng base(5);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += base.next_u64() == jumped.next_u64() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
 /// Property sweep: moments of uniform() are correct across many seeds.
 class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
