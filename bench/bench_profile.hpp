@@ -1,0 +1,57 @@
+// Shared --profile handling for the bench binaries.
+//
+// Usage: declare `hmdiv::benchutil::ProfileGuard profile(argc, argv);` at
+// the top of main. If the command line contains --profile, the obs
+// registry is runtime-enabled for the rest of the run and the snapshot is
+// printed as a table when the guard leaves scope; --profile-csv FILE also
+// writes the snapshot as CSV. Unrelated arguments are left untouched.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "report/profile.hpp"
+
+namespace hmdiv::benchutil {
+
+class ProfileGuard {
+ public:
+  ProfileGuard(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--profile") {
+        enabled_ = true;
+      } else if (arg == "--profile-csv" && i + 1 < argc) {
+        enabled_ = true;
+        csv_path_ = argv[++i];
+      }
+    }
+    if (enabled_) obs::set_enabled(true);
+  }
+
+  ProfileGuard(const ProfileGuard&) = delete;
+  ProfileGuard& operator=(const ProfileGuard&) = delete;
+
+  ~ProfileGuard() {
+    if (!enabled_) return;
+    const obs::Snapshot snapshot = obs::registry_snapshot();
+    std::cout << "\n== Profile (obs registry) ==\n\n"
+              << report::profile_table(snapshot);
+    if (!csv_path_.empty()) {
+      std::ofstream out(csv_path_);
+      if (out) {
+        report::write_profile_csv(out, snapshot);
+      } else {
+        std::cerr << "profile: cannot write '" << csv_path_ << "'\n";
+      }
+    }
+  }
+
+ private:
+  bool enabled_ = false;
+  std::string csv_path_;
+};
+
+}  // namespace hmdiv::benchutil

@@ -10,7 +10,10 @@
 
 #include <numeric>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "bench_profile.hpp"
 
 #include "core/design_advisor.hpp"
 #include "core/paper_example.hpp"
@@ -233,3 +236,30 @@ BENCHMARK(BM_TradeoffSweepScaling)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Custom main: google-benchmark rejects unknown flags, so the shared
+// --profile/--profile-csv arguments are consumed by the ProfileGuard and
+// stripped from argv before benchmark::Initialize sees them.
+int main(int argc, char** argv) {
+  const hmdiv::benchutil::ProfileGuard profile(argc, argv);
+  std::vector<char*> kept;
+  kept.reserve(static_cast<std::size_t>(argc));
+  kept.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--profile") continue;
+    if (arg == "--profile-csv" && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_profile.hpp"
 #include "core/multi_reader.hpp"
 #include "sim/two_reader_world.hpp"
 #include "report/format.hpp"
@@ -20,9 +21,10 @@
 #include "sim/feature_world.hpp"
 #include "sim/ground_truth.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hmdiv;
   using report::fixed;
+  const benchutil::ProfileGuard profile(argc, argv);
 
   const auto world = sim::reference_feature_world();
   auto population = screening::PopulationGenerator::reference(0.007);

@@ -9,15 +9,17 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_profile.hpp"
 #include "core/paper_example.hpp"
 #include "report/format.hpp"
 #include "report/table.hpp"
 #include "sim/tabular_world.hpp"
 #include "sim/trial.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hmdiv;
   using report::fixed;
+  const benchutil::ProfileGuard profile_guard(argc, argv);
 
   const auto model = core::paper::example_model();
   const auto trial = core::paper::trial_profile();
@@ -28,8 +30,9 @@ int main() {
                       std::uint64_t seed) {
     sim::TabularWorld world(model, profile);
     sim::TrialRunner runner(world, 400000);
-    stats::Rng rng(seed);
-    return runner.run(rng).observed_failure_rate();
+    // The deterministic engine entry point: bit-identical at any thread
+    // count, and instrumented — so --profile sees the simulation phases.
+    return runner.run(seed).observed_failure_rate();
   };
   const double simulated_trial = simulate(trial, 1);
   const double simulated_field = simulate(field, 2);

@@ -11,14 +11,16 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_profile.hpp"
 #include "core/tradeoff.hpp"
 #include "report/format.hpp"
 #include "report/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hmdiv;
   using namespace hmdiv::core;
   using report::fixed;
+  const benchutil::ProfileGuard profile(argc, argv);
 
   BinormalMachine machine;
   machine.cancer_class_means = {2.0, 0.8};

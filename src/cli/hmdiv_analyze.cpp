@@ -9,9 +9,16 @@
 // core/model_io.hpp). The report covers: parameters, Eq.-(8) failure
 // probabilities under both profiles, the Eq.-(10) decomposition,
 // sensitivities, and design advice; each --improve adds a what-if scenario.
+//
+// --profile additionally runs a Monte-Carlo validation workload (trial
+// simulation, bootstrap interval, operating-threshold sweep) on the exec
+// engine and dumps the observability registry as a table; --profile-csv
+// FILE writes the same snapshot as CSV.
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -20,8 +27,17 @@
 #include "core/design_advisor.hpp"
 #include "core/model_io.hpp"
 #include "core/paper_example.hpp"
+#include "core/tradeoff.hpp"
 #include "exec/config.hpp"
+#include "obs/obs.hpp"
 #include "report/format.hpp"
+#include "report/profile.hpp"
+#include "report/table.hpp"
+#include "sim/tabular_world.hpp"
+#include "sim/trial.hpp"
+#include "stats/bootstrap.hpp"
+#include "stats/rng.hpp"
+#include "stats/special.hpp"
 
 namespace {
 
@@ -32,11 +48,15 @@ using namespace hmdiv;
       << "usage: hmdiv_analyze --model FILE --trial FILE --field FILE\n"
          "                     [--improve CLASS=FACTOR]... [--text]\n"
          "                     [--no-advice] [--threads N]\n"
+         "                     [--profile] [--profile-csv FILE]\n"
          "       hmdiv_analyze --example [--text]\n"
          "\n"
          "--threads N caps the worker threads of Monte-Carlo and sweep\n"
          "computations (default: all hardware threads, or HMDIV_THREADS).\n"
-         "Results are identical for any thread count.\n";
+         "Results are identical for any thread count.\n"
+         "--profile runs a Monte-Carlo validation workload (simulated\n"
+         "trial, bootstrap interval, threshold sweep) and prints the\n"
+         "observability registry; --profile-csv FILE writes it as CSV.\n";
   std::exit(exit_code);
 }
 
@@ -65,17 +85,108 @@ Improvement parse_improvement(const std::string& spec) {
   }
   Improvement out;
   out.class_name = spec.substr(0, eq);
+  const std::string value = spec.substr(eq + 1);
+  std::size_t consumed = 0;
   try {
-    out.factor = std::stod(spec.substr(eq + 1));
+    out.factor = std::stod(value, &consumed);
   } catch (const std::exception&) {
     std::cerr << "hmdiv_analyze: bad factor in '" << spec << "'\n";
     std::exit(2);
   }
-  if (out.factor < 0.0) {
-    std::cerr << "hmdiv_analyze: factor must be >= 0\n";
+  if (consumed != value.size()) {
+    std::cerr << "hmdiv_analyze: trailing garbage after factor in '" << spec
+              << "'\n";
+    std::exit(2);
+  }
+  if (!std::isfinite(out.factor) || out.factor < 0.0) {
+    std::cerr << "hmdiv_analyze: factor must be finite and >= 0, got '"
+              << value << "'\n";
     std::exit(2);
   }
   return out;
+}
+
+/// The Monte-Carlo workload behind --profile: exercises every instrumented
+/// engine phase (trial simulation + world cloning, bootstrap replicates,
+/// threshold sweep + grid minimisation) on the model under analysis, and
+/// prints a short validation table. By the determinism contract the
+/// numbers are identical at any thread count, so the thread floor is
+/// raised to 2 to keep the pool paths observable on single-core hosts.
+void run_profiling_workload(const core::SequentialModel& model,
+                            const core::DemandProfile& trial,
+                            const core::DemandProfile& field,
+                            bool markdown) {
+  exec::Config config = exec::default_config();
+  if (config.resolved_threads() < 2) config = exec::Config{2};
+
+  // Trial phase: simulate the model under the trial profile and
+  // cross-check the Eq.-(8) prediction against the observed rate.
+  constexpr std::uint64_t kCases = 200'000;
+  sim::TabularWorld world(model, trial);
+  sim::TrialRunner runner(world, kCases);
+  const sim::TrialData data = runner.run(/*seed=*/20030625, config);
+  const double observed = data.observed_failure_rate();
+  const double predicted = model.system_failure_probability(trial);
+
+  // Bootstrap phase: percentile interval on the observed failure rate.
+  std::vector<double> failures;
+  failures.reserve(data.records.size());
+  for (const auto& record : data.records) {
+    failures.push_back(record.human_failed ? 1.0 : 0.0);
+  }
+  const auto mean_statistic = [](std::span<const double> s) {
+    double total = 0.0;
+    for (const double v : s) total += v;
+    return total / static_cast<double>(s.size());
+  };
+  stats::Rng rng(7);
+  const auto interval = stats::bootstrap_percentile(
+      failures, mean_statistic, rng, /*replicates=*/500, 0.95, config);
+
+  // Sweep phase: the binormal machine implied by each class's PMf at
+  // threshold 0 (mu = -probit(PMf)), swept across operating thresholds,
+  // plus a cost-minimising grid search.
+  core::BinormalMachine machine;
+  std::vector<core::HumanFnResponse> fn_response;
+  std::vector<core::HumanFpResponse> fp_response;
+  for (std::size_t x = 0; x < model.class_count(); ++x) {
+    const auto& p = model.parameters(x);
+    // Clamp away from {0,1} so degenerate models still yield a finite mean.
+    const double p_mf = std::min(std::max(p.p_machine_fails, 1e-9),
+                                 1.0 - 1e-9);
+    machine.cancer_class_means.push_back(-stats::normal_quantile(p_mf));
+    machine.normal_class_means.push_back(-2.0);
+    fn_response.push_back({p.p_human_fails_given_machine_succeeds,
+                           p.p_human_fails_given_machine_fails});
+    fp_response.push_back({0.1, 0.02});
+  }
+  const core::TradeoffAnalyzer analyzer(machine, field, fn_response, field,
+                                        fp_response, /*prevalence=*/0.007);
+  std::vector<double> thresholds(20'000);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    thresholds[i] = -4.0 + 8.0 * static_cast<double>(i) /
+                               static_cast<double>(thresholds.size() - 1);
+  }
+  const auto curve = analyzer.sweep(thresholds, config);
+  const auto best = analyzer.minimise_cost(/*cost_fn=*/500.0,
+                                           /*cost_fp=*/20.0, -4.0, 4.0,
+                                           /*steps=*/20'000, config);
+
+  std::cout << (markdown ? "## Profiling workload (Monte-Carlo validation)\n\n"
+                         : "== Profiling workload (Monte-Carlo validation) "
+                           "==\n\n");
+  report::Table table({"check", "value"});
+  table.row({"simulated trial cases", report::with_thousands(
+                                          static_cast<long long>(kCases))});
+  table.row({"observed failure rate", report::fixed(observed, 4)});
+  table.row({"Eq.-(8) prediction", report::fixed(predicted, 4)});
+  table.row({"bootstrap 95% interval",
+             report::with_interval(interval.estimate, interval.lower,
+                                   interval.upper, 4)});
+  table.row({"sweep points evaluated",
+             report::with_thousands(static_cast<long long>(curve.size()))});
+  table.row({"cost-minimising threshold", report::fixed(best.threshold, 3)});
+  std::cout << (markdown ? table.to_markdown() : table.to_text()) << "\n";
 }
 
 }  // namespace
@@ -84,6 +195,8 @@ int main(int argc, char** argv) {
   std::optional<std::string> model_path, trial_path, field_path;
   std::vector<Improvement> improvements;
   bool use_example = false;
+  bool profile = false;
+  std::optional<std::string> profile_csv_path;
   core::ReportOptions options;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
@@ -120,6 +233,11 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       exec::set_default_config(exec::Config{threads});
+    } else if (arg == "--profile") {
+      profile = true;
+    } else if (arg == "--profile-csv") {
+      profile = true;
+      profile_csv_path = next();
     } else if (arg == "--text") {
       options.markdown = false;
     } else if (arg == "--no-advice") {
@@ -131,6 +249,8 @@ int main(int argc, char** argv) {
       usage(2);
     }
   }
+
+  if (profile) obs::set_enabled(true);
 
   try {
     core::SequentialModel model =
@@ -162,6 +282,23 @@ int main(int argc, char** argv) {
                   << report::fixed(
                          improved.system_failure_probability(field), 3)
                   << "\n";
+      }
+    }
+
+    if (profile) {
+      run_profiling_workload(model, trial, field, options.markdown);
+      const obs::Snapshot snapshot = obs::registry_snapshot();
+      std::cout << (options.markdown ? "## Profile (obs registry)\n\n"
+                                     : "== Profile (obs registry) ==\n\n")
+                << report::profile_table(snapshot);
+      if (profile_csv_path) {
+        std::ofstream csv(*profile_csv_path);
+        if (!csv) {
+          std::cerr << "hmdiv_analyze: cannot write '" << *profile_csv_path
+                    << "'\n";
+          return 2;
+        }
+        report::write_profile_csv(csv, snapshot);
       }
     }
   } catch (const std::exception& e) {

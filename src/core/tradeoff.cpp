@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "exec/parallel.hpp"
+#include "obs/obs.hpp"
 #include "stats/special.hpp"
 
 namespace hmdiv::core {
@@ -107,6 +108,9 @@ SystemOperatingPoint TradeoffAnalyzer::evaluate(double threshold) const {
 std::vector<SystemOperatingPoint> TradeoffAnalyzer::sweep(
     const std::vector<double>& thresholds,
     const exec::Config& config) const {
+  HMDIV_OBS_SCOPED_TIMER("core.tradeoff.sweep_ns");
+  HMDIV_OBS_COUNT("core.tradeoff.sweeps", 1);
+  HMDIV_OBS_COUNT("core.tradeoff.sweep_points", thresholds.size());
   std::vector<SystemOperatingPoint> out(thresholds.size());
   exec::parallel_for(
       thresholds.size(), /*grain=*/64,
@@ -124,6 +128,8 @@ SystemOperatingPoint TradeoffAnalyzer::minimise_cost(
     throw std::invalid_argument(
         "TradeoffAnalyzer: need lo < hi and at least two grid steps");
   }
+  HMDIV_OBS_SCOPED_TIMER("core.tradeoff.minimise_ns");
+  HMDIV_OBS_COUNT("core.tradeoff.grid_points", steps);
   struct Best {
     SystemOperatingPoint point;
     double cost = 0.0;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "exec/parallel.hpp"
+#include "obs/obs.hpp"
 #include "stats/summary.hpp"
 
 namespace hmdiv::core {
@@ -97,6 +98,9 @@ UncertainPrediction PosteriorModelSampler::predict(
     throw std::invalid_argument(
         "PosteriorModelSampler::predict: credibility outside (0,1)");
   }
+  HMDIV_OBS_SCOPED_TIMER("core.posterior.predict_ns");
+  HMDIV_OBS_COUNT("core.posterior.calls", 1);
+  HMDIV_OBS_COUNT("core.posterior.draws", draws);
   // Draw i samples from substream Rng(base, i); the values vector is then
   // independent of the chunk-to-thread mapping.
   const std::uint64_t base = rng.next_u64();

@@ -1,6 +1,7 @@
 #include "exec/config.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
@@ -14,12 +15,33 @@ constexpr unsigned kUnresolved = ~0U;
 /// 0 = auto, kUnresolved = not yet read from the environment.
 std::atomic<unsigned> g_default_threads{kUnresolved};
 
+/// Set once the malformed-HMDIV_THREADS warning has been printed, so a
+/// misconfigured deployment logs exactly one line however often the
+/// environment is re-read.
+std::atomic<bool> g_env_warned{false};
+
+void warn_bad_env_value(const char* raw) noexcept {
+  if (g_env_warned.exchange(true, std::memory_order_relaxed)) return;
+  std::fprintf(stderr,
+               "hmdiv: ignoring malformed HMDIV_THREADS='%s' (expected an "
+               "integer in [1, 4096]); using all hardware threads\n",
+               raw);
+}
+
 unsigned hardware_threads() noexcept {
   const unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
 }
 
 }  // namespace
+
+namespace detail {
+
+void reset_env_warning() noexcept {
+  g_env_warned.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 unsigned Config::resolved_threads() const noexcept {
   return threads == 0 ? hardware_threads() : threads;
@@ -31,6 +53,9 @@ Config config_from_env() noexcept {
   char* end = nullptr;
   const unsigned long value = std::strtoul(raw, &end, 10);
   if (end == raw || *end != '\0' || value == 0 || value > 4096) {
+    // Falling back silently would hide a deployment misconfiguration
+    // (e.g. HMDIV_THREADS=8x pinning a fleet to the auto default).
+    warn_bad_env_value(raw);
     return Config{};
   }
   return Config{static_cast<unsigned>(value)};

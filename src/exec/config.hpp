@@ -28,8 +28,15 @@ struct Config {
   [[nodiscard]] static Config serial() noexcept { return Config{1}; }
 };
 
-/// Parses HMDIV_THREADS. Unset, empty, non-numeric or 0 yields auto.
+/// Parses HMDIV_THREADS. Unset or empty yields auto; a malformed value
+/// (non-numeric, trailing garbage, 0, or > 4096) also yields auto but
+/// prints a one-time warning to stderr naming the bad value.
 [[nodiscard]] Config config_from_env() noexcept;
+
+namespace detail {
+/// Testing hook: re-arms the one-time malformed-HMDIV_THREADS warning.
+void reset_env_warning() noexcept;
+}  // namespace detail
 
 /// The process-wide default used by parallel calls that are not handed an
 /// explicit Config. First call resolves it from the environment.

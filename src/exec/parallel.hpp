@@ -25,6 +25,7 @@
 
 #include "exec/config.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace hmdiv::exec {
 
@@ -44,12 +45,18 @@ void parallel_for_chunks(std::size_t n, std::size_t grain, Body&& body,
   if (n == 0) return;
   const std::size_t g = grain == 0 ? 1 : grain;
   const std::size_t chunks = chunk_count(n, g);
+  // Region-level tallies (one enabled() check per region, never per
+  // index): chunks counts the decomposition, serial_regions the regions
+  // that bypassed the pool entirely.
+  HMDIV_OBS_COUNT("exec.parallel.regions", 1);
+  HMDIV_OBS_COUNT("exec.parallel.chunks", chunks);
   auto run_chunk = [&](std::size_t chunk) {
     const std::size_t begin = chunk * g;
     const std::size_t end = std::min(n, begin + g);
     body(begin, end, chunk);
   };
   if (chunks == 1 || config.resolved_threads() <= 1) {
+    HMDIV_OBS_COUNT("exec.parallel.serial_regions", 1);
     for (std::size_t chunk = 0; chunk < chunks; ++chunk) run_chunk(chunk);
     return;
   }

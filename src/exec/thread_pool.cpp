@@ -2,11 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace hmdiv::exec {
 
 namespace {
 
 thread_local bool tl_on_worker_thread = false;
+
+#if HMDIV_OBS
+/// Nanoseconds between two steady_clock points, clamped to >= 0.
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count();
+  return ns < 0 ? 0 : static_cast<std::uint64_t>(ns);
+}
+#endif
 
 }  // namespace
 
@@ -43,6 +56,7 @@ void ThreadPool::execute(Job& job) {
     const std::size_t index =
         job.next.fetch_add(1, std::memory_order_relaxed);
     if (index >= job.count) return;
+    HMDIV_OBS_COUNT("exec.pool.tasks", 1);
     try {
       (*job.fn)(index);
     } catch (...) {
@@ -66,9 +80,26 @@ void ThreadPool::worker_loop() {
     ++job.active_helpers;
     lock.unlock();
 
+#if HMDIV_OBS
+    const bool timed = job.timed && obs::enabled();
+    std::chrono::steady_clock::time_point picked_up;
+    if (timed) {
+      picked_up = std::chrono::steady_clock::now();
+      static obs::Histogram& queue_wait =
+          obs::Registry::global().histogram("exec.pool.queue_wait_ns");
+      queue_wait.record(elapsed_ns(job.submitted, picked_up));
+    }
+#endif
     tl_on_worker_thread = true;
     execute(job);
     tl_on_worker_thread = false;
+#if HMDIV_OBS
+    if (timed) {
+      static obs::Histogram& busy =
+          obs::Registry::global().histogram("exec.pool.helper_busy_ns");
+      busy.record(elapsed_ns(picked_up, std::chrono::steady_clock::now()));
+    }
+#endif
 
     lock.lock();
     if (--job.active_helpers == 0) job_done_.notify_all();
@@ -83,6 +114,8 @@ void ThreadPool::run_indexed(std::size_t count, unsigned max_threads,
        static_cast<unsigned>(std::min<std::size_t>(count, ~0U))});
 
   auto run_inline = [&] {
+    HMDIV_OBS_COUNT("exec.pool.inline_jobs", 1);
+    HMDIV_OBS_COUNT("exec.pool.tasks", count);
     for (std::size_t i = 0; i < count; ++i) fn(i);
   };
 
@@ -97,9 +130,16 @@ void ThreadPool::run_indexed(std::size_t count, unsigned max_threads,
     return;
   }
 
+  HMDIV_OBS_COUNT("exec.pool.jobs", 1);
   Job job;
   job.fn = &fn;
   job.count = count;
+#if HMDIV_OBS
+  if (obs::enabled()) {
+    job.timed = true;
+    job.submitted = std::chrono::steady_clock::now();
+  }
+#endif
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     job_ = &job;
@@ -107,7 +147,20 @@ void ThreadPool::run_indexed(std::size_t count, unsigned max_threads,
   }
   work_ready_.notify_all();
 
+#if HMDIV_OBS
+  if (job.timed) {
+    static obs::Histogram& caller_busy =
+        obs::Registry::global().histogram("exec.pool.caller_busy_ns");
+    const auto started = std::chrono::steady_clock::now();
+    execute(job);  // The caller is one of the job's threads.
+    caller_busy.record(
+        elapsed_ns(started, std::chrono::steady_clock::now()));
+  } else {
+    execute(job);
+  }
+#else
   execute(job);  // The caller is one of the job's threads.
+#endif
 
   {
     std::unique_lock<std::mutex> lock(mutex_);

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -65,6 +66,10 @@ class ThreadPool {
     std::exception_ptr error;     // guarded by error_mutex
     std::mutex error_mutex;
     unsigned active_helpers = 0;  // guarded by the pool mutex
+    /// Submission timestamp for queue-wait profiling; only read when
+    /// `timed` (set iff obs profiling was enabled at submit time).
+    std::chrono::steady_clock::time_point submitted{};
+    bool timed = false;
   };
 
   void worker_loop();

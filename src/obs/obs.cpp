@@ -1,0 +1,121 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hmdiv::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    if (cumulative >= target && cumulative > 0) {
+      // Upper bound of bucket b: values in [2^(b-1), 2^b).
+      if (b == 0) return 0;
+      if (b >= 64) return ~std::uint64_t{0};
+      return (std::uint64_t{1} << b) - 1;
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+ScopedTimer::ScopedTimer(const char* name) {
+  if (!enabled()) return;
+  hist_ = &Registry::global().histogram(name);
+  start_ = Clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (hist_ == nullptr) return;
+  const auto elapsed = Clock::now() - start_;
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  hist_->record(ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.push_back(CounterSnapshot{name, counter->value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = hist->count();
+    h.sum = hist->sum();
+    h.min = hist->min();
+    h.max = hist->max();
+    h.p50 = hist->quantile(0.50);
+    h.p90 = hist->quantile(0.90);
+    h.p99 = hist->quantile(0.99);
+    out.histograms.push_back(std::move(h));
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, hist] : histograms_) hist->reset();
+}
+
+Snapshot registry_snapshot() { return Registry::global().snapshot(); }
+
+}  // namespace hmdiv::obs

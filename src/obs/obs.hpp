@@ -1,0 +1,236 @@
+// Observability: cheap thread-safe counters, histograms, scoped timers and
+// a process-wide registry for the parallel engine and its clients.
+//
+// Two gates keep the cost at zero when nobody is looking:
+//
+//  * Compile time: the HMDIV_OBS macro (CMake option of the same name,
+//    default ON). When 0, the HMDIV_OBS_* instrumentation macros expand to
+//    nothing and no instrumentation code is emitted. The obs types remain
+//    available for direct use (tests, tools).
+//  * Run time: obs::set_enabled(true) — off by default. The instrumentation
+//    macros check obs::enabled() (one relaxed atomic load and a branch)
+//    before touching the registry, so an instrumented binary that never
+//    enables profiling pays only that check per *region* (never per case or
+//    per replicate — instrumentation points sit at batch/chunk granularity).
+//
+// Registration is lazy: a metric first appears in the registry when its
+// instrumentation point runs while profiling is enabled. References
+// returned by the registry are stable for the life of the process, so call
+// sites cache them in function-local statics.
+//
+// All mutation uses relaxed atomics: metrics are monotone tallies whose
+// readers (snapshot/report) tolerate torn cross-metric views. A snapshot is
+// therefore not an atomic cut across metrics — it is exact only once the
+// instrumented work has quiesced (the only way the CLI and benches use it).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef HMDIV_OBS
+#define HMDIV_OBS 1
+#endif
+
+namespace hmdiv::obs {
+
+/// True while profiling is runtime-enabled (relaxed load; off by default).
+[[nodiscard]] bool enabled() noexcept;
+
+/// Turns runtime profiling on or off process-wide.
+void set_enabled(bool on) noexcept;
+
+/// A named monotone counter. add() is wait-free (one relaxed fetch_add).
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A named histogram of non-negative integer values (conventionally
+/// nanoseconds). Lock-free: exact count/sum/min/max plus power-of-two
+/// magnitude buckets, from which quantiles are answered to within a factor
+/// of two (bucket upper bound) — plenty for "where does wall-clock go".
+class Histogram {
+ public:
+  /// Bucket b holds values whose bit width is b, i.e. [2^(b-1), 2^b).
+  /// Bucket 0 holds exact zeros.
+  static constexpr std::size_t kBuckets = 65;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t value) noexcept {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[std::bit_width(value)].fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// 0 when the histogram is empty.
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    const std::uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == ~std::uint64_t{0} ? 0 : m;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  /// Upper bound of the bucket containing the q-quantile (q in [0,1]);
+  /// exact to within a factor of 2. 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  void reset() noexcept;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// RAII timer recording elapsed nanoseconds into a Histogram on scope exit.
+class ScopedTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Always records into `hist` (no enabled() gate) — for direct API use.
+  explicit ScopedTimer(Histogram& hist)
+      : hist_(&hist), start_(Clock::now()) {}
+
+  /// Records into the global registry's histogram `name` iff profiling is
+  /// runtime-enabled at construction; otherwise inert (no clock read).
+  explicit ScopedTimer(const char* name);
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer();
+
+ private:
+  Histogram* hist_ = nullptr;
+  Clock::time_point start_{};
+};
+
+/// Point-in-time view of one counter.
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Point-in-time view of one histogram (ns-valued by convention).
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+};
+
+/// Everything the registry knows, sorted by metric name.
+struct Snapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<HistogramSnapshot> histograms;
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && histograms.empty();
+  }
+};
+
+/// Process-wide home of all named metrics. Lookup takes a mutex (call
+/// sites cache the returned reference); metric mutation never does.
+class Registry {
+ public:
+  [[nodiscard]] static Registry& global();
+
+  /// Returns the counter / histogram named `name`, creating it on first
+  /// use. References stay valid for the registry's lifetime.
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zeroes every metric; registrations (and cached references) survive.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Snapshot of the global registry — the API tests and report dumpers use.
+[[nodiscard]] Snapshot registry_snapshot();
+
+}  // namespace hmdiv::obs
+
+// Instrumentation macros — the only way production code should emit
+// metrics. They compile to nothing when HMDIV_OBS is 0 and cost one
+// relaxed load + branch when profiling is runtime-disabled.
+#if HMDIV_OBS
+
+/// Adds `n` to the global counter `name` (a string literal).
+#define HMDIV_OBS_COUNT(name, n)                                      \
+  do {                                                                \
+    if (::hmdiv::obs::enabled()) {                                    \
+      static ::hmdiv::obs::Counter& hmdiv_obs_counter_ =              \
+          ::hmdiv::obs::Registry::global().counter(name);             \
+      hmdiv_obs_counter_.add(static_cast<std::uint64_t>(n));          \
+    }                                                                 \
+  } while (0)
+
+#define HMDIV_OBS_CONCAT_IMPL(a, b) a##b
+#define HMDIV_OBS_CONCAT(a, b) HMDIV_OBS_CONCAT_IMPL(a, b)
+
+/// Times the enclosing scope into the global histogram `name` (ns).
+#define HMDIV_OBS_SCOPED_TIMER(name)              \
+  ::hmdiv::obs::ScopedTimer HMDIV_OBS_CONCAT(     \
+      hmdiv_obs_timer_, __COUNTER__) { name }
+
+#else  // !HMDIV_OBS
+
+#define HMDIV_OBS_COUNT(name, n) static_cast<void>(0)
+#define HMDIV_OBS_SCOPED_TIMER(name) static_cast<void>(0)
+
+#endif  // HMDIV_OBS

@@ -1,5 +1,6 @@
 #include "report/csv.hpp"
 
+#include <cmath>
 #include <ostream>
 
 #include "report/format.hpp"
@@ -32,7 +33,17 @@ void CsvWriter::row(const std::vector<std::string>& fields) {
 void CsvWriter::numeric_row(const std::vector<double>& values) {
   std::vector<std::string> fields;
   fields.reserve(values.size());
-  for (const double v : values) fields.push_back(sig(v, 17));
+  for (const double v : values) {
+    // printf-style "nan"/"inf" cells are not portable CSV; normalise to
+    // the common conventions (empty cell for missing, signed inf).
+    if (std::isnan(v)) {
+      fields.emplace_back();
+    } else if (std::isinf(v)) {
+      fields.emplace_back(v > 0.0 ? "inf" : "-inf");
+    } else {
+      fields.push_back(sig(v, 17));
+    }
+  }
   row(fields);
 }
 

@@ -25,7 +25,9 @@ class CsvWriter {
   void row(const std::vector<std::string>& fields);
 
   /// Convenience for numeric rows: formats each value with 17 significant
-  /// digits (round-trippable doubles).
+  /// digits (round-trippable doubles). Non-finite values are normalised
+  /// for portability: NaN becomes an empty field, infinities become the
+  /// literals "inf" / "-inf".
   void numeric_row(const std::vector<double>& values);
 
  private:

@@ -1,0 +1,23 @@
+// Rendering of obs registry snapshots: an aligned text table for humans
+// (the CLI's and benches' --profile output) and CSV rows for machines
+// (phase-level timing series in BENCH_*.json pipelines).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace hmdiv::report {
+
+/// Renders the snapshot as two aligned text tables — counters, then
+/// histograms (count, total ms, mean µs, p50/p90/p99 µs, max µs). Returns
+/// a note instead of tables when the snapshot is empty.
+[[nodiscard]] std::string profile_table(const obs::Snapshot& snapshot);
+
+/// Writes the snapshot as CSV with the header
+///   kind,name,count,sum_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns
+/// Counter rows carry the value in `count` and leave the ns fields empty.
+void write_profile_csv(std::ostream& os, const obs::Snapshot& snapshot);
+
+}  // namespace hmdiv::report

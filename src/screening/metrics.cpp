@@ -1,30 +1,35 @@
 #include "screening/metrics.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace hmdiv::screening {
 
 ProgrammeMetrics ProgrammeMetrics::from_counts(const ConfusionCounts& counts,
                                                double readings_per_case) {
+  constexpr double kUndefined = std::numeric_limits<double>::quiet_NaN();
   ProgrammeMetrics m;
   const double cancers = static_cast<double>(counts.cancers());
   const double healthy = static_cast<double>(counts.healthy());
   const double total = static_cast<double>(counts.total());
   const double recalls = static_cast<double>(counts.recalls());
-  if (cancers > 0.0) {
-    m.sensitivity = static_cast<double>(counts.true_positives) / cancers;
-  }
-  if (healthy > 0.0) {
-    m.specificity = static_cast<double>(counts.true_negatives) / healthy;
-  }
-  if (total > 0.0) {
-    m.recall_rate = recalls / total;
-    m.cancer_detection_rate_per_1000 =
-        1000.0 * static_cast<double>(counts.true_positives) / total;
-  }
-  if (recalls > 0.0) {
-    m.ppv = static_cast<double>(counts.true_positives) / recalls;
-  }
+  // A ratio with a zero-count denominator is *undefined*, not zero: a
+  // programme that saw no cancers has unknown sensitivity, and reporting
+  // the struct default would silently masquerade as a perfect miss rate.
+  m.sensitivity =
+      cancers > 0.0 ? static_cast<double>(counts.true_positives) / cancers
+                    : kUndefined;
+  m.specificity =
+      healthy > 0.0 ? static_cast<double>(counts.true_negatives) / healthy
+                    : kUndefined;
+  m.recall_rate = total > 0.0 ? recalls / total : kUndefined;
+  m.cancer_detection_rate_per_1000 =
+      total > 0.0
+          ? 1000.0 * static_cast<double>(counts.true_positives) / total
+          : kUndefined;
+  m.ppv = recalls > 0.0
+              ? static_cast<double>(counts.true_positives) / recalls
+              : kUndefined;
   m.readings_per_case = readings_per_case;
   return m;
 }

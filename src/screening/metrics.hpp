@@ -31,7 +31,10 @@ struct ConfusionCounts {
   }
 };
 
-/// Derived programme metrics. Rates are 0 when their denominator is 0.
+/// Derived programme metrics. from_counts yields NaN for every rate whose
+/// denominator is 0 (no cancers seen, nothing recalled, ...): such ratios
+/// are undefined and a 0 default would read as a real — and alarming —
+/// measurement. CsvWriter::numeric_row renders the NaN as an empty cell.
 struct ProgrammeMetrics {
   double sensitivity = 0.0;  ///< TP / cancers
   double specificity = 0.0;  ///< TN / healthy

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "exec/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace hmdiv::sim {
 
@@ -49,6 +50,9 @@ TrialData TrialRunner::run(stats::Rng& rng) {
 }
 
 TrialData TrialRunner::run(std::uint64_t seed, const exec::Config& config) {
+  HMDIV_OBS_SCOPED_TIMER("sim.trial.run_ns");
+  HMDIV_OBS_COUNT("sim.trial.runs", 1);
+  HMDIV_OBS_COUNT("sim.trial.cases", case_count_);
   TrialData data;
   data.class_names = world_.class_names();
   data.records.resize(case_count_);
@@ -64,6 +68,7 @@ TrialData TrialRunner::run(std::uint64_t seed, const exec::Config& config) {
   if (!cloneable) {
     // No clone: same batch/substream layout, executed serially on the
     // shared world (stateful worlds keep evolving across batches).
+    HMDIV_OBS_COUNT("sim.trial.serial_fallbacks", 1);
     exec::parallel_for_chunks(
         total, kBatchSize,
         [&](std::size_t begin, std::size_t end, std::size_t batch) {
@@ -75,6 +80,7 @@ TrialData TrialRunner::run(std::uint64_t seed, const exec::Config& config) {
   exec::parallel_for_chunks(
       total, kBatchSize,
       [&](std::size_t begin, std::size_t end, std::size_t batch) {
+        HMDIV_OBS_COUNT("sim.trial.world_clones", 1);
         const std::unique_ptr<World> local = world_.clone();
         simulate_batch(*local, begin, end, batch);
       },

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "exec/parallel.hpp"
+#include "obs/obs.hpp"
 #include "stats/rng.hpp"
 #include "stats/summary.hpp"
 
@@ -49,6 +50,9 @@ BootstrapResult bootstrap_percentile(std::span<const double> sample,
                                      std::size_t replicates, double confidence,
                                      const exec::Config& config) {
   check_args(sample.size(), replicates, confidence);
+  HMDIV_OBS_SCOPED_TIMER("stats.bootstrap.run_ns");
+  HMDIV_OBS_COUNT("stats.bootstrap.calls", 1);
+  HMDIV_OBS_COUNT("stats.bootstrap.replicates", replicates);
   const double estimate = statistic(sample);
   // Replicate r resamples with its own substream Rng(base, r): the values
   // vector is filled identically no matter how chunks map to threads.
@@ -80,6 +84,9 @@ BootstrapResult bootstrap_paired(std::span<const double> x,
     throw std::invalid_argument("bootstrap_paired: size mismatch");
   }
   check_args(x.size(), replicates, confidence);
+  HMDIV_OBS_SCOPED_TIMER("stats.bootstrap.run_ns");
+  HMDIV_OBS_COUNT("stats.bootstrap.calls", 1);
+  HMDIV_OBS_COUNT("stats.bootstrap.replicates", replicates);
   const double estimate = statistic(x, y);
   const std::uint64_t base = rng.next_u64();
   std::vector<double> values(replicates);

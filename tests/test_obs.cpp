@@ -1,0 +1,224 @@
+// Tests for the obs subsystem: counters, histograms, scoped timers, the
+// global registry, and the instrumentation macros' runtime gate —
+// including thread-safety of concurrent mutation under exec::parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "exec/parallel.hpp"
+#include "obs/obs.hpp"
+
+namespace hmdiv {
+namespace {
+
+// Each gtest case runs in its own process under ctest, but keep the
+// runtime gate off after every test anyway so in-binary runs stay clean.
+class ObsGateGuard {
+ public:
+  ~ObsGateGuard() { obs::set_enabled(false); }
+};
+
+TEST(ObsCounter, AddAccumulatesAndResetZeroes) {
+  obs::Counter c("c");
+  EXPECT_EQ(c.value(), 0U);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42U);
+  EXPECT_EQ(c.name(), "c");
+  c.reset();
+  EXPECT_EQ(c.value(), 0U);
+}
+
+TEST(ObsCounter, ConcurrentAddsAreExact) {
+  obs::Counter c("c");
+  constexpr std::size_t kN = 100'000;
+  exec::parallel_for(kN, 256, [&](std::size_t) { c.add(); },
+                     exec::Config{8});
+  EXPECT_EQ(c.value(), kN);
+}
+
+TEST(ObsHistogram, TracksCountSumMinMax) {
+  obs::Histogram h("h");
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.min(), 0U);  // empty histogram reads as all-zero
+  EXPECT_EQ(h.max(), 0U);
+  h.record(7);
+  h.record(100);
+  h.record(3);
+  EXPECT_EQ(h.count(), 3U);
+  EXPECT_EQ(h.sum(), 110U);
+  EXPECT_EQ(h.min(), 3U);
+  EXPECT_EQ(h.max(), 100U);
+}
+
+TEST(ObsHistogram, QuantileIsWithinAFactorOfTwo) {
+  obs::Histogram h("h");
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  // The true median is 500; the bucketed answer is its bucket's upper
+  // bound, so it lies in [500, 1000).
+  const std::uint64_t p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 500U);
+  EXPECT_LT(p50, 1000U);
+  const std::uint64_t p99 = h.quantile(0.99);
+  EXPECT_GE(p99, 990U);
+  EXPECT_LE(p99, 2U * 990U);
+  EXPECT_GE(h.quantile(1.0), h.quantile(0.0));
+  EXPECT_EQ(obs::Histogram("empty").quantile(0.5), 0U);
+}
+
+TEST(ObsHistogram, RecordsZeroAndResets) {
+  obs::Histogram h("h");
+  h.record(0);
+  EXPECT_EQ(h.count(), 1U);
+  EXPECT_EQ(h.min(), 0U);
+  EXPECT_EQ(h.max(), 0U);
+  h.record(9);
+  h.reset();
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.sum(), 0U);
+  EXPECT_EQ(h.min(), 0U);
+  EXPECT_EQ(h.max(), 0U);
+  EXPECT_EQ(h.quantile(0.5), 0U);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsAreExactOnCountAndSum) {
+  obs::Histogram h("h");
+  constexpr std::size_t kN = 50'000;
+  exec::parallel_for(kN, 128,
+                     [&](std::size_t i) { h.record(i % 1024); },
+                     exec::Config{8});
+  EXPECT_EQ(h.count(), kN);
+  EXPECT_EQ(h.min(), 0U);
+  EXPECT_EQ(h.max(), 1023U);
+}
+
+TEST(ObsScopedTimer, DirectHistogramFormAlwaysRecords) {
+  obs::Histogram h("h");
+  {
+    obs::ScopedTimer t(h);
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  EXPECT_EQ(h.count(), 1U);
+}
+
+TEST(ObsScopedTimer, NamedFormIsInertWhileDisabled) {
+  ObsGateGuard guard;
+  obs::set_enabled(false);
+  obs::Registry::global().reset();
+  { obs::ScopedTimer t("obs.test.disabled_timer_ns"); }
+  for (const auto& h : obs::registry_snapshot().histograms) {
+    EXPECT_NE(h.name, "obs.test.disabled_timer_ns");
+  }
+}
+
+TEST(ObsRegistry, LookupIsStableAndLazy) {
+  ObsGateGuard guard;
+  auto& registry = obs::Registry::global();
+  obs::Counter& a = registry.counter("obs.test.stable");
+  obs::Counter& b = registry.counter("obs.test.stable");
+  EXPECT_EQ(&a, &b);
+  a.add(5);
+  EXPECT_EQ(b.value(), 5U);
+  obs::Histogram& h = registry.histogram("obs.test.stable_hist");
+  EXPECT_EQ(&h, &registry.histogram("obs.test.stable_hist"));
+}
+
+TEST(ObsRegistry, SnapshotReportsSortedMetrics) {
+  ObsGateGuard guard;
+  auto& registry = obs::Registry::global();
+  registry.reset();
+  registry.counter("obs.test.zzz").add(1);
+  registry.counter("obs.test.aaa").add(2);
+  registry.histogram("obs.test.hist").record(16);
+  const obs::Snapshot snap = obs::registry_snapshot();
+  EXPECT_FALSE(snap.empty());
+  // std::map iteration order: sorted by name.
+  std::string previous;
+  bool saw_aaa = false, saw_zzz = false;
+  for (const auto& c : snap.counters) {
+    EXPECT_LE(previous, c.name);
+    previous = c.name;
+    if (c.name == "obs.test.aaa") {
+      saw_aaa = true;
+      EXPECT_EQ(c.value, 2U);
+    }
+    if (c.name == "obs.test.zzz") {
+      saw_zzz = true;
+      EXPECT_EQ(c.value, 1U);
+    }
+  }
+  EXPECT_TRUE(saw_aaa);
+  EXPECT_TRUE(saw_zzz);
+  bool saw_hist = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "obs.test.hist") {
+      saw_hist = true;
+      EXPECT_EQ(h.count, 1U);
+      EXPECT_EQ(h.sum, 16U);
+      EXPECT_GE(h.p50, 16U);
+    }
+  }
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsRegistrations) {
+  ObsGateGuard guard;
+  auto& registry = obs::Registry::global();
+  obs::Counter& c = registry.counter("obs.test.reset_me");
+  c.add(9);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0U);  // cached reference survives the reset
+  bool found = false;
+  for (const auto& snap : obs::registry_snapshot().counters) {
+    if (snap.name == "obs.test.reset_me") {
+      found = true;
+      EXPECT_EQ(snap.value, 0U);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsMacros, DisabledGateMakesCountANoOp) {
+  ObsGateGuard guard;
+  obs::set_enabled(false);
+  obs::Registry::global().reset();
+  HMDIV_OBS_COUNT("obs.test.gated", 3);
+  for (const auto& c : obs::registry_snapshot().counters) {
+    if (c.name == "obs.test.gated") {
+      EXPECT_EQ(c.value, 0U);
+    }
+  }
+}
+
+#if HMDIV_OBS
+TEST(ObsMacros, EnabledGateCountsAndTimes) {
+  ObsGateGuard guard;
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  HMDIV_OBS_COUNT("obs.test.macro_counter", 2);
+  HMDIV_OBS_COUNT("obs.test.macro_counter", 3);
+  { HMDIV_OBS_SCOPED_TIMER("obs.test.macro_timer_ns"); }
+  EXPECT_EQ(obs::Registry::global().counter("obs.test.macro_counter").value(),
+            5U);
+  EXPECT_EQ(
+      obs::Registry::global().histogram("obs.test.macro_timer_ns").count(),
+      1U);
+}
+
+TEST(ObsMacros, CountUnderParallelForIsExact) {
+  ObsGateGuard guard;
+  obs::set_enabled(true);
+  obs::Registry::global().reset();
+  constexpr std::size_t kN = 20'000;
+  exec::parallel_for(
+      kN, 64, [&](std::size_t) { HMDIV_OBS_COUNT("obs.test.parallel", 1); },
+      exec::Config{8});
+  EXPECT_EQ(obs::Registry::global().counter("obs.test.parallel").value(), kN);
+}
+#endif  // HMDIV_OBS
+
+}  // namespace
+}  // namespace hmdiv

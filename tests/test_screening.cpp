@@ -1,6 +1,7 @@
 // Unit + integration tests for the screening programme layer.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 #include "screening/metrics.hpp"
@@ -27,11 +28,29 @@ TEST(Metrics, DerivedFromCounts) {
   EXPECT_EQ(m.readings_per_case, 2.0);
 }
 
-TEST(Metrics, EmptyDenominatorsYieldZeroes) {
+TEST(Metrics, EmptyDenominatorsAreUndefinedNotZero) {
+  // A rate over zero observations is unknown; a 0.0 default would read as
+  // a real (and alarming) measurement. from_counts reports NaN instead.
   const auto m = ProgrammeMetrics::from_counts(ConfusionCounts{}, 1.0);
-  EXPECT_EQ(m.sensitivity, 0.0);
-  EXPECT_EQ(m.specificity, 0.0);
-  EXPECT_EQ(m.ppv, 0.0);
+  EXPECT_TRUE(std::isnan(m.sensitivity));
+  EXPECT_TRUE(std::isnan(m.specificity));
+  EXPECT_TRUE(std::isnan(m.recall_rate));
+  EXPECT_TRUE(std::isnan(m.ppv));
+  EXPECT_TRUE(std::isnan(m.cancer_detection_rate_per_1000));
+  EXPECT_EQ(m.readings_per_case, 1.0);
+}
+
+TEST(Metrics, PartialZeroDenominatorsOnlyBlankTheAffectedRates) {
+  // All-healthy population, nothing recalled: sensitivity and PPV are
+  // undefined, but specificity and the population rates are real numbers.
+  ConfusionCounts c;
+  c.true_negatives = 100;
+  const auto m = ProgrammeMetrics::from_counts(c, 1.0);
+  EXPECT_TRUE(std::isnan(m.sensitivity));
+  EXPECT_TRUE(std::isnan(m.ppv));
+  EXPECT_EQ(m.specificity, 1.0);
+  EXPECT_EQ(m.recall_rate, 0.0);
+  EXPECT_EQ(m.cancer_detection_rate_per_1000, 0.0);
 }
 
 TEST(CostModel, ComposesLinearly) {

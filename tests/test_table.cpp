@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -95,6 +96,31 @@ TEST(Csv, NumericRowRoundTripsDoubles) {
   const std::string line = os.str();
   EXPECT_NE(line.find("0.1"), std::string::npos);
   EXPECT_NE(line.find("2"), std::string::npos);
+}
+
+TEST(Csv, NumericRowNormalisesNanToEmptyField) {
+  // Default operator<< would emit "nan"/"-nan(ind)" depending on the
+  // platform; an empty cell is the portable CSV spelling of "missing".
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.numeric_row({1.0, std::numeric_limits<double>::quiet_NaN(), 3.0});
+  EXPECT_EQ(os.str(), "1,,3\n");
+}
+
+TEST(Csv, NumericRowNormalisesInfinities) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.numeric_row({std::numeric_limits<double>::infinity(),
+                 -std::numeric_limits<double>::infinity()});
+  EXPECT_EQ(os.str(), "inf,-inf\n");
+}
+
+TEST(Csv, NumericRowAllNanYieldsOnlySeparators) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  w.numeric_row({nan, nan});
+  EXPECT_EQ(os.str(), ",\n");
 }
 
 }  // namespace
