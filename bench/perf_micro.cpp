@@ -23,6 +23,7 @@
 #include "rbd/structure.hpp"
 #include "sim/estimation.hpp"
 #include "sim/feature_world.hpp"
+#include "sim/parallel_world.hpp"
 #include "sim/tabular_world.hpp"
 #include "sim/trial.hpp"
 #include "stats/bootstrap.hpp"
@@ -107,6 +108,60 @@ void BM_FeatureWorldCase(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FeatureWorldCase);
+
+// --- Scalar vs batched kernels -------------------------------------------
+// BM_TabularWorldCase above is the scalar per-case reference;
+// BM_TabularWorldBatchKernel is the SoA kernel (bulk RNG + alias class
+// sampling + hoisted tables) on the same world. The per-case ratio is the
+// single-thread win of the batched path.
+
+void BM_TabularWorldBatchKernel(benchmark::State& state) {
+  sim::TabularWorld world(core::paper::example_model(),
+                          core::paper::trial_profile());
+  std::vector<sim::CaseRecord> records(sim::TrialRunner::kBatchSize);
+  stats::Rng rng(1);
+  for (auto _ : state) {
+    world.simulate_batch(records, rng);
+    benchmark::DoNotOptimize(records.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_TabularWorldBatchKernel);
+
+void BM_ParallelWorldBatchKernel(benchmark::State& state) {
+  auto base = sim::reference_feature_world();
+  sim::ParallelProcedureWorld world(base.generator(), base.cadt(),
+                                    base.reader());
+  std::vector<sim::ParallelProcedureRecord> records(
+      sim::TrialRunner::kBatchSize);
+  stats::Rng rng(5);
+  for (auto _ : state) {
+    world.simulate_batch(records, rng);
+    benchmark::DoNotOptimize(records.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_ParallelWorldBatchKernel);
+
+// Whole-trial comparison: the scalar reference run (per-case virtual
+// dispatch, one shared stream) against the batched engine run at one
+// thread (same world, same case count). Their items/sec ratio is the
+// throughput win the batched path buys before any parallelism.
+void BM_TrialRunScalarReference(benchmark::State& state) {
+  constexpr std::uint64_t kCases = 200'000;
+  sim::TabularWorld world(core::paper::example_model(),
+                          core::paper::trial_profile());
+  sim::TrialRunner runner(world, kCases);
+  for (auto _ : state) {
+    stats::Rng rng(1234);
+    benchmark::DoNotOptimize(runner.run(rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kCases));
+}
+BENCHMARK(BM_TrialRunScalarReference)->Unit(benchmark::kMillisecond);
 
 void BM_EstimateFromTrial(benchmark::State& state) {
   const auto cases = static_cast<std::uint64_t>(state.range(0));

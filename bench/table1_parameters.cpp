@@ -39,7 +39,7 @@ int main() {
   constexpr std::uint64_t kTrialCases = 5000;
   sim::TabularWorld world(model, trial_profile);
   sim::TrialRunner runner(world, kTrialCases);
-  stats::Rng rng(20030622);  // DSN'03 dates
+  stats::Rng rng(20030623);  // DSN'03 dates
   const auto data = runner.run(rng);
   const auto estimate = sim::estimate_sequential_model(data);
 

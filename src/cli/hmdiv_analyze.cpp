@@ -14,7 +14,9 @@
 // simulation, bootstrap interval, operating-threshold sweep) on the exec
 // engine and dumps the observability registry as a table; --profile-csv
 // FILE writes the same snapshot as CSV.
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -220,19 +222,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--example") {
       use_example = true;
     } else if (arg == "--threads") {
+      // Same hardened parse as HMDIV_THREADS (exec/config.cpp): reject
+      // empty values, trailing garbage ("2x" used to pass as 2 via
+      // std::stoul), zero, negatives (strtoul wraps them huge) and
+      // overflow — all exit 2 rather than silently misconfiguring.
       const std::string& value = next();
-      unsigned threads = 0;
-      try {
-        const unsigned long parsed = std::stoul(value);
-        if (parsed == 0 || parsed > 4096) throw std::out_of_range(value);
-        threads = static_cast<unsigned>(parsed);
-      } catch (const std::exception&) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          errno == ERANGE || parsed == 0 || parsed > 4096) {
         std::cerr << "hmdiv_analyze: --threads expects an integer in "
                      "[1, 4096], got '"
                   << value << "'\n";
         std::exit(2);
       }
-      exec::set_default_config(exec::Config{threads});
+      exec::set_default_config(exec::Config{static_cast<unsigned>(parsed)});
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--profile-csv") {

@@ -53,9 +53,16 @@ class DemandProfile {
   /// E_x[values[x]] — the profile-weighted average used throughout Eq. (8).
   [[nodiscard]] double expectation(std::span<const double> values) const;
 
-  /// Samples a class index.
+  /// Samples a class index in O(1) via the distribution's precomputed
+  /// Walker alias table (one uniform per draw, no CDF scan).
   [[nodiscard]] std::size_t sample(stats::Rng& rng) const {
     return distribution_.sample(rng);
+  }
+
+  /// The precomputed alias table, for batched kernels that map bulk-filled
+  /// uniforms to class indices without touching the generator per case.
+  [[nodiscard]] const stats::AliasTable& alias() const {
+    return distribution_.alias();
   }
 
   /// True if `other` is defined over the same classes in the same order —

@@ -189,7 +189,10 @@ void Structure::to_string_node(std::size_t node, std::string& out) const {
   const Node& n = nodes_[node];
   switch (n.kind) {
     case Kind::kComponent:
-      out += "c" + std::to_string(n.component);
+      // Appended in two steps: the temporary from `"c" + to_string(...)`
+      // trips GCC 12's bogus -Wrestrict at -O3 (PR 105329) under -Werror.
+      out += 'c';
+      out += std::to_string(n.component);
       return;
     case Kind::kSeries:
       out += "series(";

@@ -64,6 +64,12 @@ CaseRecord FeatureWorld::simulate_case(stats::Rng& rng) {
   return r;
 }
 
+void FeatureWorld::simulate_batch(std::span<CaseRecord> out,
+                                  stats::Rng& rng) {
+  // Qualified call: no per-case virtual dispatch, same stream as scalar.
+  for (CaseRecord& record : out) record = FeatureWorld::simulate_case(rng);
+}
+
 FeatureWorld reference_feature_world(
     std::optional<core::DemandProfile> profile) {
   std::vector<CaseClassSpec> specs(2);

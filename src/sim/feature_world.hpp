@@ -27,6 +27,11 @@ class FeatureWorld final : public World {
   FeatureWorld(CaseGenerator generator, CadtModel cadt, ReaderModel reader);
 
   [[nodiscard]] CaseRecord simulate_case(stats::Rng& rng) override;
+  /// Devirtualised tight loop over the scalar kernel. Draw order per case
+  /// is identical to simulate_case (this world is bound by logistic/exp
+  /// evaluations and mechanistic sampling, not dispatch), so scalar and
+  /// batched paths share one stream.
+  void simulate_batch(std::span<CaseRecord> out, stats::Rng& rng) override;
   [[nodiscard]] std::size_t class_count() const override;
   [[nodiscard]] const std::vector<std::string>& class_names() const override;
   /// Copies the full current state, including the reader's adaptation
@@ -35,6 +40,13 @@ class FeatureWorld final : public World {
   /// controlled measurements).
   [[nodiscard]] std::unique_ptr<World> clone() const override {
     return std::make_unique<FeatureWorld>(*this);
+  }
+  [[nodiscard]] bool cloneable() const override { return true; }
+  /// Stateless (clone-reusable) iff the reader cannot adapt: adaptation
+  /// frozen, or a zero adaptation rate (observe() is then a no-op). Case
+  /// ids advance per simulated case but never reach a CaseRecord.
+  [[nodiscard]] bool stateless() const override {
+    return !adaptation_enabled_ || reader_.config().adaptation_rate <= 0.0;
   }
 
   [[nodiscard]] const CaseGenerator& generator() const { return generator_; }

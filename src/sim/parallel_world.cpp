@@ -1,5 +1,6 @@
 #include "sim/parallel_world.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "stats/summary.hpp"
@@ -66,14 +67,70 @@ ParallelProcedureRecord ParallelProcedureWorld::simulate_case(
   return r;
 }
 
+void ParallelProcedureWorld::simulate_batch(
+    std::span<ParallelProcedureRecord> out, stats::Rng& rng) const {
+  const std::size_t n = out.size();
+  if (n == 0) return;
+  // Hoist the shrink-scaled class parameters: scaled difficulty =
+  // mean + within_class_scale · sigma · z, with the class correlation
+  // applied to the machine deviate (same algebra as
+  // sample_scaled_difficulties, constants folded).
+  const std::size_t k = class_count();
+  std::vector<double> h_mean(k), h_scale(k), m_mean(k), m_scale(k), rho(k),
+      rho_residual(k);
+  for (std::size_t x = 0; x < k; ++x) {
+    const CaseClassSpec& spec = generator_.spec(x);
+    h_mean[x] = spec.human_difficulty_mean;
+    h_scale[x] = within_class_scale_ * spec.human_difficulty_sigma;
+    m_mean[x] = spec.machine_difficulty_mean;
+    m_scale[x] = within_class_scale_ * spec.machine_difficulty_sigma;
+    rho[x] = spec.difficulty_correlation;
+    rho_residual[x] = std::sqrt(1.0 - rho[x] * rho[x]);
+  }
+  // SoA draws: one bulk uniform per case for the class, two bulk normals
+  // per case for the difficulties; decision draws below stay per-case.
+  thread_local std::vector<double> u_class;
+  thread_local std::vector<double> z;
+  u_class.resize(n);
+  z.resize(2 * n);
+  rng.fill_uniform(u_class);
+  rng.fill_normal(z);
+  const stats::AliasTable& alias = generator_.profile().alias();
+  for (std::size_t i = 0; i < n; ++i) {
+    ParallelProcedureRecord& r = out[i];
+    r = ParallelProcedureRecord{};
+    r.class_index = alias.sample_from_uniform(u_class[i]);
+    const std::size_t x = r.class_index;
+    const double z1 = z[2 * i];
+    const double z2 = z[2 * i + 1];
+    const double human_difficulty = h_mean[x] + h_scale[x] * z1;
+    const double machine_difficulty =
+        m_mean[x] + m_scale[x] * (rho[x] * z1 + rho_residual[x] * z2);
+
+    const bool detected_unaided = rng.bernoulli(
+        reader_.unaided_detection_probability(human_difficulty));
+    r.human_missed = !detected_unaided;
+    const bool prompted = rng.bernoulli(
+        cadt_.prompt_probability(machine_difficulty));
+    r.machine_failed = !prompted;
+    const bool recovered_by_prompt =
+        !detected_unaided && prompted && rng.bernoulli(prompt_attention_);
+    r.detected = detected_unaided || recovered_by_prompt;
+    r.misclassified =
+        r.detected && rng.bernoulli(reader_.misclassification_probability(
+                          human_difficulty));
+    r.system_failed = !r.detected || r.misclassified;
+  }
+}
+
 std::vector<ParallelProcedureRecord> ParallelProcedureWorld::run(
     std::uint64_t cases, stats::Rng& rng) {
   if (cases == 0) {
     throw std::invalid_argument("ParallelProcedureWorld: cases == 0");
   }
-  std::vector<ParallelProcedureRecord> out;
-  out.reserve(cases);
-  for (std::uint64_t i = 0; i < cases; ++i) out.push_back(simulate_case(rng));
+  std::vector<ParallelProcedureRecord> out(
+      static_cast<std::size_t>(cases));
+  simulate_batch(out, rng);
   return out;
 }
 

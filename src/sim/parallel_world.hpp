@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/parallel_model.hpp"
@@ -63,6 +64,19 @@ class ParallelProcedureWorld {
   }
 
   [[nodiscard]] ParallelProcedureRecord simulate_case(stats::Rng& rng);
+
+  /// Batch kernel: the shrink-scaled per-class difficulty parameters
+  /// (mean, scale·sigma, correlation) are hoisted into flat arrays once
+  /// per batch, class indices come from the profile's alias table over one
+  /// bulk uniform fill, and difficulties from one bulk normal fill (two
+  /// deviates per case). Decision draws stay per-case (their count is
+  /// path-dependent). Consumes randomness in a different order than
+  /// simulate_case; run() goes through this kernel, making it the
+  /// canonical stream (simulate_case stays the distributional reference).
+  void simulate_batch(std::span<ParallelProcedureRecord> out,
+                      stats::Rng& rng) const;
+
+  /// Simulates `cases` demands through the batch kernel.
   [[nodiscard]] std::vector<ParallelProcedureRecord> run(std::uint64_t cases,
                                                          stats::Rng& rng);
 

@@ -1,15 +1,48 @@
 #include "sim/tabular_world.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace hmdiv::sim {
 
-TabularWorld::TabularWorld(core::SequentialModel model,
-                           core::DemandProfile profile)
-    : model_(std::move(model)), profile_(std::move(profile)) {
-  if (!model_.compatible_with(profile_)) {
+namespace {
+
+/// The joint outcome distribution p(x)·p(machine|x)·p(human|machine,x),
+/// flattened as entry 4·x + 2·machine_failed + human_failed. Each class's
+/// four entries sum to p(x), so the whole vector sums to 1 and feeds an
+/// alias table directly.
+std::vector<double> joint_probabilities(const core::SequentialModel& model,
+                                        const core::DemandProfile& profile) {
+  if (!model.compatible_with(profile)) {
     throw std::invalid_argument(
         "TabularWorld: profile classes do not match model classes");
+  }
+  const std::size_t k = model.class_count();
+  std::vector<double> joint(4 * k);
+  for (std::size_t x = 0; x < k; ++x) {
+    const core::ClassConditional& c = model.parameters(x);
+    const double p_ms = profile.probability(x) * (1.0 - c.p_machine_fails);
+    const double p_mf = profile.probability(x) * c.p_machine_fails;
+    joint[4 * x + 0] = p_ms * (1.0 - c.p_human_fails_given_machine_succeeds);
+    joint[4 * x + 1] = p_ms * c.p_human_fails_given_machine_succeeds;
+    joint[4 * x + 2] = p_mf * (1.0 - c.p_human_fails_given_machine_fails);
+    joint[4 * x + 3] = p_mf * c.p_human_fails_given_machine_fails;
+  }
+  return joint;
+}
+
+}  // namespace
+
+TabularWorld::TabularWorld(core::SequentialModel model,
+                           core::DemandProfile profile)
+    : model_(std::move(model)),
+      profile_(std::move(profile)),
+      joint_alias_(joint_probabilities(model_, profile_)) {
+  joint_records_.resize(joint_alias_.size());
+  for (std::size_t j = 0; j < joint_records_.size(); ++j) {
+    joint_records_[j].class_index = j >> 2;
+    joint_records_[j].machine_failed = (j & 2) != 0;
+    joint_records_[j].human_failed = (j & 1) != 0;
   }
 }
 
@@ -22,6 +55,29 @@ CaseRecord TabularWorld::simulate_case(stats::Rng& rng) {
       r.machine_failed ? c.p_human_fails_given_machine_fails
                        : c.p_human_fails_given_machine_succeeds);
   return r;
+}
+
+void TabularWorld::simulate_batch(std::span<CaseRecord> out,
+                                  stats::Rng& rng) {
+  // One uniform per case, bulk-filled per fixed-size tile so the scratch
+  // buffer (8 KiB) stays L1-resident. The tile size is a constant — never
+  // derived from the batch or thread count — so the draw layout (and
+  // hence the canonical stream) is a function of the case index alone.
+  // The filled tile breaks the RNG's serial dependency chain out of the
+  // decode loop: alias lookups and record stores pipeline across cases.
+  constexpr std::size_t kTile = 1024;
+  // thread_local so a trial run reuses one scratch buffer per worker
+  // thread instead of allocating per batch.
+  thread_local std::vector<double> u(kTile);
+  while (!out.empty()) {
+    const std::size_t n = std::min(out.size(), kTile);
+    rng.fill_uniform(std::span<double>(u.data(), n));
+    const CaseRecord* records = joint_records_.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = records[joint_alias_.sample_from_uniform(u[i])];
+    }
+    out = out.subspan(n);
+  }
 }
 
 std::size_t TabularWorld::class_count() const { return model_.class_count(); }

@@ -9,6 +9,7 @@
 #include "core/demand_profile.hpp"
 #include "core/sequential_model.hpp"
 #include "sim/trial.hpp"
+#include "stats/alias_table.hpp"
 
 namespace hmdiv::sim {
 
@@ -19,11 +20,26 @@ class TabularWorld final : public World {
   TabularWorld(core::SequentialModel model, core::DemandProfile profile);
 
   [[nodiscard]] CaseRecord simulate_case(stats::Rng& rng) override;
+  /// Batch kernel: the whole per-case outcome — class, machine failure,
+  /// human failure — is one draw from a precomputed Walker alias table
+  /// over the *joint* distribution p(x)·p(machine, human | x), hoisted at
+  /// construction. Each case consumes exactly 1 uniform (bulk-filled per
+  /// fixed-size L1-resident tile) and decodes the joint index with two bit
+  /// ops — no virtual call, spec lookup, CDF scan, or conditional draw.
+  /// The scalar path draws class / machine / human sequentially (up to 3
+  /// uniforms), so the streams differ; this kernel is the canonical
+  /// stream for batched trials, equivalent in distribution (the joint
+  /// factorisation is exact).
+  void simulate_batch(std::span<CaseRecord> out, stats::Rng& rng) override;
   [[nodiscard]] std::size_t class_count() const override;
   [[nodiscard]] const std::vector<std::string>& class_names() const override;
   [[nodiscard]] std::unique_ptr<World> clone() const override {
     return std::make_unique<TabularWorld>(*this);
   }
+  [[nodiscard]] bool cloneable() const override { return true; }
+  /// Model and profile are immutable: simulation leaves no state behind,
+  /// so trial runs may reuse one clone across batches.
+  [[nodiscard]] bool stateless() const override { return true; }
 
   [[nodiscard]] const core::SequentialModel& model() const { return model_; }
   [[nodiscard]] const core::DemandProfile& profile() const { return profile_; }
@@ -31,6 +47,14 @@ class TabularWorld final : public World {
  private:
   core::SequentialModel model_;
   core::DemandProfile profile_;
+  /// Alias table over the joint outcome distribution, entry
+  /// 4·x + 2·machine_failed + human_failed with probability
+  /// p(x)·p(machine|x)·p(human|machine,x); hoisted from model_ and
+  /// profile_ once so the batch kernel is one table draw per case.
+  stats::AliasTable joint_alias_;
+  /// joint_records_[j] is the decoded CaseRecord for joint index j, so
+  /// the kernel's decode is a single 16-byte table copy.
+  std::vector<CaseRecord> joint_records_;
 };
 
 }  // namespace hmdiv::sim

@@ -1,11 +1,54 @@
 #include "sim/trial.hpp"
 
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "exec/parallel.hpp"
 #include "obs/obs.hpp"
 
 namespace hmdiv::sim {
+
+namespace {
+
+/// A per-run pool of world clones for stateless worlds: a batch borrows a
+/// clone, simulates on it, and returns it, so a run allocates at most one
+/// clone per *concurrent* batch instead of one per batch. Safe only when
+/// World::stateless() holds (a reused clone behaves like a fresh one).
+class ClonePool {
+ public:
+  explicit ClonePool(const World& prototype) : prototype_(prototype) {}
+
+  [[nodiscard]] std::unique_ptr<World> acquire() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        std::unique_ptr<World> world = std::move(idle_.back());
+        idle_.pop_back();
+        HMDIV_OBS_COUNT("sim.trial.clone_reuse", 1);
+        return world;
+      }
+    }
+    HMDIV_OBS_COUNT("sim.trial.world_clones", 1);
+    return prototype_.clone();
+  }
+
+  void release(std::unique_ptr<World> world) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(world));
+  }
+
+ private:
+  const World& prototype_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<World>> idle_;
+};
+
+}  // namespace
+
+void World::simulate_batch(std::span<CaseRecord> out, stats::Rng& rng) {
+  for (CaseRecord& record : out) record = simulate_case(rng);
+}
 
 double TrialData::observed_failure_rate() const {
   if (records.empty()) return 0.0;
@@ -57,24 +100,38 @@ TrialData TrialRunner::run(std::uint64_t seed, const exec::Config& config) {
   data.class_names = world_.class_names();
   data.records.resize(case_count_);
   const auto total = static_cast<std::size_t>(case_count_);
-  const bool cloneable = world_.clone() != nullptr;
-  auto simulate_batch = [&](World& world, std::size_t begin, std::size_t end,
-                            std::size_t batch) {
+  auto run_batch = [&](World& world, std::size_t begin, std::size_t end,
+                       std::size_t batch) {
+    HMDIV_OBS_SCOPED_TIMER("sim.trial.batch_ns");
     stats::Rng batch_rng(seed, batch);
-    for (std::size_t i = begin; i < end; ++i) {
-      data.records[i] = world.simulate_case(batch_rng);
-    }
+    world.simulate_batch(
+        std::span<CaseRecord>(data.records).subspan(begin, end - begin),
+        batch_rng);
   };
-  if (!cloneable) {
+  if (!world_.cloneable()) {
     // No clone: same batch/substream layout, executed serially on the
     // shared world (stateful worlds keep evolving across batches).
     HMDIV_OBS_COUNT("sim.trial.serial_fallbacks", 1);
     exec::parallel_for_chunks(
         total, kBatchSize,
         [&](std::size_t begin, std::size_t end, std::size_t batch) {
-          simulate_batch(world_, begin, end, batch);
+          run_batch(world_, begin, end, batch);
         },
         exec::Config::serial());
+    return data;
+  }
+  if (world_.stateless()) {
+    // Stateless worlds: borrow clones from a pool and reuse them across
+    // batches — at most one allocation per concurrent batch per run.
+    ClonePool pool(world_);
+    exec::parallel_for_chunks(
+        total, kBatchSize,
+        [&](std::size_t begin, std::size_t end, std::size_t batch) {
+          std::unique_ptr<World> local = pool.acquire();
+          run_batch(*local, begin, end, batch);
+          pool.release(std::move(local));
+        },
+        config);
     return data;
   }
   exec::parallel_for_chunks(
@@ -82,7 +139,7 @@ TrialData TrialRunner::run(std::uint64_t seed, const exec::Config& config) {
       [&](std::size_t begin, std::size_t end, std::size_t batch) {
         HMDIV_OBS_COUNT("sim.trial.world_clones", 1);
         const std::unique_ptr<World> local = world_.clone();
-        simulate_batch(*local, begin, end, batch);
+        run_batch(*local, begin, end, batch);
       },
       config);
   return data;

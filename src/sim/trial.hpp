@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/demand_profile.hpp"
@@ -31,8 +32,22 @@ class World {
  public:
   virtual ~World() = default;
 
-  /// Simulates one demand end-to-end.
+  /// Simulates one demand end-to-end. This scalar path is the *reference
+  /// implementation* of the world's case distribution: batched overrides
+  /// may consume randomness in a different order, but must produce the
+  /// same distribution (checked by the distributional-equivalence tests
+  /// in test_batch_sim.cpp).
   [[nodiscard]] virtual CaseRecord simulate_case(stats::Rng& rng) = 0;
+
+  /// Simulates out.size() consecutive demands into `out`. The default
+  /// loops over simulate_case; worlds with a flat-table representation
+  /// override it with a batch-granular kernel (probability tables hoisted
+  /// out of the loop, bulk RNG, alias-method class sampling — see
+  /// DESIGN.md §8). An override is the *canonical* draw stream for that
+  /// world's batched trials: TrialRunner::run(seed, config) always goes
+  /// through simulate_batch, so there is exactly one golden stream per
+  /// (world, seed, batch-layout) regardless of thread count.
+  virtual void simulate_batch(std::span<CaseRecord> out, stats::Rng& rng);
 
   /// Number of demand classes the world can emit.
   [[nodiscard]] virtual std::size_t class_count() const = 0;
@@ -48,6 +63,22 @@ class World {
   [[nodiscard]] virtual std::unique_ptr<World> clone() const {
     return nullptr;
   }
+
+  /// True iff clone() would return non-null. The default probes clone()
+  /// itself (allocate + destroy); worlds that implement clone() should
+  /// override this with a constant so TrialRunner's capability check is
+  /// free on every run.
+  [[nodiscard]] virtual bool cloneable() const { return clone() != nullptr; }
+
+  /// True iff simulating cases leaves no observable state behind, i.e.
+  /// simulate_batch on a clone yields the same records whether the clone
+  /// is fresh or has already simulated other batches. Stateless worlds let
+  /// TrialRunner reuse a small per-run pool of clones across batches
+  /// instead of allocating one clone per batch; stateful worlds (e.g. an
+  /// adapting reader) keep the clone-per-batch scheme so every batch
+  /// restarts from this world's state. Either way the output is
+  /// bit-identical at any thread count.
+  [[nodiscard]] virtual bool stateless() const { return false; }
 };
 
 /// Collected trial data.
@@ -76,13 +107,17 @@ class TrialRunner {
 
   /// Runs the whole trial on one thread; deterministic in `rng`. Cases
   /// share the single stream, and stateful worlds (e.g. an adapting
-  /// reader) evolve across the entire run.
+  /// reader) evolve across the entire run. This is the scalar *reference*
+  /// path: it draws through simulate_case only, never simulate_batch, so
+  /// it defines the distribution the batched path is tested against.
   [[nodiscard]] TrialData run(stats::Rng& rng);
 
   /// Runs the trial in fixed batches of kBatchSize cases on the exec
-  /// engine: batch b simulates on its own world clone with substream
-  /// Rng(seed, b), and records are merged in case order — bit-identical
-  /// output for any thread count. Worlds whose clone() is null run the
+  /// engine: batch b runs the world's batched kernel (simulate_batch) with
+  /// substream Rng(seed, b), and records are merged in case order —
+  /// bit-identical output for any thread count. Stateless worlds draw
+  /// their clones from a reused per-run pool; stateful cloneable worlds
+  /// get a fresh clone per batch; worlds whose clone() is null run the
   /// same batched substream scheme serially on the shared world instead.
   [[nodiscard]] TrialData run(
       std::uint64_t seed,

@@ -1,0 +1,66 @@
+#include "stats/alias_table.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace hmdiv::stats {
+
+AliasTable::AliasTable(std::span<const double> probabilities) {
+  const std::size_t k = probabilities.size();
+  if (k == 0) {
+    throw std::invalid_argument("AliasTable: empty distribution");
+  }
+  double total = 0.0;
+  for (const double p : probabilities) {
+    if (!(p >= 0.0) || !std::isfinite(p)) {
+      throw std::invalid_argument(
+          "AliasTable: probabilities must be finite and >= 0");
+    }
+    total += p;
+  }
+  if (std::fabs(total - 1.0) > 1e-9) {
+    throw std::invalid_argument("AliasTable: probabilities must sum to 1");
+  }
+
+  // Vose's construction: scale every mass to a mean of 1, then repeatedly
+  // pair an under-full bucket with an over-full one. The over-full donor's
+  // leftover mass is re-classified, so each index is processed once: O(K).
+  std::vector<double> scaled(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    scaled[i] = probabilities[i] / total * static_cast<double>(k);
+  }
+  cutoff_.assign(k, 1.0);
+  alias_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) alias_[i] = i;
+
+  std::vector<std::size_t> small, large;
+  small.reserve(k);
+  large.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t under = small.back();
+    small.pop_back();
+    const std::size_t over = large.back();
+    cutoff_[under] = scaled[under];
+    alias_[under] = over;
+    scaled[over] -= 1.0 - scaled[under];
+    if (scaled[over] < 1.0) {
+      large.pop_back();
+      small.push_back(over);
+    }
+  }
+  // Leftovers (either list) are exactly-full buckets up to rounding; their
+  // cutoff stays 1 so the alias is never taken.
+  for (const std::size_t i : small) cutoff_[i] = 1.0;
+  for (const std::size_t i : large) cutoff_[i] = 1.0;
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+  return sample_from_uniform(rng.uniform());
+}
+
+}  // namespace hmdiv::stats

@@ -61,7 +61,12 @@ BootstrapResult bootstrap_percentile(std::span<const double> sample,
   exec::parallel_for_chunks(
       replicates, kReplicateGrain,
       [&](std::size_t begin, std::size_t end, std::size_t) {
-        std::vector<double> resample(sample.size());
+        // Per-worker scratch, reused across chunks: every element is
+        // overwritten before the statistic reads it, so reuse cannot leak
+        // data between replicates (and the fill order is fixed by the
+        // substream, so reuse cannot change the result either).
+        thread_local std::vector<double> resample;
+        resample.resize(sample.size());
         for (std::size_t r = begin; r < end; ++r) {
           Rng replicate_rng(base, r);
           for (double& v : resample) {
@@ -93,7 +98,11 @@ BootstrapResult bootstrap_paired(std::span<const double> x,
   exec::parallel_for_chunks(
       replicates, kReplicateGrain,
       [&](std::size_t begin, std::size_t end, std::size_t) {
-        std::vector<double> rx(x.size()), ry(y.size());
+        // Same per-worker scratch reuse as bootstrap_percentile.
+        thread_local std::vector<double> rx;
+        thread_local std::vector<double> ry;
+        rx.resize(x.size());
+        ry.resize(y.size());
         for (std::size_t r = begin; r < end; ++r) {
           Rng replicate_rng(base, r);
           for (std::size_t i = 0; i < x.size(); ++i) {

@@ -50,13 +50,14 @@ double beta_quantile(double a, double b, double p) {
   return inverse_regularized_incomplete_beta(a, b, p);
 }
 
-DiscreteDistribution::DiscreteDistribution(std::vector<double> probabilities)
-    : probabilities_(std::move(probabilities)) {
-  if (probabilities_.empty()) {
+namespace {
+
+std::vector<double> validated_probabilities(std::vector<double> probabilities) {
+  if (probabilities.empty()) {
     throw std::invalid_argument("DiscreteDistribution: empty");
   }
   double total = 0.0;
-  for (const double p : probabilities_) {
+  for (const double p : probabilities) {
     if (!(p >= 0.0) || !std::isfinite(p)) {
       throw std::invalid_argument(
           "DiscreteDistribution: probabilities must be finite and >= 0");
@@ -69,8 +70,15 @@ DiscreteDistribution::DiscreteDistribution(std::vector<double> probabilities)
         "to normalise)");
   }
   // Renormalise exactly so expectation() is a true weighted average.
-  for (double& p : probabilities_) p /= total;
+  for (double& p : probabilities) p /= total;
+  return probabilities;
 }
+
+}  // namespace
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> probabilities)
+    : probabilities_(validated_probabilities(std::move(probabilities))),
+      alias_(probabilities_) {}
 
 DiscreteDistribution DiscreteDistribution::from_weights(
     std::vector<double> weights) {
@@ -94,7 +102,7 @@ DiscreteDistribution DiscreteDistribution::from_weights(
 }
 
 std::size_t DiscreteDistribution::sample(Rng& rng) const {
-  return rng.discrete(probabilities_);
+  return alias_.sample(rng);
 }
 
 double DiscreteDistribution::expectation(std::span<const double> values) const {

@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "stats/alias_table.hpp"
+
 namespace hmdiv::stats {
 
 class Rng;
@@ -50,14 +52,20 @@ class DiscreteDistribution {
     return probabilities_;
   }
 
-  /// Samples a category index.
+  /// Samples a category index in O(1) via the precomputed alias table,
+  /// consuming exactly one uniform draw.
   [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// The Walker alias table, built once at construction. Batched kernels
+  /// use it directly to map bulk-filled uniforms to category indices.
+  [[nodiscard]] const AliasTable& alias() const { return alias_; }
 
   /// Expectation of `values[i]` under this distribution; sizes must match.
   [[nodiscard]] double expectation(std::span<const double> values) const;
 
  private:
   std::vector<double> probabilities_;
+  AliasTable alias_;
 };
 
 }  // namespace hmdiv::stats

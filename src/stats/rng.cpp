@@ -62,6 +62,16 @@ double Rng::uniform() noexcept {
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
 }
 
+void Rng::fill_uniform(std::span<double> out) noexcept {
+  for (double& v : out) {
+    v = static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+}
+
+void Rng::fill_normal(std::span<double> out) noexcept {
+  for (double& v : out) v = normal();
+}
+
 double Rng::uniform(double lo, double hi) {
   if (!(lo <= hi)) throw std::invalid_argument("Rng::uniform: lo > hi");
   return lo + (hi - lo) * uniform();

@@ -48,6 +48,16 @@ class Rng {
   /// Uniform double in [0, 1) with 53 random bits.
   double uniform() noexcept;
 
+  /// Fills `out` with uniform doubles in [0, 1): bit-identical to calling
+  /// uniform() out.size() times, but the whole loop lives in one TU with
+  /// the engine so it compiles to a tight inlined kernel. This is the bulk
+  /// primitive behind the batched simulation kernels.
+  void fill_uniform(std::span<double> out) noexcept;
+
+  /// Fills `out` with standard normal deviates: bit-identical to calling
+  /// normal() out.size() times (including the cached-spare behaviour).
+  void fill_normal(std::span<double> out) noexcept;
+
   /// Uniform double in [lo, hi); requires lo <= hi.
   double uniform(double lo, double hi);
 

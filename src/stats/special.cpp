@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 namespace hmdiv::stats {
 
@@ -44,13 +45,26 @@ double beta_continued_fraction(double a, double b, double x) {
 
 }  // namespace
 
+double log_factorial(unsigned long long n) {
+  // Table of lgamma(n + 1) values (not cumulative log sums), so the cached
+  // range returns exactly what the direct computation would. Magic-static
+  // initialisation makes the one-time build thread-safe.
+  static const std::vector<double> table = [] {
+    std::vector<double> t(4096);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      t[i] = std::lgamma(static_cast<double>(i) + 1.0);
+    }
+    return t;
+  }();
+  if (n < table.size()) return table[n];
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
 double log_binomial_coefficient(unsigned long long n, unsigned long long k) {
   if (k > n) {
     throw std::invalid_argument("log_binomial_coefficient: k > n");
   }
-  return std::lgamma(static_cast<double>(n) + 1.0) -
-         std::lgamma(static_cast<double>(k) + 1.0) -
-         std::lgamma(static_cast<double>(n - k) + 1.0);
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
 }
 
 double regularized_incomplete_beta(double a, double b, double x) {

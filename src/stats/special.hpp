@@ -6,7 +6,14 @@
 
 namespace hmdiv::stats {
 
-/// log(n choose k) for 0 <= k <= n, via lgamma.
+/// ln(n!) = lgamma(n + 1). Values for n < 4096 come from a table computed
+/// once per process (each entry is the std::lgamma value, so cached and
+/// uncached results are bit-identical); larger n fall back to std::lgamma.
+/// Hot pmf/likelihood loops call this instead of paying three lgamma
+/// evaluations per term.
+[[nodiscard]] double log_factorial(unsigned long long n);
+
+/// log(n choose k) for 0 <= k <= n, via the cached log_factorial table.
 [[nodiscard]] double log_binomial_coefficient(unsigned long long n,
                                               unsigned long long k);
 

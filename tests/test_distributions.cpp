@@ -103,5 +103,61 @@ TEST(DiscreteDistribution, SamplingMatchesProbabilities) {
   EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.3, 0.01);
 }
 
+TEST(AliasTable, ValidatesInput) {
+  const std::vector<double> empty;
+  EXPECT_THROW(AliasTable{std::span<const double>(empty)},
+               std::invalid_argument);
+  const std::vector<double> not_normalised{0.5, 0.6};
+  EXPECT_THROW(AliasTable{std::span<const double>(not_normalised)},
+               std::invalid_argument);
+  const std::vector<double> negative{-0.1, 1.1};
+  EXPECT_THROW(AliasTable{std::span<const double>(negative)},
+               std::invalid_argument);
+  const std::vector<double> nan_entry{std::nan(""), 1.0};
+  EXPECT_THROW(AliasTable{std::span<const double>(nan_entry)},
+               std::invalid_argument);
+}
+
+TEST(AliasTable, SingleClassAlwaysReturnsZero) {
+  const std::vector<double> p{1.0};
+  const AliasTable table{std::span<const double>(p)};
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(table.sample(rng), 0u);
+  EXPECT_EQ(table.sample_from_uniform(0.0), 0u);
+  EXPECT_EQ(table.sample_from_uniform(0.999999), 0u);
+}
+
+TEST(AliasTable, ZeroProbabilityClassIsNeverDrawn) {
+  const std::vector<double> p{0.4, 0.0, 0.6};
+  const AliasTable table{std::span<const double>(p)};
+  Rng rng(2);
+  for (int i = 0; i < 200000; ++i) EXPECT_NE(table.sample(rng), 1u);
+}
+
+TEST(AliasTable, FrequenciesMatchSkewedDistribution) {
+  // Mixes a tiny and a dominant mass — the case Vose's variant keeps exact.
+  const std::vector<double> p{0.001, 0.799, 0.15, 0.05};
+  const AliasTable table{std::span<const double>(p)};
+  Rng rng(3);
+  std::vector<int> counts(p.size(), 0);
+  const int n = 1000000;
+  for (int i = 0; i < n; ++i) ++counts[table.sample(rng)];
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), p[k],
+                0.005 + 3.0 * std::sqrt(p[k] * (1.0 - p[k]) / n))
+        << k;
+  }
+}
+
+TEST(AliasTable, SampleConsumesExactlyOneUniform) {
+  const DiscreteDistribution d({0.25, 0.25, 0.5});
+  Rng via_table(4), via_uniform(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(d.alias().sample(via_table),
+              d.alias().sample_from_uniform(via_uniform.uniform()));
+  }
+  EXPECT_EQ(via_table.next_u64(), via_uniform.next_u64());
+}
+
 }  // namespace
 }  // namespace hmdiv::stats

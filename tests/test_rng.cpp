@@ -238,6 +238,32 @@ TEST(Rng, JumpChangesTheStream) {
   EXPECT_LT(equal, 4);
 }
 
+TEST(Rng, FillUniformMatchesScalarDraws) {
+  // The bulk primitive is a loop-hoisted form of uniform(): same stream.
+  Rng bulk(77), scalar(77);
+  std::vector<double> filled(1000);
+  bulk.fill_uniform(filled);
+  for (const double v : filled) EXPECT_EQ(v, scalar.uniform());
+}
+
+TEST(Rng, FillNormalMatchesScalarDraws) {
+  // Must also preserve the polar method's cached spare across the span
+  // boundary: fill an odd-length span, then keep drawing from both.
+  Rng bulk(78), scalar(78);
+  std::vector<double> filled(999);
+  bulk.fill_normal(filled);
+  for (const double v : filled) EXPECT_EQ(v, scalar.normal());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(bulk.normal(), scalar.normal());
+}
+
+TEST(Rng, FillUniformEmptySpanIsNoOp) {
+  Rng bulk(79), scalar(79);
+  std::vector<double> empty;
+  bulk.fill_uniform(empty);
+  bulk.fill_normal(empty);
+  EXPECT_EQ(bulk.next_u64(), scalar.next_u64());
+}
+
 /// Property sweep: moments of uniform() are correct across many seeds.
 class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
