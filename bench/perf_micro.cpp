@@ -178,6 +178,92 @@ void BM_EstimateFromTrial(benchmark::State& state) {
 }
 BENCHMARK(BM_EstimateFromTrial)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// --- Analytical sweep engine: scalar vs batched --------------------------
+// BM_SweepScalarReference walks a 10k-point threshold grid through the
+// documented scalar evaluate(); BM_SweepBatchKernel streams the same grid
+// through the SoA evaluate_batch() at one thread. Both produce bit-identical
+// operating points (enforced by SweepEngine tests), so the per-point ratio
+// is the pure single-thread win of the batched kernel — the PR target is
+// >= 3x. BM_SweepZeroAllocation adds the arena-backed sweep_into() path
+// whose steady state performs no heap allocation.
+
+core::TradeoffAnalyzer reference_sweep_analyzer() {
+  core::BinormalMachine machine;
+  machine.cancer_class_means = {2.2, 1.4, 3.0};
+  machine.normal_class_means = {-0.3, 0.4};
+  return core::TradeoffAnalyzer(
+      machine,
+      core::DemandProfile::from_weights({"obvious", "subtle", "textbook"},
+                                        {0.55, 0.35, 0.10}),
+      {{0.08, 0.45}, {0.25, 0.65}, {0.02, 0.30}},
+      core::DemandProfile::from_weights({"clear", "confusing"}, {0.85, 0.15}),
+      {{0.05, 0.01}, {0.28, 0.09}}, 0.008);
+}
+
+std::vector<double> sweep_grid(std::size_t points) {
+  std::vector<double> thresholds(points);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    thresholds[i] = -4.0 + 8.0 * static_cast<double>(i) /
+                               static_cast<double>(thresholds.size() - 1);
+  }
+  return thresholds;
+}
+
+void BM_SweepScalarReference(benchmark::State& state) {
+  const auto analyzer = reference_sweep_analyzer();
+  const auto thresholds = sweep_grid(10'000);
+  std::vector<core::SystemOperatingPoint> out(thresholds.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+      out[i] = analyzer.evaluate(thresholds[i]);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(thresholds.size()));
+}
+BENCHMARK(BM_SweepScalarReference);
+
+void BM_SweepBatchKernel(benchmark::State& state) {
+  const auto analyzer = reference_sweep_analyzer();
+  const auto thresholds = sweep_grid(10'000);
+  std::vector<core::SystemOperatingPoint> out(thresholds.size());
+  for (auto _ : state) {
+    analyzer.evaluate_batch(thresholds, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(thresholds.size()));
+}
+BENCHMARK(BM_SweepBatchKernel);
+
+void BM_SweepZeroAllocation(benchmark::State& state) {
+  const exec::Config config{static_cast<unsigned>(state.range(0))};
+  const auto analyzer = reference_sweep_analyzer();
+  const auto thresholds = sweep_grid(10'000);
+  std::vector<core::SystemOperatingPoint> out(thresholds.size());
+  for (auto _ : state) {
+    analyzer.sweep_into(thresholds, out, config);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(thresholds.size()));
+}
+BENCHMARK(BM_SweepZeroAllocation)->Arg(1)->Arg(4)->UseRealTime();
+
+void BM_MinimiseCostGrid(benchmark::State& state) {
+  const exec::Config config{static_cast<unsigned>(state.range(0))};
+  const auto analyzer = reference_sweep_analyzer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.minimise_cost(
+        /*cost_fn=*/500.0, /*cost_fp=*/20.0, -4.0, 4.0, /*steps=*/20'000,
+        config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          20'000);
+}
+BENCHMARK(BM_MinimiseCostGrid)->Arg(1)->Arg(4)->UseRealTime();
+
 // --- Thread-scaling benchmarks -------------------------------------------
 // Every BM_*Scaling bench runs the same deterministic workload with a
 // thread budget of state.range(0); the outputs are bit-identical across

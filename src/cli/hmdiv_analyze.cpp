@@ -51,6 +51,7 @@ using namespace hmdiv;
          "                     [--improve CLASS=FACTOR]... [--text]\n"
          "                     [--no-advice] [--threads N]\n"
          "                     [--profile] [--profile-csv FILE]\n"
+         "                     [--grid-steps N]\n"
          "       hmdiv_analyze --example [--text]\n"
          "\n"
          "--threads N caps the worker threads of Monte-Carlo and sweep\n"
@@ -58,7 +59,9 @@ using namespace hmdiv;
          "Results are identical for any thread count.\n"
          "--profile runs a Monte-Carlo validation workload (simulated\n"
          "trial, bootstrap interval, threshold sweep) and prints the\n"
-         "observability registry; --profile-csv FILE writes it as CSV.\n";
+         "observability registry; --profile-csv FILE writes it as CSV.\n"
+         "--grid-steps N sets the threshold-sweep / cost-minimisation grid\n"
+         "size of the profiling workload (default 20000, range [2, 5e6]).\n";
   std::exit(exit_code);
 }
 
@@ -116,8 +119,8 @@ Improvement parse_improvement(const std::string& spec) {
 /// raised to 2 to keep the pool paths observable on single-core hosts.
 void run_profiling_workload(const core::SequentialModel& model,
                             const core::DemandProfile& trial,
-                            const core::DemandProfile& field,
-                            bool markdown) {
+                            const core::DemandProfile& field, bool markdown,
+                            std::size_t grid_steps) {
   exec::Config config = exec::default_config();
   if (config.resolved_threads() < 2) config = exec::Config{2};
 
@@ -164,7 +167,7 @@ void run_profiling_workload(const core::SequentialModel& model,
   }
   const core::TradeoffAnalyzer analyzer(machine, field, fn_response, field,
                                         fp_response, /*prevalence=*/0.007);
-  std::vector<double> thresholds(20'000);
+  std::vector<double> thresholds(grid_steps);
   for (std::size_t i = 0; i < thresholds.size(); ++i) {
     thresholds[i] = -4.0 + 8.0 * static_cast<double>(i) /
                                static_cast<double>(thresholds.size() - 1);
@@ -172,7 +175,7 @@ void run_profiling_workload(const core::SequentialModel& model,
   const auto curve = analyzer.sweep(thresholds, config);
   const auto best = analyzer.minimise_cost(/*cost_fn=*/500.0,
                                            /*cost_fp=*/20.0, -4.0, 4.0,
-                                           /*steps=*/20'000, config);
+                                           grid_steps, config);
 
   std::cout << (markdown ? "## Profiling workload (Monte-Carlo validation)\n\n"
                          : "== Profiling workload (Monte-Carlo validation) "
@@ -198,6 +201,7 @@ int main(int argc, char** argv) {
   std::vector<Improvement> improvements;
   bool use_example = false;
   bool profile = false;
+  std::size_t grid_steps = 20'000;
   std::optional<std::string> profile_csv_path;
   core::ReportOptions options;
 
@@ -238,6 +242,22 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       exec::set_default_config(exec::Config{static_cast<unsigned>(parsed)});
+    } else if (arg == "--grid-steps") {
+      // Same rejection table as --threads: empty values, trailing garbage,
+      // overflow, and out-of-range counts (< 2 cannot form a grid;
+      // > 5'000'000 is a typo, not a workload) all exit 2.
+      const std::string& value = next();
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          errno == ERANGE || parsed < 2 || parsed > 5'000'000) {
+        std::cerr << "hmdiv_analyze: --grid-steps expects an integer in "
+                     "[2, 5000000], got '"
+                  << value << "'\n";
+        std::exit(2);
+      }
+      grid_steps = static_cast<std::size_t>(parsed);
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--profile-csv") {
@@ -291,7 +311,8 @@ int main(int argc, char** argv) {
     }
 
     if (profile) {
-      run_profiling_workload(model, trial, field, options.markdown);
+      run_profiling_workload(model, trial, field, options.markdown,
+                             grid_steps);
       const obs::Snapshot snapshot = obs::registry_snapshot();
       std::cout << (options.markdown ? "## Profile (obs registry)\n\n"
                                      : "== Profile (obs registry) ==\n\n")

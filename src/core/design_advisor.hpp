@@ -68,6 +68,9 @@ struct DesignDiagnosis {
 
 class DesignAdvisor {
  public:
+  /// Memoises the per-class terms of Eq. (8) — weight, PMf, t(x) and the two
+  /// human conditionals — into flat tables, so evaluate()/rank() re-sum the
+  /// perturbed equation directly instead of copying the model per candidate.
   DesignAdvisor(SequentialModel model, DemandProfile profile);
 
   [[nodiscard]] const SequentialModel& model() const { return model_; }
@@ -91,6 +94,16 @@ class DesignAdvisor {
  private:
   SequentialModel model_;
   DemandProfile profile_;
+  /// Memoised class-conditional tables (SoA), filled once in the
+  /// constructor. evaluate() walks these with the same expression shapes as
+  /// SequentialModel::system_failure_probability, so the copy-free path is
+  /// bit-identical to evaluating a transformed model.
+  std::vector<double> weight_;   ///< p(x)
+  std::vector<double> pmf_;      ///< PMf(x)
+  std::vector<double> t_;        ///< importance index t(x)
+  std::vector<double> phf_mf_;   ///< PHf|Mf(x)
+  std::vector<double> phf_ms_;   ///< PHf|Ms(x)
+  double baseline_failure_ = 0.0;
 };
 
 }  // namespace hmdiv::core

@@ -1,0 +1,102 @@
+// Keyed memoisation cache for repeated what-if evaluations.
+//
+// Analysts iterating with the extrapolation / design-advisor tooling ask
+// the same questions repeatedly (the same scenario under the same profile,
+// re-issued as surrounding inputs change). EvalCache memoises those
+// evaluations behind an exact key: a flat vector<double> encoding of every
+// input the result depends on. Exact bitwise key equality is deliberate —
+// keys are built from the exact inputs, so any bitwise difference is a
+// different query and near-misses must not alias.
+//
+// Design mirrors TradeoffAnalyzer's sweep cache: FNV-1a hash for the fast
+// reject, stored-key exact compare against collisions, FIFO eviction, and
+// capacity 0 (the default) disables the cache entirely so callers that
+// never opt in pay only a single predictable branch. All operations are
+// mutex-guarded; the cache may sit behind a const evaluation method on a
+// shared analyzer.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace hmdiv::core {
+
+/// FNV-1a over the raw bytes of the key doubles.
+[[nodiscard]] inline std::size_t eval_cache_hash(
+    const std::vector<double>& key) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const double v : key) {
+    unsigned char bytes[sizeof(double)];
+    std::memcpy(bytes, &v, sizeof(double));
+    for (const unsigned char b : bytes) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+  }
+  return static_cast<std::size_t>(h);
+}
+
+template <typename Value>
+class EvalCache {
+ public:
+  using Key = std::vector<double>;
+
+  /// Sets the maximum number of memoised results; 0 disables the cache and
+  /// drops anything stored. Shrinking evicts oldest-first.
+  void set_capacity(std::size_t capacity) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity;
+    while (entries_.size() > capacity_) entries_.pop_front();
+  }
+
+  [[nodiscard]] std::size_t capacity() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+  }
+
+  /// True when a capacity has been set; find/insert are no-ops otherwise.
+  [[nodiscard]] bool enabled() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_ > 0;
+  }
+
+  /// Returns a copy of the memoised value for `key`, if present.
+  [[nodiscard]] std::optional<Value> find(const Key& key) const {
+    const std::size_t hash = eval_cache_hash(key);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity_ == 0) return std::nullopt;
+    for (const Entry& entry : entries_) {
+      if (entry.hash == hash && entry.key == key) return entry.value;
+    }
+    return std::nullopt;
+  }
+
+  /// Stores `value` under `key`, evicting the oldest entry when full.
+  /// Duplicate keys are tolerated (find returns the oldest surviving copy);
+  /// both copies age out normally.
+  void insert(Key key, Value value) {
+    const std::size_t hash = eval_cache_hash(key);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity_ == 0) return;
+    entries_.push_back(Entry{hash, std::move(key), std::move(value)});
+    while (entries_.size() > capacity_) entries_.pop_front();
+  }
+
+ private:
+  struct Entry {
+    std::size_t hash;
+    Key key;
+    Value value;
+  };
+
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace hmdiv::core

@@ -1,8 +1,12 @@
 #include "core/tradeoff.hpp"
 
+#include <cstdint>
+#include <cstring>
 #include <stdexcept>
+#include <utility>
 
 #include "exec/parallel.hpp"
+#include "exec/workspace.hpp"
 #include "obs/obs.hpp"
 #include "stats/special.hpp"
 
@@ -31,6 +35,22 @@ void check_probability(double p, const char* what) {
     throw std::invalid_argument(std::string("TradeoffAnalyzer: ") + what +
                                 " outside [0,1]");
   }
+}
+
+/// FNV-1a over the raw bytes of a double vector — the sweep-cache key.
+/// Collisions are survivable: entries also store the thresholds and are
+/// compared exactly before a hit is declared.
+std::size_t hash_thresholds(std::span<const double> thresholds) {
+  std::size_t h = 14695981039346656037ull;
+  for (const double t : thresholds) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &t, sizeof bits);
+    for (int b = 0; b < 8; ++b) {
+      h ^= (bits >> (8 * b)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
 }
 
 }  // namespace
@@ -69,6 +89,31 @@ TradeoffAnalyzer::TradeoffAnalyzer(BinormalMachine machine,
     check_probability(r.p_recall_given_machine_prompted, "P(recall|prompt)");
     check_probability(r.p_recall_given_machine_silent, "P(recall|silent)");
   }
+
+  // Hoist every threshold-independent term into flat SoA tables once, so
+  // the batch kernel's inner loops touch nothing but contiguous doubles.
+  const std::size_t nc = cancer_profile_.class_count();
+  cancer_mean_.reserve(nc);
+  cancer_weight_.reserve(nc);
+  fn_prompted_.reserve(nc);
+  fn_silent_.reserve(nc);
+  for (std::size_t x = 0; x < nc; ++x) {
+    cancer_mean_.push_back(machine_.cancer_class_means[x]);
+    cancer_weight_.push_back(cancer_profile_[x]);
+    fn_prompted_.push_back(fn_response_[x].p_fail_given_machine_prompted);
+    fn_silent_.push_back(fn_response_[x].p_fail_given_machine_silent);
+  }
+  const std::size_t nn = normal_profile_.class_count();
+  normal_mean_.reserve(nn);
+  normal_weight_.reserve(nn);
+  fp_prompted_.reserve(nn);
+  fp_silent_.reserve(nn);
+  for (std::size_t x = 0; x < nn; ++x) {
+    normal_mean_.push_back(machine_.normal_class_means[x]);
+    normal_weight_.push_back(normal_profile_[x]);
+    fp_prompted_.push_back(fp_response_[x].p_recall_given_machine_prompted);
+    fp_silent_.push_back(fp_response_[x].p_recall_given_machine_silent);
+  }
 }
 
 SystemOperatingPoint TradeoffAnalyzer::evaluate(double threshold) const {
@@ -105,16 +150,135 @@ SystemOperatingPoint TradeoffAnalyzer::evaluate(double threshold) const {
   return out;
 }
 
-std::vector<SystemOperatingPoint> TradeoffAnalyzer::sweep(
-    const std::vector<double>& thresholds,
-    const exec::Config& config) const {
+void TradeoffAnalyzer::evaluate_batch(
+    std::span<const double> thresholds,
+    std::span<SystemOperatingPoint> out) const {
+  if (out.size() != thresholds.size()) {
+    throw std::invalid_argument(
+        "TradeoffAnalyzer: evaluate_batch out.size() != thresholds.size()");
+  }
+  const std::size_t n = thresholds.size();
+  if (n == 0) return;
+  HMDIV_OBS_SCOPED_TIMER("core.sweep.batch_ns");
+
+  exec::Workspace& workspace = exec::thread_workspace();
+  const exec::Workspace::Scope scope(workspace);
+  const std::span<double> z = workspace.alloc<double>(n);
+  const std::span<double> p = workspace.alloc<double>(n);
+  const std::span<double> acc_mfn = workspace.alloc<double>(n);
+  const std::span<double> acc_sfn = workspace.alloc<double>(n);
+  const std::span<double> acc_mfp = workspace.alloc<double>(n);
+  const std::span<double> acc_sfp = workspace.alloc<double>(n);
+  for (std::size_t i = 0; i < n; ++i) acc_mfn[i] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc_sfn[i] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc_mfp[i] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc_sfp[i] = 0.0;
+
+  // Classes outer, thresholds inner, accumulating in ascending class order
+  // — the same fold order, expression shapes and Φ implementation as the
+  // scalar evaluate(), so every accumulated value rounds identically and
+  // the result is bit-for-bit equal to the reference path.
+  for (std::size_t x = 0; x < cancer_mean_.size(); ++x) {
+    const double mu = cancer_mean_[x];
+    const double w = cancer_weight_[x];
+    const double prompted = fn_prompted_[x];
+    const double silent = fn_silent_[x];
+    for (std::size_t i = 0; i < n; ++i) z[i] = thresholds[i] - mu;
+    stats::normal_cdf(z, p);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p_mf = p[i];
+      acc_mfn[i] += w * p_mf;
+      acc_sfn[i] += w * (prompted * (1.0 - p_mf) + silent * p_mf);
+    }
+  }
+  for (std::size_t x = 0; x < normal_mean_.size(); ++x) {
+    const double mu = normal_mean_[x];
+    const double w = normal_weight_[x];
+    const double prompted = fp_prompted_[x];
+    const double silent = fp_silent_[x];
+    for (std::size_t i = 0; i < n; ++i) z[i] = mu - thresholds[i];
+    stats::normal_cdf(z, p);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p_fp = p[i];
+      acc_mfp[i] += w * p_fp;
+      acc_sfp[i] += w * (prompted * p_fp + silent * (1.0 - p_fp));
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    SystemOperatingPoint& point = out[i];
+    point.threshold = thresholds[i];
+    point.machine_fn = acc_mfn[i];
+    point.machine_fp = acc_mfp[i];
+    point.system_fn = acc_sfn[i];
+    point.system_fp = acc_sfp[i];
+    point.sensitivity = 1.0 - point.system_fn;
+    point.specificity = 1.0 - point.system_fp;
+    point.recall_rate = prevalence_ * point.sensitivity +
+                        (1.0 - prevalence_) * point.system_fp;
+    point.ppv = point.recall_rate > 0.0
+                    ? prevalence_ * point.sensitivity / point.recall_rate
+                    : 0.0;
+  }
+}
+
+void TradeoffAnalyzer::sweep_into(std::span<const double> thresholds,
+                                  std::span<SystemOperatingPoint> out,
+                                  const exec::Config& config) const {
+  if (out.size() != thresholds.size()) {
+    throw std::invalid_argument(
+        "TradeoffAnalyzer: sweep_into out.size() != thresholds.size()");
+  }
   HMDIV_OBS_SCOPED_TIMER("core.tradeoff.sweep_ns");
   HMDIV_OBS_COUNT("core.tradeoff.sweeps", 1);
   HMDIV_OBS_COUNT("core.tradeoff.sweep_points", thresholds.size());
+  // Chunks are large enough that one batch amortises the kernel's region
+  // setup; each worker's scratch comes from its own thread workspace.
+  exec::parallel_for_chunks(
+      thresholds.size(), /*grain=*/512,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        evaluate_batch(thresholds.subspan(begin, end - begin),
+                       out.subspan(begin, end - begin));
+      },
+      config);
+}
+
+void TradeoffAnalyzer::set_sweep_cache_capacity(std::size_t capacity) const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  sweep_cache_capacity_ = capacity;
+  while (sweep_cache_.size() > sweep_cache_capacity_) {
+    sweep_cache_.pop_front();
+  }
+}
+
+std::vector<SystemOperatingPoint> TradeoffAnalyzer::sweep(
+    const std::vector<double>& thresholds,
+    const exec::Config& config) const {
+  std::size_t hash = 0;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (sweep_cache_capacity_ > 0) {
+      hash = hash_thresholds(thresholds);
+      for (const SweepCacheEntry& entry : sweep_cache_) {
+        if (entry.hash == hash && entry.thresholds == thresholds) {
+          HMDIV_OBS_COUNT("core.sweep.cache_hit", 1);
+          return entry.points;
+        }
+      }
+      HMDIV_OBS_COUNT("core.sweep.cache_miss", 1);
+    }
+  }
   std::vector<SystemOperatingPoint> out(thresholds.size());
-  exec::parallel_for(
-      thresholds.size(), /*grain=*/64,
-      [&](std::size_t i) { out[i] = evaluate(thresholds[i]); }, config);
+  sweep_into(thresholds, out, config);
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (sweep_cache_capacity_ > 0) {
+      sweep_cache_.push_back(SweepCacheEntry{hash, thresholds, out});
+      while (sweep_cache_.size() > sweep_cache_capacity_) {
+        sweep_cache_.pop_front();
+      }
+    }
+  }
   return out;
 }
 
@@ -135,31 +299,53 @@ SystemOperatingPoint TradeoffAnalyzer::minimise_cost(
     double cost = 0.0;
     bool valid = false;
   };
-  auto scan_chunk = [&](std::size_t begin, std::size_t end,
-                        std::size_t) -> Best {
-    Best best;
-    for (std::size_t i = begin; i < end; ++i) {
-      const double threshold = lo + (hi - lo) * static_cast<double>(i) /
-                                        static_cast<double>(steps - 1);
-      const SystemOperatingPoint point = evaluate(threshold);
-      const double cost = prevalence_ * cost_fn * point.system_fn +
-                          (1.0 - prevalence_) * cost_fp * point.system_fp;
-      if (!best.valid || cost < best.cost) {
-        best = Best{point, cost, true};
-      }
-    }
-    return best;
-  };
-  // Strict < in the combine keeps the leftmost grid point on cost ties —
-  // the same answer a serial scan gives.
-  const Best best = exec::parallel_reduce(
-      steps, /*grain=*/64, Best{}, scan_chunk,
-      [](Best acc, Best next) {
-        if (!acc.valid) return next;
-        if (next.valid && next.cost < acc.cost) return next;
-        return acc;
+  const std::size_t grain = 512;
+  const std::size_t chunks = exec::chunk_count(steps, grain);
+  // Per-chunk results live in the caller's workspace (each chunk writes
+  // only its own slot), and each chunk's grid/point scratch comes from the
+  // executing thread's workspace — steady state allocates nothing.
+  exec::Workspace& workspace = exec::thread_workspace();
+  const exec::Workspace::Scope scope(workspace);
+  const std::span<Best> partial = workspace.alloc<Best>(chunks);
+  exec::parallel_for_chunks(
+      steps, grain,
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        exec::Workspace& local = exec::thread_workspace();
+        const exec::Workspace::Scope chunk_scope(local);
+        const std::size_t count = end - begin;
+        const std::span<double> grid = local.alloc<double>(count);
+        const std::span<SystemOperatingPoint> points =
+            local.alloc<SystemOperatingPoint>(count);
+        // Threshold i is derived from its *global* grid index, so the
+        // evaluated grid — and therefore the minimiser — is independent of
+        // the chunk layout.
+        for (std::size_t i = begin; i < end; ++i) {
+          grid[i - begin] = lo + (hi - lo) * static_cast<double>(i) /
+                                     static_cast<double>(steps - 1);
+        }
+        evaluate_batch(grid, points);
+        Best best;
+        for (std::size_t i = 0; i < count; ++i) {
+          const double cost = prevalence_ * cost_fn * points[i].system_fn +
+                              (1.0 - prevalence_) * cost_fp *
+                                  points[i].system_fp;
+          // Strict < keeps the earliest grid point on exact cost ties.
+          if (!best.valid || cost < best.cost) {
+            best = Best{points[i], cost, true};
+          }
+        }
+        partial[chunk] = best;
       },
       config);
+  // Ascending-chunk fold with strict < — combined with the in-chunk scan
+  // above, exact ties resolve to the earliest grid point at any thread
+  // count, matching a serial scan.
+  Best best;
+  for (const Best& next : partial) {
+    if (!best.valid || (next.valid && next.cost < best.cost)) {
+      best = next;
+    }
+  }
   return best.point;
 }
 

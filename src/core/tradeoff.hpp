@@ -22,6 +22,9 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -85,14 +88,44 @@ class TradeoffAnalyzer {
                    std::vector<HumanFpResponse> fp_response,
                    double prevalence);
 
+  /// Scalar reference evaluation of one threshold. This is the documented
+  /// semantics of the analyzer; evaluate_batch is required (and tested) to
+  /// reproduce it bit-for-bit.
   [[nodiscard]] SystemOperatingPoint evaluate(double threshold) const;
+
+  /// SoA batch kernel: out[i] = evaluate(thresholds[i]) bit-for-bit, but
+  /// walking classes in the outer loop and thresholds in the inner loop
+  /// over contiguous scratch arrays, so the Φ evaluations take the
+  /// vectorised stats::normal_cdf(span) path (fastest when `thresholds`
+  /// is monotone, as sweep grids are). Scratch comes from the calling
+  /// thread's exec workspace: after warm-up the call does no heap
+  /// allocation. Requires out.size() == thresholds.size().
+  void evaluate_batch(std::span<const double> thresholds,
+                      std::span<SystemOperatingPoint> out) const;
 
   /// Evaluates every threshold; points come back in input order. The
   /// sweep runs on the exec engine (each point is independent), so large
   /// curves scale with the thread budget.
+  /// When a sweep cache is enabled (set_sweep_cache_capacity), identical
+  /// repeated grids are served from the cache.
   [[nodiscard]] std::vector<SystemOperatingPoint> sweep(
       const std::vector<double>& thresholds,
       const exec::Config& config = exec::default_config()) const;
+
+  /// Zero-allocation sweep into caller-provided storage (the engine under
+  /// sweep()). Chunks of the grid are dispatched to evaluate_batch in
+  /// parallel; after per-thread workspace warm-up the steady state does no
+  /// heap allocation. Bypasses the sweep cache. Requires
+  /// out.size() == thresholds.size().
+  void sweep_into(std::span<const double> thresholds,
+                  std::span<SystemOperatingPoint> out,
+                  const exec::Config& config = exec::default_config()) const;
+
+  /// Enables (capacity > 0) or disables (0, the default) the keyed sweep
+  /// cache used by sweep() for repeated what-if grids. The cache keys on
+  /// the full threshold vector (hash + exact contents) and evicts oldest
+  /// entries first. Thread-safe.
+  void set_sweep_cache_capacity(std::size_t capacity) const;
 
   /// Threshold minimising expected cost
   /// cost = prevalence·cost_fn·system_fn + (1−prevalence)·cost_fp·system_fp
@@ -104,12 +137,37 @@ class TradeoffAnalyzer {
       const exec::Config& config = exec::default_config()) const;
 
  private:
+  /// One cached sweep() result; see set_sweep_cache_capacity.
+  struct SweepCacheEntry {
+    std::size_t hash = 0;
+    std::vector<double> thresholds;
+    std::vector<SystemOperatingPoint> points;
+  };
+
   BinormalMachine machine_;
   DemandProfile cancer_profile_;
   std::vector<HumanFnResponse> fn_response_;
   DemandProfile normal_profile_;
   std::vector<HumanFpResponse> fp_response_;
   double prevalence_;
+
+  // Memoised class-conditional SoA tables: everything threshold-independent
+  // in evaluate(), hoisted once at construction so the batch kernel streams
+  // over flat arrays (class means, profile weights, human conditionals).
+  std::vector<double> cancer_mean_;
+  std::vector<double> cancer_weight_;
+  std::vector<double> fn_prompted_;
+  std::vector<double> fn_silent_;
+  std::vector<double> normal_mean_;
+  std::vector<double> normal_weight_;
+  std::vector<double> fp_prompted_;
+  std::vector<double> fp_silent_;
+
+  // Keyed evaluation cache for repeated what-if sweeps; disabled (capacity
+  // 0) by default so benches and the zero-alloc path stay honest.
+  mutable std::mutex cache_mutex_;
+  mutable std::deque<SweepCacheEntry> sweep_cache_;  // guarded by cache_mutex_
+  mutable std::size_t sweep_cache_capacity_ = 0;     // guarded by cache_mutex_
 };
 
 }  // namespace hmdiv::core

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "exec/parallel.hpp"
+#include "exec/workspace.hpp"
 #include "obs/obs.hpp"
 #include "stats/summary.hpp"
 
@@ -54,6 +55,20 @@ PosteriorModelSampler::PosteriorModelSampler(
           "cases");
     }
   }
+  // Hoist the per-parameter Beta(k + a, n − k + a) Marsaglia–Tsang
+  // constants once; the (k, n) pairs and their order mirror sample()
+  // exactly, so draws via these preps consume the stream identically.
+  beta_prep_.reserve(counts_.size() * 6);
+  const auto push_prep = [this](std::uint64_t k, std::uint64_t n) {
+    beta_prep_.emplace_back(static_cast<double>(k) + kJeffreys);
+    beta_prep_.emplace_back(static_cast<double>(n - k) + kJeffreys);
+  };
+  for (const auto& c : counts_) {
+    push_prep(c.machine_failures, c.cases);
+    push_prep(c.human_failures_given_machine_failed, c.machine_failures);
+    push_prep(c.human_failures_given_machine_succeeded,
+              c.cases - c.machine_failures);
+  }
 }
 
 SequentialModel PosteriorModelSampler::posterior_mean_model() const {
@@ -98,19 +113,38 @@ UncertainPrediction PosteriorModelSampler::predict(
     throw std::invalid_argument(
         "PosteriorModelSampler::predict: credibility outside (0,1)");
   }
+  if (profile.class_names() != names_) {
+    throw std::invalid_argument(
+        "SequentialModel: profile classes do not match model classes");
+  }
   HMDIV_OBS_SCOPED_TIMER("core.posterior.predict_ns");
   HMDIV_OBS_COUNT("core.posterior.calls", 1);
   HMDIV_OBS_COUNT("core.posterior.draws", draws);
-  // Draw i samples from substream Rng(base, i); the values vector is then
-  // independent of the chunk-to-thread mapping.
+  // Draw i samples from substream Rng(base, i); the values array is then
+  // independent of the chunk-to-thread mapping. Each draw evaluates
+  // Eq. (8) directly from the memoised posterior preps — the same draw
+  // order and the same per-class arithmetic as
+  // sample(rng).system_failure_probability(profile), without building a
+  // SequentialModel (no allocation per draw); results are bit-identical.
   const std::uint64_t base = rng.next_u64();
-  std::vector<double> values(draws);
+  exec::Workspace& workspace = exec::thread_workspace();
+  const exec::Workspace::Scope scope(workspace);
+  const std::span<double> values = workspace.alloc<double>(draws);
+  const std::size_t classes = counts_.size();
   exec::parallel_for_chunks(
       draws, /*grain=*/64,
       [&](std::size_t begin, std::size_t end, std::size_t) {
         for (std::size_t i = begin; i < end; ++i) {
           stats::Rng draw_rng(base, i);
-          values[i] = sample(draw_rng).system_failure_probability(profile);
+          double total = 0.0;
+          for (std::size_t x = 0; x < classes; ++x) {
+            const stats::Rng::GammaPrep* prep = &beta_prep_[x * 6];
+            const double pmf = draw_rng.beta(prep[0], prep[1]);
+            const double phf_mf = draw_rng.beta(prep[2], prep[3]);
+            const double phf_ms = draw_rng.beta(prep[4], prep[5]);
+            total += profile[x] * (phf_ms * (1.0 - pmf) + phf_mf * pmf);
+          }
+          values[i] = total;
         }
       },
       config);

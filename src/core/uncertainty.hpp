@@ -73,6 +73,11 @@ class PosteriorModelSampler {
  private:
   std::vector<std::string> names_;
   std::vector<ClassCounts> counts_;
+  /// Memoised per-parameter Beta posterior normalisers: the (alpha, beta)
+  /// Marsaglia–Tsang constants for each of the three conditionals of each
+  /// class, in draw order (pmf, phf|mf, phf|ms) — 6 preps per class.
+  /// predict() streams over these instead of re-deriving them per draw.
+  std::vector<stats::Rng::GammaPrep> beta_prep_;
 };
 
 }  // namespace hmdiv::core

@@ -1,0 +1,48 @@
+// A non-owning reference to a callable — the zero-allocation counterpart
+// of std::function for call sites where the callable outlives the call.
+//
+// std::function's type erasure heap-allocates once the callable exceeds
+// the small-object buffer, which every chunked parallel region used to pay
+// per invocation (the chunk lambda captures several references). The
+// engine's hot paths hand ThreadPool::run_indexed a FunctionRef instead:
+// two words, trivially copyable, no allocation, no virtual dispatch.
+//
+// Lifetime contract: the referenced callable must stay alive for as long
+// as the FunctionRef is invoked. run_indexed blocks until the job is done,
+// so stack lambdas at the call site are always safe.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace hmdiv::exec {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirror std::function.
+  FunctionRef(F&& callable) noexcept
+      : object_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(callable)))),
+        invoke_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*invoke_)(void*, Args...);
+};
+
+}  // namespace hmdiv::exec

@@ -19,11 +19,11 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <functional>
 #include <utility>
 #include <vector>
 
 #include "exec/config.hpp"
+#include "exec/function_ref.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/obs.hpp"
 
@@ -60,8 +60,10 @@ void parallel_for_chunks(std::size_t n, std::size_t grain, Body&& body,
     for (std::size_t chunk = 0; chunk < chunks; ++chunk) run_chunk(chunk);
     return;
   }
-  const std::function<void(std::size_t)> fn = run_chunk;
-  ThreadPool::global().run_indexed(chunks, config.resolved_threads(), fn);
+  // FunctionRef borrows run_chunk; run_indexed blocks until the job is
+  // done, so the stack lambda outlives every invocation. No allocation.
+  ThreadPool::global().run_indexed(chunks, config.resolved_threads(),
+                                   FunctionRef<void(std::size_t)>(run_chunk));
 }
 
 /// Element-wise parallel loop: body(i) for i in [0, n).

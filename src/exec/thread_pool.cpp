@@ -58,7 +58,7 @@ void ThreadPool::execute(Job& job) {
     if (index >= job.count) return;
     HMDIV_OBS_COUNT("exec.pool.tasks", 1);
     try {
-      (*job.fn)(index);
+      job.fn(index);
     } catch (...) {
       {
         const std::lock_guard<std::mutex> lock(job.error_mutex);
@@ -107,7 +107,7 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_indexed(std::size_t count, unsigned max_threads,
-                             const std::function<void(std::size_t)>& fn) {
+                             FunctionRef<void(std::size_t)> fn) {
   if (count == 0) return;
   const unsigned budget = std::min<unsigned>(
       {max_threads == 0 ? 1U : max_threads, helper_count() + 1U,
@@ -131,8 +131,7 @@ void ThreadPool::run_indexed(std::size_t count, unsigned max_threads,
   }
 
   HMDIV_OBS_COUNT("exec.pool.jobs", 1);
-  Job job;
-  job.fn = &fn;
+  Job job(fn);
   job.count = count;
 #if HMDIV_OBS
   if (obs::enabled()) {

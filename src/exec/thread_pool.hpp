@@ -21,10 +21,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "exec/function_ref.hpp"
 
 namespace hmdiv::exec {
 
@@ -44,9 +45,10 @@ class ThreadPool {
 
   /// Executes fn(0) … fn(count-1), using at most `max_threads` threads
   /// including the caller. Blocks until every index has run (or the job
-  /// failed). Rethrows the first exception thrown by fn.
+  /// failed), so the callable behind `fn` only needs to live for the call.
+  /// Rethrows the first exception thrown by fn.
   void run_indexed(std::size_t count, unsigned max_threads,
-                   const std::function<void(std::size_t)>& fn);
+                   FunctionRef<void(std::size_t)> fn);
 
   /// True while the current thread is a pool helper executing a job.
   [[nodiscard]] static bool on_worker_thread() noexcept;
@@ -59,7 +61,8 @@ class ThreadPool {
   /// One run_indexed invocation. Helpers pull indices from `next` until
   /// the range is exhausted or a failure is flagged.
   struct Job {
-    const std::function<void(std::size_t)>* fn = nullptr;
+    explicit Job(FunctionRef<void(std::size_t)> f) : fn(f) {}
+    FunctionRef<void(std::size_t)> fn;
     std::size_t count = 0;
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};

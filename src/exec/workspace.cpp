@@ -1,0 +1,87 @@
+#include "exec/workspace.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/obs.hpp"
+
+namespace hmdiv::exec {
+
+namespace {
+
+/// Round `value` up to a multiple of `alignment` (a power of two).
+constexpr std::size_t align_up(std::size_t value,
+                               std::size_t alignment) noexcept {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
+
+void* Workspace::alloc_bytes(std::size_t bytes, std::size_t alignment) {
+  assert(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  for (;;) {
+    if (!blocks_.empty()) {
+      Block& block = blocks_[active_];
+      // Align the actual address, not just the offset: block bases are
+      // only guaranteed operator-new alignment.
+      const auto base = reinterpret_cast<std::uintptr_t>(block.data.get());
+      const std::size_t start =
+          align_up(base + block.used, alignment) - base;
+      if (start + bytes <= block.size) {
+        block.used = start + bytes;
+        return block.data.get() + start;
+      }
+      // Later blocks may have been reserved by a deeper high-water mark;
+      // advance through them before growing.
+      if (active_ + 1 < blocks_.size()) {
+        ++active_;
+        blocks_[active_].used = 0;
+        continue;
+      }
+    }
+    grow(bytes + alignment);
+  }
+}
+
+Workspace::Block& Workspace::grow(std::size_t need) {
+  // Double the total footprint each time so a steady-state workload ends
+  // up touching a single block (the last one) after warm-up.
+  const std::size_t size =
+      std::max({kMinBlockBytes, need, capacity_});
+  Block block;
+  block.data = std::make_unique<std::byte[]>(size);
+  block.size = size;
+  block.used = 0;
+  blocks_.push_back(std::move(block));
+  active_ = blocks_.size() - 1;
+  capacity_ += size;
+  HMDIV_OBS_COUNT("exec.arena.blocks", 1);
+  HMDIV_OBS_COUNT("exec.arena.bytes", size);
+  return blocks_.back();
+}
+
+void Workspace::rewind(Mark mark) noexcept {
+  if (blocks_.empty()) return;
+  assert(mark.block <= active_);
+  for (std::size_t b = mark.block + 1; b <= active_; ++b) {
+    blocks_[b].used = 0;
+  }
+  active_ = mark.block;
+  blocks_[active_].used = mark.used;
+}
+
+std::size_t Workspace::bytes_in_use() const noexcept {
+  std::size_t total = 0;
+  for (std::size_t b = 0; b <= active_ && b < blocks_.size(); ++b) {
+    total += blocks_[b].used;
+  }
+  return total;
+}
+
+Workspace& thread_workspace() {
+  thread_local Workspace workspace;
+  return workspace;
+}
+
+}  // namespace hmdiv::exec

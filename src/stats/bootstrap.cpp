@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "exec/parallel.hpp"
+#include "exec/workspace.hpp"
 #include "obs/obs.hpp"
 #include "stats/rng.hpp"
 #include "stats/summary.hpp"
@@ -18,7 +19,9 @@ namespace {
 /// into ~125 chunks for wide machines.
 constexpr std::size_t kReplicateGrain = 16;
 
-BootstrapResult summarise(double estimate, std::vector<double> replicates,
+/// Sorts `replicates` in place (workspace scratch — nothing else reads it
+/// afterwards) and derives the interval summary without copying.
+BootstrapResult summarise(double estimate, std::span<double> replicates,
                           double confidence) {
   std::sort(replicates.begin(), replicates.end());
   const double alpha = 1.0 - confidence;
@@ -55,18 +58,23 @@ BootstrapResult bootstrap_percentile(std::span<const double> sample,
   HMDIV_OBS_COUNT("stats.bootstrap.replicates", replicates);
   const double estimate = statistic(sample);
   // Replicate r resamples with its own substream Rng(base, r): the values
-  // vector is filled identically no matter how chunks map to threads.
+  // array is filled identically no matter how chunks map to threads.
   const std::uint64_t base = rng.next_u64();
-  std::vector<double> values(replicates);
+  exec::Workspace& workspace = exec::thread_workspace();
+  const exec::Workspace::Scope scope(workspace);
+  const std::span<double> values = workspace.alloc<double>(replicates);
   exec::parallel_for_chunks(
       replicates, kReplicateGrain,
       [&](std::size_t begin, std::size_t end, std::size_t) {
-        // Per-worker scratch, reused across chunks: every element is
-        // overwritten before the statistic reads it, so reuse cannot leak
-        // data between replicates (and the fill order is fixed by the
-        // substream, so reuse cannot change the result either).
-        thread_local std::vector<double> resample;
-        resample.resize(sample.size());
+        // Per-worker scratch from the executing thread's arena, reused
+        // across chunks after warm-up: every element is overwritten before
+        // the statistic reads it, so reuse cannot leak data between
+        // replicates (and the fill order is fixed by the substream, so
+        // reuse cannot change the result either).
+        exec::Workspace& local = exec::thread_workspace();
+        const exec::Workspace::Scope chunk_scope(local);
+        const std::span<double> resample =
+            local.alloc<double>(sample.size());
         for (std::size_t r = begin; r < end; ++r) {
           Rng replicate_rng(base, r);
           for (double& v : resample) {
@@ -77,7 +85,7 @@ BootstrapResult bootstrap_percentile(std::span<const double> sample,
         }
       },
       config);
-  return summarise(estimate, std::move(values), confidence);
+  return summarise(estimate, values, confidence);
 }
 
 BootstrapResult bootstrap_paired(std::span<const double> x,
@@ -94,15 +102,17 @@ BootstrapResult bootstrap_paired(std::span<const double> x,
   HMDIV_OBS_COUNT("stats.bootstrap.replicates", replicates);
   const double estimate = statistic(x, y);
   const std::uint64_t base = rng.next_u64();
-  std::vector<double> values(replicates);
+  exec::Workspace& workspace = exec::thread_workspace();
+  const exec::Workspace::Scope scope(workspace);
+  const std::span<double> values = workspace.alloc<double>(replicates);
   exec::parallel_for_chunks(
       replicates, kReplicateGrain,
       [&](std::size_t begin, std::size_t end, std::size_t) {
-        // Same per-worker scratch reuse as bootstrap_percentile.
-        thread_local std::vector<double> rx;
-        thread_local std::vector<double> ry;
-        rx.resize(x.size());
-        ry.resize(y.size());
+        // Same per-worker arena scratch as bootstrap_percentile.
+        exec::Workspace& local = exec::thread_workspace();
+        const exec::Workspace::Scope chunk_scope(local);
+        const std::span<double> rx = local.alloc<double>(x.size());
+        const std::span<double> ry = local.alloc<double>(y.size());
         for (std::size_t r = begin; r < end; ++r) {
           Rng replicate_rng(base, r);
           for (std::size_t i = 0; i < x.size(); ++i) {
@@ -115,7 +125,7 @@ BootstrapResult bootstrap_paired(std::span<const double> x,
         }
       },
       config);
-  return summarise(estimate, std::move(values), confidence);
+  return summarise(estimate, values, confidence);
 }
 
 }  // namespace hmdiv::stats

@@ -115,23 +115,29 @@ double Rng::normal(double mean, double sigma) {
   return mean + sigma * normal();
 }
 
-double Rng::gamma(double shape) {
-  if (shape <= 0.0) throw std::invalid_argument("Rng::gamma: shape <= 0");
-  if (shape < 1.0) {
-    // Boost to shape+1 and scale back (Marsaglia–Tsang note).
-    const double u = uniform();
-    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
-  }
-  const double d = shape - 1.0 / 3.0;
-  const double c = 1.0 / std::sqrt(9.0 * d);
+Rng::GammaPrep::GammaPrep(double shape) {
+  if (shape <= 0.0) throw std::invalid_argument("Rng::GammaPrep: shape <= 0");
+  boosted = shape < 1.0;
+  const double effective = boosted ? shape + 1.0 : shape;
+  d = effective - 1.0 / 3.0;
+  c = 1.0 / std::sqrt(9.0 * d);
+  inv_shape = 1.0 / shape;
+}
+
+namespace {
+
+/// The Marsaglia–Tsang acceptance loop for effective shape >= 1, with the
+/// per-shape constants hoisted out. Both gamma overloads funnel here so
+/// their streams and values agree exactly.
+double gamma_core(Rng& rng, double d, double c) {
   for (;;) {
     double x, v;
     do {
-      x = normal();
+      x = rng.normal();
       v = 1.0 + c * x;
     } while (v <= 0.0);
     v = v * v * v;
-    const double u = uniform();
+    const double u = rng.uniform();
     if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
     if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
       return d * v;
@@ -139,8 +145,40 @@ double Rng::gamma(double shape) {
   }
 }
 
+}  // namespace
+
+double Rng::gamma(double shape) {
+  if (shape <= 0.0) throw std::invalid_argument("Rng::gamma: shape <= 0");
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia–Tsang note). The uniform
+    // is drawn *before* the boosted gamma, and GammaPrep's path preserves
+    // that order.
+    const double u = uniform();
+    const double d = (shape + 1.0) - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    return gamma_core(*this, d, c) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  return gamma_core(*this, d, c);
+}
+
+double Rng::gamma(const GammaPrep& prep) {
+  if (prep.boosted) {
+    const double u = uniform();
+    return gamma_core(*this, prep.d, prep.c) * std::pow(u, prep.inv_shape);
+  }
+  return gamma_core(*this, prep.d, prep.c);
+}
+
 double Rng::beta(double a, double b) {
   if (a <= 0.0 || b <= 0.0) throw std::invalid_argument("Rng::beta: a,b <= 0");
+  const double x = gamma(a);
+  const double y = gamma(b);
+  return x / (x + y);
+}
+
+double Rng::beta(const GammaPrep& a, const GammaPrep& b) {
   const double x = gamma(a);
   const double y = gamma(b);
   return x / (x + y);

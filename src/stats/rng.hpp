@@ -72,11 +72,32 @@ class Rng {
   /// Normal with given mean and standard deviation (sigma >= 0).
   double normal(double mean, double sigma);
 
+  /// Precomputed Marsaglia–Tsang constants for repeated Gamma(shape, 1)
+  /// draws at a fixed shape (posterior samplers draw thousands of times
+  /// from the same handful of shapes). gamma(const GammaPrep&) is
+  /// bit-identical to gamma(shape) — the constants are derived with
+  /// exactly the arithmetic gamma(shape) would perform per call.
+  struct GammaPrep {
+    explicit GammaPrep(double shape);
+    double d;          ///< (effective shape) − 1/3
+    double c;          ///< 1 / sqrt(9 d)
+    double inv_shape;  ///< 1/shape, used by the boosted (<1) path
+    bool boosted;      ///< shape < 1: draw via Gamma(shape+1) and scale
+  };
+
   /// Gamma(shape, 1) via Marsaglia–Tsang; shape must be > 0.
   double gamma(double shape);
 
+  /// Gamma draw with precomputed constants; same stream consumption and
+  /// bit-identical values vs gamma(shape) for the prep's shape.
+  double gamma(const GammaPrep& prep);
+
   /// Beta(a, b) via two gamma draws; a, b must be > 0.
   double beta(double a, double b);
+
+  /// Beta draw with precomputed per-parameter constants; bit-identical to
+  /// beta(a, b) for the preps' shapes.
+  double beta(const GammaPrep& a, const GammaPrep& b);
 
   /// Binomial(n, p) by inversion for small n, otherwise by summed Bernoulli
   /// (n in this codebase is at most a trial size, so O(n) is acceptable and

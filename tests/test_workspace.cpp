@@ -1,0 +1,123 @@
+// Unit tests for exec/workspace.hpp (scratch arenas).
+#include "exec/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "exec/parallel.hpp"
+
+namespace hmdiv::exec {
+namespace {
+
+TEST(Workspace, AllocationsAreAlignedAndDisjoint) {
+  Workspace ws;
+  const std::span<double> a = ws.alloc<double>(3);
+  const std::span<std::uint8_t> b = ws.alloc<std::uint8_t>(1);
+  const std::span<double> c = ws.alloc<double>(5);
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(c.size(), 5u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c.data()) % alignof(double), 0u);
+  // Writing through every span must not overlap any other live span.
+  for (double& v : a) v = 1.0;
+  b[0] = 7;
+  for (double& v : c) v = 2.0;
+  EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0.0), 3.0);
+  EXPECT_EQ(b[0], 7);
+  EXPECT_EQ(std::accumulate(c.begin(), c.end(), 0.0), 10.0);
+}
+
+TEST(Workspace, ScopeRewindsAndCapacityIsReused) {
+  Workspace ws;
+  {
+    const Workspace::Scope scope(ws);
+    ws.alloc<double>(1000);
+  }
+  EXPECT_EQ(ws.bytes_in_use(), 0u);
+  const std::size_t warm = ws.capacity();
+  EXPECT_GE(warm, 1000 * sizeof(double));
+  // A same-size replay must reuse the warm capacity, not grow.
+  for (int round = 0; round < 4; ++round) {
+    const Workspace::Scope scope(ws);
+    const std::span<double> v = ws.alloc<double>(1000);
+    v[999] = 42.0;
+    EXPECT_EQ(ws.capacity(), warm);
+  }
+  EXPECT_EQ(ws.bytes_in_use(), 0u);
+}
+
+TEST(Workspace, ScopesNest) {
+  Workspace ws;
+  const Workspace::Scope outer(ws);
+  const std::span<double> a = ws.alloc<double>(8);
+  a[0] = 1.0;
+  {
+    const Workspace::Scope inner(ws);
+    const std::span<double> b = ws.alloc<double>(8);
+    b[0] = 2.0;
+    EXPECT_GE(ws.bytes_in_use(), 16 * sizeof(double));
+  }
+  // Inner scope rewound its own allocations but left the outer span live.
+  EXPECT_EQ(a[0], 1.0);
+  const std::span<double> c = ws.alloc<double>(8);
+  EXPECT_NE(c.data(), a.data());
+}
+
+TEST(Workspace, GrowsAcrossBlocks) {
+  Workspace ws;
+  const Workspace::Scope scope(ws);
+  // Force several growth steps past the minimum block size.
+  const std::span<double> a = ws.alloc<double>(10'000);
+  const std::span<double> b = ws.alloc<double>(40'000);
+  const std::span<double> c = ws.alloc<double>(100'000);
+  a[9'999] = 1.0;
+  b[39'999] = 2.0;
+  c[99'999] = 3.0;
+  EXPECT_EQ(a[9'999] + b[39'999] + c[99'999], 6.0);
+  EXPECT_GE(ws.capacity(), 150'000 * sizeof(double));
+}
+
+TEST(Workspace, ThreadWorkspaceIsPerThread) {
+  Workspace* main_ws = &thread_workspace();
+  Workspace* other_ws = nullptr;
+  std::thread t([&] { other_ws = &thread_workspace(); });
+  t.join();
+  EXPECT_NE(main_ws, nullptr);
+  EXPECT_NE(other_ws, nullptr);
+  EXPECT_NE(main_ws, other_ws);
+  // Stable within a thread.
+  EXPECT_EQ(main_ws, &thread_workspace());
+}
+
+TEST(Workspace, ParallelWorkersUseIndependentArenas) {
+  // Hammer the per-thread arenas from the pool: every chunk allocates,
+  // fills and checks its own scratch. Runs under the CI TSan job; any
+  // cross-thread sharing of arena state would be flagged there.
+  std::vector<double> sums(256, 0.0);
+  parallel_for_chunks(
+      sums.size(), /*grain=*/1,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        Workspace& ws = thread_workspace();
+        const Workspace::Scope scope(ws);
+        const std::span<double> scratch = ws.alloc<double>(512);
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = 0; j < scratch.size(); ++j) {
+            scratch[j] = static_cast<double>(i);
+          }
+          double total = 0.0;
+          for (const double v : scratch) total += v;
+          sums[i] = total;
+        }
+      },
+      Config{4});
+  for (std::size_t i = 0; i < sums.size(); ++i) {
+    EXPECT_EQ(sums[i], 512.0 * static_cast<double>(i));
+  }
+}
+
+}  // namespace
+}  // namespace hmdiv::exec
