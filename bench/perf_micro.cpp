@@ -324,6 +324,29 @@ BENCHMARK(BM_UncertaintyScaling)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Scalar per-draw reference path (predict_reference) vs the batched
+// engine above: BM_UncertaintyScaling/1 ÷ BM_UncertaintyScalarReference/1
+// is the PR 5 speedup figure recorded in BENCH_pr5_uq_engine.json. Both
+// run the identical 20k-draw posterior-predictive workload.
+void BM_UncertaintyScalarReference(benchmark::State& state) {
+  const exec::Config config{static_cast<unsigned>(state.range(0))};
+  const core::PosteriorModelSampler sampler(
+      {"easy", "difficult"},
+      {core::ClassCounts{800, 56, 28, 40}, core::ClassCounts{200, 82, 74, 30}});
+  const auto profile = core::paper::field_profile();
+  for (auto _ : state) {
+    stats::Rng rng(3);
+    benchmark::DoNotOptimize(
+        sampler.predict_reference(profile, rng, 20'000, 0.95, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          20'000);
+}
+BENCHMARK(BM_UncertaintyScalarReference)
+    ->Arg(1)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_TrialScaling(benchmark::State& state) {
   const exec::Config config{static_cast<unsigned>(state.range(0))};
   constexpr std::uint64_t kCases = 200'000;

@@ -30,6 +30,7 @@
 #include "core/model_io.hpp"
 #include "core/paper_example.hpp"
 #include "core/tradeoff.hpp"
+#include "core/uncertainty.hpp"
 #include "exec/config.hpp"
 #include "obs/obs.hpp"
 #include "report/format.hpp"
@@ -51,7 +52,7 @@ using namespace hmdiv;
          "                     [--improve CLASS=FACTOR]... [--text]\n"
          "                     [--no-advice] [--threads N]\n"
          "                     [--profile] [--profile-csv FILE]\n"
-         "                     [--grid-steps N]\n"
+         "                     [--grid-steps N] [--samples N]\n"
          "       hmdiv_analyze --example [--text]\n"
          "\n"
          "--threads N caps the worker threads of Monte-Carlo and sweep\n"
@@ -61,7 +62,10 @@ using namespace hmdiv;
          "trial, bootstrap interval, threshold sweep) and prints the\n"
          "observability registry; --profile-csv FILE writes it as CSV.\n"
          "--grid-steps N sets the threshold-sweep / cost-minimisation grid\n"
-         "size of the profiling workload (default 20000, range [2, 5e6]).\n";
+         "size of the profiling workload (default 20000, range [2, 5e6]).\n"
+         "--samples N sets the resampling depth of the profiling workload:\n"
+         "bootstrap replicates and posterior predictive draws (default\n"
+         "500, range [100, 10000000]).\n";
   std::exit(exit_code);
 }
 
@@ -120,7 +124,7 @@ Improvement parse_improvement(const std::string& spec) {
 void run_profiling_workload(const core::SequentialModel& model,
                             const core::DemandProfile& trial,
                             const core::DemandProfile& field, bool markdown,
-                            std::size_t grid_steps) {
+                            std::size_t grid_steps, std::size_t samples) {
   exec::Config config = exec::default_config();
   if (config.resolved_threads() < 2) config = exec::Config{2};
 
@@ -146,7 +150,27 @@ void run_profiling_workload(const core::SequentialModel& model,
   };
   stats::Rng rng(7);
   const auto interval = stats::bootstrap_percentile(
-      failures, mean_statistic, rng, /*replicates=*/500, 0.95, config);
+      failures, mean_statistic, rng, /*replicates=*/samples, 0.95, config);
+
+  // Uncertainty phase: rebuild the per-class trial counts from the
+  // simulated records and propagate the Beta posteriors through Eq. (8)
+  // under the *field* profile with the batched engine — the credible
+  // interval shows how much the trial size limits the field prediction.
+  std::vector<core::ClassCounts> counts(model.class_count());
+  for (const auto& record : data.records) {
+    auto& c = counts[record.class_index];
+    ++c.cases;
+    if (record.machine_failed) {
+      ++c.machine_failures;
+      if (record.human_failed) ++c.human_failures_given_machine_failed;
+    } else if (record.human_failed) {
+      ++c.human_failures_given_machine_succeeded;
+    }
+  }
+  const core::PosteriorModelSampler sampler(model.class_names(), counts);
+  stats::Rng posterior_rng(11);
+  const auto posterior =
+      sampler.predict(field, posterior_rng, samples, 0.95, config);
 
   // Sweep phase: the binormal machine implied by each class's PMf at
   // threshold 0 (mu = -probit(PMf)), swept across operating thresholds,
@@ -188,6 +212,11 @@ void run_profiling_workload(const core::SequentialModel& model,
   table.row({"bootstrap 95% interval",
              report::with_interval(interval.estimate, interval.lower,
                                    interval.upper, 4)});
+  table.row({"resampling depth (--samples)",
+             report::with_thousands(static_cast<long long>(samples))});
+  table.row({"posterior 95% interval (field)",
+             report::with_interval(posterior.mean, posterior.lower,
+                                   posterior.upper, 4)});
   table.row({"sweep points evaluated",
              report::with_thousands(static_cast<long long>(curve.size()))});
   table.row({"cost-minimising threshold", report::fixed(best.threshold, 3)});
@@ -202,6 +231,7 @@ int main(int argc, char** argv) {
   bool use_example = false;
   bool profile = false;
   std::size_t grid_steps = 20'000;
+  std::size_t samples = 500;
   std::optional<std::string> profile_csv_path;
   core::ReportOptions options;
 
@@ -258,6 +288,23 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       grid_steps = static_cast<std::size_t>(parsed);
+    } else if (arg == "--samples") {
+      // Same rejection table again: empty values, trailing garbage,
+      // negatives (strtoul wraps them huge), overflow, and counts outside
+      // [100, 1e7] (fewer than 100 resamples cannot support a 95%
+      // interval; more than 1e7 is a typo) all exit 2.
+      const std::string& value = next();
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          errno == ERANGE || parsed < 100 || parsed > 10'000'000) {
+        std::cerr << "hmdiv_analyze: --samples expects an integer in "
+                     "[100, 10000000], got '"
+                  << value << "'\n";
+        std::exit(2);
+      }
+      samples = static_cast<std::size_t>(parsed);
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--profile-csv") {
@@ -312,7 +359,7 @@ int main(int argc, char** argv) {
 
     if (profile) {
       run_profiling_workload(model, trial, field, options.markdown,
-                             grid_steps);
+                             grid_steps, samples);
       const obs::Snapshot snapshot = obs::registry_snapshot();
       std::cout << (options.markdown ? "## Profile (obs registry)\n\n"
                                      : "== Profile (obs registry) ==\n\n")

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/demand_profile.hpp"
@@ -61,14 +62,50 @@ class PosteriorModelSampler {
   /// Draws one model from the joint (independent-Beta) posterior.
   [[nodiscard]] SequentialModel sample(stats::Rng& rng) const;
 
-  /// Propagates `draws` posterior samples through Eq. (8) under `profile`.
-  /// Draws run in parallel on the exec engine; draw i uses the substream
-  /// Rng(base, i) with `base` taken from `rng` (one step), so the result
-  /// is bit-identical for any thread count.
+  /// Propagates `draws` posterior samples through Eq. (8) under `profile`:
+  /// sample_failure_probabilities() into workspace scratch, then
+  /// summarise(). Batched engine — equivalent to predict_reference() in
+  /// distribution, NOT bitwise (see that method); bit-identical across
+  /// thread counts for a fixed `rng` state (the caller's rng advances by
+  /// exactly one step either way).
   [[nodiscard]] UncertainPrediction predict(
       const DemandProfile& profile, stats::Rng& rng, std::size_t draws = 4000,
       double credibility = 0.95,
       const exec::Config& config = exec::default_config()) const;
+
+  /// Scalar reference for predict(): one substream Rng(base, i) per draw,
+  /// three scalar Beta draws per class per draw, full evaluation of
+  /// Eq. (8) per replicate, and the pre-batched-engine extraction (full
+  /// std::sort + sorted_quantile) kept verbatim. Documented ground truth
+  /// AND cost baseline for the batched engine; the two are equivalent in
+  /// distribution (asserted by chi-square/KS/z statistical-equivalence
+  /// tests), not bitwise — the batched kernels consume the stream in a
+  /// different order and use an inverse-CDF normal instead of the polar
+  /// method.
+  [[nodiscard]] UncertainPrediction predict_reference(
+      const DemandProfile& profile, stats::Rng& rng, std::size_t draws = 4000,
+      double credibility = 0.95,
+      const exec::Config& config = exec::default_config()) const;
+
+  /// Fills `out` with posterior predictive draws of the system failure
+  /// probability under `profile` — the batched sampling stage of
+  /// predict(). Chunk c of `out` (fixed 512-draw chunks) draws from the
+  /// substream Rng(base, c) with `base` taken from `rng` (one step), so
+  /// the output is bit-identical at 1 vs N threads. Per parameter, whole
+  /// chunks are filled by Rng::fill_beta and streamed through the SoA
+  /// Eq. (8) transform; per-chunk scratch comes from
+  /// exec::thread_workspace() (zero steady-state heap allocations).
+  void sample_failure_probabilities(
+      const DemandProfile& profile, stats::Rng& rng, std::span<double> out,
+      const exec::Config& config = exec::default_config()) const;
+
+  /// Reduces a vector of posterior predictive draws to mean, stddev and an
+  /// equal-tailed credible interval. Partially reorders `draws` in place
+  /// (selection-based stats::quantiles — no full sort). Any NaN draw makes
+  /// every field of the result NaN: uncertainty about an undefined
+  /// quantity is undefined, never silently clamped.
+  [[nodiscard]] static UncertainPrediction summarise(std::span<double> draws,
+                                                     double credibility);
 
  private:
   std::vector<std::string> names_;

@@ -19,16 +19,23 @@ namespace {
 /// into ~125 chunks for wide machines.
 constexpr std::size_t kReplicateGrain = 16;
 
-/// Sorts `replicates` in place (workspace scratch — nothing else reads it
-/// afterwards) and derives the interval summary without copying.
+/// Partially reorders `replicates` in place (workspace scratch — nothing
+/// else reads it afterwards) and derives the interval summary. Quantiles
+/// come from the shared selection-based stats::quantiles — no full sort,
+/// and the same type-7 interpolation as the posterior credible intervals.
+/// A NaN replicate yields a NaN interval and standard error: the statistic
+/// is undefined, and a NaN must never be sorted to an arbitrary end.
 BootstrapResult summarise(double estimate, std::span<double> replicates,
                           double confidence) {
-  std::sort(replicates.begin(), replicates.end());
+  HMDIV_OBS_SCOPED_TIMER("stats.boot.summarise_ns");
   const double alpha = 1.0 - confidence;
+  const double qs[2] = {alpha / 2.0, 1.0 - alpha / 2.0};
+  double bounds[2];
+  quantiles(replicates, qs, bounds);
   BootstrapResult out;
   out.estimate = estimate;
-  out.lower = sorted_quantile(replicates, alpha / 2.0);
-  out.upper = sorted_quantile(replicates, 1.0 - alpha / 2.0);
+  out.lower = bounds[0];
+  out.upper = bounds[1];
   OnlineStats stats;
   for (const double r : replicates) stats.add(r);
   out.standard_error = stats.stddev();

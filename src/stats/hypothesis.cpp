@@ -110,6 +110,43 @@ TestResult kolmogorov_smirnov_test(std::span<const double> sample,
   return out;
 }
 
+TestResult kolmogorov_smirnov_two_sample(std::span<const double> sample1,
+                                         std::span<const double> sample2) {
+  if (sample1.empty() || sample2.empty()) {
+    throw std::invalid_argument("kolmogorov_smirnov_two_sample: empty sample");
+  }
+  std::vector<double> a(sample1.begin(), sample1.end());
+  std::vector<double> b(sample2.begin(), sample2.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double m = static_cast<double>(a.size());
+  const double n = static_cast<double>(b.size());
+  // Sweep the pooled order statistics, tracking the gap between the two
+  // empirical CDFs. Ties advance both sides before the gap is measured.
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double value = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= value) ++i;
+    while (j < b.size() && b[j] <= value) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / m -
+                              static_cast<double>(j) / n));
+  }
+  TestResult out;
+  out.statistic = d;
+  const double effective = std::sqrt(m * n / (m + n));
+  const double lambda = (effective + 0.12 + 0.11 / effective) * d;
+  double p = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = 2.0 * std::pow(-1.0, k - 1) *
+                        std::exp(-2.0 * k * k * lambda * lambda);
+    p += term;
+    if (std::fabs(term) < 1e-12) break;
+  }
+  out.p_value = std::clamp(p, 0.0, 1.0);
+  return out;
+}
+
 TestResult chi_square_independence_2x2(std::uint64_t a, std::uint64_t b,
                                        std::uint64_t c, std::uint64_t d) {
   const double da = static_cast<double>(a), db = static_cast<double>(b);

@@ -49,4 +49,11 @@ struct TestResult {
 [[nodiscard]] TestResult kolmogorov_smirnov_test(
     std::span<const double> sample, const std::function<double(double)>& cdf);
 
+/// Two-sample Kolmogorov–Smirnov test: statistic = sup |F_m − G_n| over the
+/// pooled sample, p-value from the asymptotic Kolmogorov distribution at
+/// the effective size sqrt(mn/(m+n)). Used to check that a batched sampling
+/// kernel and its scalar reference draw from the same distribution.
+[[nodiscard]] TestResult kolmogorov_smirnov_two_sample(
+    std::span<const double> sample1, std::span<const double> sample2);
+
 }  // namespace hmdiv::stats

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "stats/distributions.hpp"
@@ -26,6 +27,13 @@ void check_counts(std::uint64_t successes, std::uint64_t trials) {
 }
 
 ProportionInterval clipped(double lo, double hi) {
+  // std::max(0.0, NaN) returns 0.0 (the comparison is false), which would
+  // silently turn an undefined endpoint into a confident-looking bound.
+  // Propagate NaN instead; only finite endpoints are clipped to [0, 1].
+  if (std::isnan(lo) || std::isnan(hi)) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    return ProportionInterval{nan, nan};
+  }
   return ProportionInterval{std::max(0.0, lo), std::min(1.0, hi)};
 }
 

@@ -1,5 +1,7 @@
 #include "stats/rng.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -70,6 +72,350 @@ void Rng::fill_uniform(std::span<double> out) noexcept {
 
 void Rng::fill_normal(std::span<double> out) noexcept {
   for (double& v : out) v = normal();
+}
+
+namespace {
+
+// Acklam's rational approximation to the inverse normal CDF (relative
+// error ~1.15e-9 over (0,1)). special.cpp's normal_quantile refines the
+// same rational with a Halley step for interval endpoints; here the raw
+// rational is enough — a ~1e-9 perturbation of a random deviate is far
+// below anything a distributional (KS/chi-square) test can resolve, and
+// skipping the refinement keeps the central path free of libm calls so it
+// vectorises.
+constexpr double kIcdfA[6] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                              -2.759285104469687e+02, 1.383577518672690e+02,
+                              -3.066479806614716e+01, 2.506628277459239e+00};
+constexpr double kIcdfB[5] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                              -1.556989798598866e+02, 6.680131188771972e+01,
+                              -1.328068155288572e+01};
+constexpr double kIcdfC[6] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                              -2.400758277161838e+00, -2.549732539343734e+00,
+                              4.374664141464968e+00,  2.938163982698783e+00};
+constexpr double kIcdfD[4] = {7.784695709041462e-03, 3.224671290700398e-01,
+                              2.445134137142996e+00, 3.754408661907416e+00};
+constexpr double kIcdfPLow = 0.02425;
+
+// Same gating as special.cpp: target_clones resolves through an ifunc,
+// which runs before sanitizer runtimes initialise; sanitized builds take
+// the default codegen. Clone selection changes instruction scheduling
+// only — the batched kernels promise distributional equivalence, and the
+// same binary always picks the same clone, so determinism across thread
+// counts is unaffected.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define HMDIV_RNG_TARGET_CLONES
+#define HMDIV_RNG_TARGET_CLONES_AVX2
+#else
+#define HMDIV_RNG_TARGET_CLONES \
+  __attribute__((target_clones("avx512f", "avx2", "default")))
+// For the integer-heavy engine kernel only: GCC 12's avx512f codegen
+// scalarises the interleaved state recurrence into GPRs (the resolver
+// would still pick that clone on AVX-512 hardware), while the avx2 clone
+// keeps all four state vectors register-resident. Cap it at AVX2.
+#define HMDIV_RNG_TARGET_CLONES_AVX2 \
+  __attribute__((target_clones("avx2", "default")))
+#endif
+
+/// Central-region rational; only valid for p in [kIcdfPLow, 1-kIcdfPLow]
+/// but finite everywhere, so it can run unconditionally over a block.
+inline double icdf_central(double p) noexcept {
+  const double q = p - 0.5;
+  const double r = q * q;
+  const double num =
+      (((((kIcdfA[0] * r + kIcdfA[1]) * r + kIcdfA[2]) * r + kIcdfA[3]) * r +
+        kIcdfA[4]) *
+           r +
+       kIcdfA[5]) *
+      q;
+  const double den =
+      ((((kIcdfB[0] * r + kIcdfB[1]) * r + kIcdfB[2]) * r + kIcdfB[3]) * r +
+       kIcdfB[4]) *
+          r +
+      1.0;
+  return num / den;
+}
+
+/// Lower-tail branch for p in (0, kIcdfPLow); returns a negative deviate.
+/// The upper tail is the mirror image: -icdf_lower_tail(1 - p).
+inline double icdf_lower_tail(double p) noexcept {
+  const double q = std::sqrt(-2.0 * std::log(p));
+  return (((((kIcdfC[0] * q + kIcdfC[1]) * q + kIcdfC[2]) * q + kIcdfC[3]) *
+               q +
+           kIcdfC[4]) *
+              q +
+          kIcdfC[5]) /
+         ((((kIcdfD[0] * q + kIcdfD[1]) * q + kIcdfD[2]) * q + kIcdfD[3]) * q +
+          1.0);
+}
+
+/// Stack-block lane width for the batched kernels: big enough to amortise
+/// loop overheads and keep the vector units busy, small enough that the
+/// scratch (a few such arrays) stays a handful of KiB of stack.
+constexpr std::size_t kFillBlock = 256;
+
+/// Pass 1 of fill_normal_icdf: shift the 53-bit uniforms off the endpoints
+/// and run the central rational over every lane. Branch-free, so the whole
+/// loop (including the one division) vectorises.
+HMDIV_RNG_TARGET_CLONES void icdf_central_block(double* __restrict__ p,
+                                        double* __restrict__ z,
+                                                std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) p[i] += 0x1.0p-54;
+  for (std::size_t i = 0; i < n; ++i) z[i] = icdf_central(p[i]);
+}
+
+/// Fused pass 1 of fill_gamma: run the central inverse-CDF rational and
+/// the Marsaglia–Tsang squeeze in one branch-free traversal. Writes the
+/// normal deviate (z), the candidate value d·v³ and the squeeze flag per
+/// lane. `p` and `u` come from fill_uniform_pair, already strictly inside
+/// (0, 1). Lanes whose p landed in an inverse-CDF tail hold garbage until
+/// the caller's scalar fixup.
+HMDIV_RNG_TARGET_CLONES void gamma_candidate_block(
+    const double* __restrict__ p, const double* __restrict__ u, double d,
+    double c, double* __restrict__ z, double* __restrict__ value,
+    unsigned char* __restrict__ ok, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const double zz = icdf_central(p[j]);
+    z[j] = zz;
+    const double v = 1.0 + c * zz;
+    value[j] = d * (v * v * v);
+    const double z2 = zz * zz;
+    ok[j] =
+        static_cast<unsigned char>((v > 0.0) & (u[j] < 1.0 - 0.0331 * z2 * z2));
+  }
+}
+
+/// Lane-wise X/(X+Y) reduction of two gamma blocks to a beta block.
+HMDIV_RNG_TARGET_CLONES void beta_combine_block(double* __restrict__ x,
+                                                const double* __restrict__ y,
+                                                std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) x[j] = x[j] / (x[j] + y[j]);
+}
+
+/// Interleave width of the vectorised uniform-pair kernel: 8 × 64-bit
+/// states fill one AVX-512 register (two AVX2 registers), and GCC unrolls
+/// the inner lane loop into straight vector code.
+constexpr std::size_t kUniformLanes = 8;
+
+/// Interleaved xoshiro256+ block: each lane j runs its own engine
+/// (SoA state s0..s3), one output per lane per step, split into the
+/// (hi, lo) mid-tread uniforms of fill_uniform_pair. xoshiro256+ instead
+/// of ** because the + scrambler is a single add — the ** variant's 64-bit
+/// multiplies have no AVX2 instruction and de-vectorise the loop. Its known
+/// weakness (linear artefacts in the lowest output bits) lands in the low
+/// bits of the squeeze uniform `u`, perturbing it below the 2⁻³⁰ level —
+/// invisible to the distributional contract of the batched kernels. The
+/// u64→double conversions use the 2⁵² exponent-offset trick because AVX2
+/// has no unsigned-quad convert; the result is bit-identical to
+/// static_cast (both halves are < 2³², exactly representable).
+/// n must be a multiple of kUniformLanes.
+HMDIV_RNG_TARGET_CLONES_AVX2 void uniform_pair_block(
+    std::uint64_t* __restrict__ s0, std::uint64_t* __restrict__ s1,
+    std::uint64_t* __restrict__ s2, std::uint64_t* __restrict__ s3,
+    double* __restrict__ p, double* __restrict__ u, std::size_t n) {
+  constexpr double kOffset = 0x1.0p52 - 0.5;       // folds the +0.5 mid-tread
+  constexpr std::uint64_t kExp52 = 0x4330000000000000ULL;  // 2⁵² exponent
+  std::uint64_t r[kUniformLanes];
+  // Two inner loops, not one: mixing the integer state recurrence with the
+  // double conversions in a single body makes GCC's SLP vectoriser bail on
+  // the conversion half and extract lanes to scalar registers.
+  for (std::size_t i = 0; i < n; i += kUniformLanes) {
+    for (std::size_t j = 0; j < kUniformLanes; ++j) r[j] = s0[j] + s3[j];
+    for (std::size_t j = 0; j < kUniformLanes; ++j) {
+      const std::uint64_t t = s1[j] << 17;
+      s2[j] ^= s0[j];
+      s3[j] ^= s1[j];
+      s1[j] ^= s2[j];
+      s0[j] ^= s3[j];
+      s2[j] ^= t;
+      s3[j] = rotl(s3[j], 45);
+    }
+    for (std::size_t j = 0; j < kUniformLanes; ++j) {
+      const std::uint64_t hi = (r[j] >> 32) | kExp52;
+      const std::uint64_t lo = (r[j] & 0xFFFFFFFFULL) | kExp52;
+      p[i + j] = (std::bit_cast<double>(hi) - kOffset) * 0x1.0p-32;
+      u[i + j] = (std::bit_cast<double>(lo) - kOffset) * 0x1.0p-32;
+    }
+  }
+}
+
+/// Exact Marsaglia–Tsang decision for a lane that failed the squeeze:
+/// accept iff ln(u) < 0.5·x² + d·(1 − v³ + ln v³), v > 0 (u == 0 rejects,
+/// matching gamma_core's guard). Before paying for libm logs, two cheap
+/// exact inequalities resolve almost every lane:
+///   ln u ≤ u − 1            and   ln u ≥ 1 − 1/u          (u > 0)
+///   ln v ≥ 2(v−1)/(v+1)     (v ≥ 1),   ln v ≥ 1 − 1/v     (v ≤ 1)
+///   ln v ≤ v − 1            (all v > 0)
+/// Their gaps are O((v−1)³) and O((u−1)²) — and squeeze-failed lanes have
+/// u near 1 — so only the sliver where the bounds bracket the threshold
+/// still calls std::log. (The bounds are evaluated in floating point, so a
+/// lane within ~1 ulp of the exact threshold may flip; the batched kernels
+/// promise distributional equivalence, and this is far below what any
+/// distributional test can resolve.)
+inline bool gamma_accept_slow(double u, double x2, double d,
+                              double v) noexcept {
+  if (u <= 0.0) return false;
+  const double v3 = v * v * v;
+  const double base = 0.5 * x2 + d * (1.0 - v3);
+  const double lb_lnv =
+      v >= 1.0 ? 2.0 * (v - 1.0) / (v + 1.0) : 1.0 - 1.0 / v;
+  if (u - 1.0 < base + 3.0 * d * lb_lnv) return true;
+  if (1.0 - 1.0 / u > base + 3.0 * d * (v - 1.0)) return false;
+  return std::log(u) < base + d * std::log(v3);
+}
+
+}  // namespace
+
+void Rng::fill_uniform_pair(std::span<double> p, double* u) noexcept {
+  const std::size_t n = p.size();
+  std::size_t start = 0;
+  if (n >= kUniformLanes * 8) {
+    // Large span (the main candidate blocks): hand the bulk to the
+    // interleaved kernel. Lane states are derived from ONE member-engine
+    // draw through a SplitMix64 chain — the same whitening the (seed,
+    // stream) constructor uses — so the lanes are as unrelated as
+    // different seeds and the expansion is deterministic: one call, one
+    // member step, same outputs every time.
+    std::uint64_t sm = next_u64();
+    std::uint64_t s0[kUniformLanes];
+    std::uint64_t s1[kUniformLanes];
+    std::uint64_t s2[kUniformLanes];
+    std::uint64_t s3[kUniformLanes];
+    for (std::size_t j = 0; j < kUniformLanes; ++j) {
+      s0[j] = splitmix64(sm);
+      s1[j] = splitmix64(sm);
+      s2[j] = splitmix64(sm);
+      s3[j] = splitmix64(sm);
+      if (s0[j] == 0 && s1[j] == 0 && s2[j] == 0 && s3[j] == 0) s0[j] = 1;
+    }
+    start = n - n % kUniformLanes;
+    uniform_pair_block(s0, s1, s2, s3, p.data(), u, start);
+  }
+  // Short spans (refill rounds touch only the few rejected lanes) and the
+  // vector remainder: step the member engine directly.
+  for (std::size_t j = start; j < n; ++j) {
+    const std::uint64_t r = next_u64();
+    p[j] = (static_cast<double>(r >> 32) + 0.5) * 0x1.0p-32;
+    u[j] = (static_cast<double>(r & 0xFFFFFFFFULL) + 0.5) * 0x1.0p-32;
+  }
+}
+
+void Rng::fill_normal_icdf(std::span<double> out) noexcept {
+  double p[kFillBlock];
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t n = std::min(kFillBlock, out.size() - start);
+    fill_uniform({p, n});
+    double* z = out.data() + start;
+    // fill_uniform yields k * 2^-53 with k in [0, 2^53): pass 1 shifts by
+    // half an ulp to (k + 0.5) * 2^-53, strictly inside (0, 1), so the
+    // tail logs below never see 0 and no lane can produce an infinity;
+    // then the central rational runs over every lane. Tail lanes get a
+    // finite garbage value, fixed up in pass 2.
+    icdf_central_block(p, z, n);
+    // Pass 2: ~4.85% of lanes fall in a tail and take the scalar log path.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (p[i] < kIcdfPLow) {
+        z[i] = icdf_lower_tail(p[i]);
+      } else if (p[i] > 1.0 - kIcdfPLow) {
+        z[i] = -icdf_lower_tail(1.0 - p[i]);
+      }
+    }
+    start += n;
+  }
+}
+
+void Rng::fill_gamma(const GammaPrep& prep, std::span<double> out) noexcept {
+  double p[kFillBlock];
+  double z[kFillBlock];
+  double u[kFillBlock];
+  std::uint32_t idx[kFillBlock];
+  unsigned char ok[kFillBlock];
+  const double d = prep.d;
+  const double c = prep.c;
+  for (std::size_t start = 0; start < out.size(); start += kFillBlock) {
+    const std::size_t m = std::min(kFillBlock, out.size() - start);
+    double* block = out.data() + start;
+    fill_uniform_pair({p, m}, u);
+    // Pass 1 (vectorised, fused): inverse-CDF normal + candidate d·v³ +
+    // squeeze flag in one traversal.
+    gamma_candidate_block(p, u, d, c, z, block, ok, m);
+    // Pass 2 (one scalar traversal): the ~4.85% of lanes whose uniform
+    // fell in an inverse-CDF tail redo the candidate with the scalar tail
+    // branch; lanes that failed the squeeze get the exact log test. The
+    // survivors' candidate values are already in place; true rejections
+    // (v <= 0 or log test failed) are compacted into `idx` for refill.
+    std::size_t pending = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      double zz = z[j];
+      if (p[j] < kIcdfPLow || p[j] > 1.0 - kIcdfPLow) {
+        zz = p[j] < kIcdfPLow ? icdf_lower_tail(p[j])
+                              : -icdf_lower_tail(1.0 - p[j]);
+        const double v = 1.0 + c * zz;
+        const double z2 = zz * zz;
+        if (v > 0.0 && (u[j] < 1.0 - 0.0331 * z2 * z2 ||
+                        gamma_accept_slow(u[j], z2, d, v))) {
+          block[j] = d * (v * v * v);
+          continue;
+        }
+      } else if (ok[j]) {
+        continue;
+      } else {
+        const double v = 1.0 + c * zz;
+        if (v > 0.0 && gamma_accept_slow(u[j], zz * zz, d, v)) {
+          continue;  // block[j] already holds d·v³
+        }
+      }
+      idx[pending++] = static_cast<std::uint32_t>(j);
+    }
+    // Refill rounds: regenerate candidates only for the rejected lanes
+    // (typically a few percent, so one short round ends almost all blocks).
+    while (pending > 0) {
+      fill_uniform_pair({p, pending}, u);
+      std::size_t rejected = 0;
+      for (std::size_t k = 0; k < pending; ++k) {
+        const std::uint32_t j = idx[k];
+        const double pp = p[k];
+        const double zz = pp < kIcdfPLow ? icdf_lower_tail(pp)
+                          : pp > 1.0 - kIcdfPLow
+                              ? -icdf_lower_tail(1.0 - pp)
+                              : icdf_central(pp);
+        const double v = 1.0 + c * zz;
+        if (v > 0.0) {
+          const double uu = u[k];
+          const double z2 = zz * zz;
+          if (uu < 1.0 - 0.0331 * z2 * z2 ||
+              gamma_accept_slow(uu, z2, d, v)) {
+            block[j] = d * (v * v * v);
+            continue;
+          }
+        }
+        idx[rejected++] = j;
+      }
+      pending = rejected;
+    }
+    if (prep.boosted) {
+      // Shape < 1: scale the Gamma(shape+1) block by u^(1/shape), the
+      // Marsaglia–Tsang boost. The scalar path draws its uniform before
+      // the gamma; the batched path draws the whole block after — a
+      // different stream mapping, same distribution.
+      fill_uniform({u, m});
+      for (std::size_t j = 0; j < m; ++j) {
+        block[j] *= std::pow(u[j], prep.inv_shape);
+      }
+    }
+  }
+}
+
+void Rng::fill_beta(const GammaPrep& a, const GammaPrep& b,
+                    std::span<double> out) noexcept {
+  double y[kFillBlock];
+  for (std::size_t start = 0; start < out.size(); start += kFillBlock) {
+    const std::size_t m = std::min(kFillBlock, out.size() - start);
+    double* block = out.data() + start;
+    fill_gamma(a, {block, m});
+    fill_gamma(b, {y, m});
+    beta_combine_block(block, y, m);
+  }
 }
 
 double Rng::uniform(double lo, double hi) {

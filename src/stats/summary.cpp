@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -151,11 +152,66 @@ double sorted_quantile(std::span<const double> sorted, double q) {
 std::vector<double> quantiles(std::span<const double> values,
                               std::span<const double> qs) {
   std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
-  std::vector<double> out;
-  out.reserve(qs.size());
-  for (const double q : qs) out.push_back(sorted_quantile(sorted, q));
+  std::vector<double> out(qs.size());
+  std::vector<double> ascending(qs.begin(), qs.end());
+  std::sort(ascending.begin(), ascending.end());
+  std::vector<double> picked(qs.size());
+  quantiles(sorted, ascending, picked);
+  // Map results back to the caller's (possibly unsorted) probability order.
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto it =
+        std::lower_bound(ascending.begin(), ascending.end(), qs[i]);
+    out[i] = picked[static_cast<std::size_t>(it - ascending.begin())];
+  }
   return out;
+}
+
+void quantiles(std::span<double> values, std::span<const double> qs,
+               std::span<double> out) {
+  if (values.empty()) throw std::invalid_argument("quantiles: empty input");
+  if (out.size() != qs.size()) {
+    throw std::invalid_argument("quantiles: out/qs size mismatch");
+  }
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    if (!(qs[i] >= 0.0 && qs[i] <= 1.0)) {
+      throw std::invalid_argument("quantiles: q outside [0,1]");
+    }
+    if (i > 0 && qs[i] < qs[i - 1]) {
+      throw std::invalid_argument("quantiles: qs must be ascending");
+    }
+  }
+  // nth_element requires a strict weak ordering, which NaN breaks; a NaN
+  // replicate also means the statistic is undefined, so propagate it.
+  for (const double v : values) {
+    if (std::isnan(v)) {
+      std::fill(out.begin(), out.end(),
+                std::numeric_limits<double>::quiet_NaN());
+      return;
+    }
+  }
+  const std::size_t n = values.size();
+  std::size_t done = 0;  // values[0..done) already hold final order stats
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const double position = qs[i] * static_cast<double>(n - 1);
+    const auto below = static_cast<std::size_t>(position);
+    const double fraction = position - static_cast<double>(below);
+    if (below >= done) {
+      std::nth_element(values.begin() + static_cast<std::ptrdiff_t>(done),
+                       values.begin() + static_cast<std::ptrdiff_t>(below),
+                       values.end());
+      done = below + 1;
+    }
+    double result = values[below];
+    if (fraction > 0.0 && below + 1 < n) {
+      // The (below+1)-th order statistic is the minimum of the tail left
+      // by nth_element — no second selection pass needed.
+      const double above =
+          *std::min_element(values.begin() + static_cast<std::ptrdiff_t>(done),
+                            values.end());
+      result = result * (1.0 - fraction) + above * fraction;
+    }
+    out[i] = result;
+  }
 }
 
 }  // namespace hmdiv::stats

@@ -82,4 +82,16 @@ class OnlineStats {
 [[nodiscard]] std::vector<double> quantiles(std::span<const double> values,
                                             std::span<const double> qs);
 
+/// Selection-based multi-quantile extraction: partially orders `values`
+/// in place (iterated nth_element over shrinking ranges) and writes the
+/// type-7 (linear, R/NumPy default) quantile for each probability in `qs`
+/// into `out`. `qs` must be ascending and within [0,1];
+/// `out.size() == qs.size()`. O(n · |qs|) worst case but O(n + |qs| log n)
+/// expected — no full sort. If any value is NaN, every output is NaN
+/// (NaN propagates instead of sorting to an arbitrary end). Both the
+/// bootstrap and the posterior-predictive interval paths use this routine,
+/// so the interpolation convention cannot drift between them.
+void quantiles(std::span<double> values, std::span<const double> qs,
+               std::span<double> out);
+
 }  // namespace hmdiv::stats

@@ -69,6 +69,135 @@ TEST(Beta, PdfOutsideSupportIsZero) {
   EXPECT_EQ(beta_pdf(2.0, 2.0, 1.1), 0.0);
 }
 
+/// Reference values for I_x(a, b) at extreme shapes, mirroring the
+/// kPhiReferences far-tail suite in test_special.cpp. Computed with
+/// mpmath at 50 significant digits: small-shape rows via betainc,
+/// large-shape rows (where betainc's series fails to converge) via
+/// adaptive quadrature of the log-space density split at its peak.
+struct BetaReference {
+  double a;
+  double b;
+  double x;  // CDF argument, or probability for the quantile table.
+  double value;
+};
+
+constexpr BetaReference kBetaCdfReferences[] = {
+    // a or b < 1e-3 boundary region and x pinned near 0 / 1.
+    {1.000000e-04, 1.000000e+00, 1.00000000000000004e-10,
+     9.97700063822553273596e-01},
+    {1.000000e-04, 1.000000e+00, 5.00000000000000000e-01,
+     9.99930687684153607364e-01},
+    {1.000000e+00, 1.000000e-04, 5.00000000000000000e-01,
+     6.93123158464280892874e-05},
+    {1.000000e+00, 1.000000e-04, 9.99999999899999992e-01,
+     2.29993616919167611495e-03},
+    {1.000000e-03, 1.000000e-03, 5.00000000000000000e-01,
+     5.00000000000000000000e-01},
+    {5.000000e-01, 5.000000e-01, 1.00000000000000004e-10,
+     6.36619772378191689445e-06},
+    {5.000000e-01, 5.000000e-01, 9.99999999068677425e-01,
+     9.99980571906357806888e-01},
+};
+
+constexpr BetaReference kBetaCdfLargeShapeReferences[] = {
+    // a + b > 1e6: the distribution concentrates in a ~5e-4-wide spike, so
+    // x must be chosen within a few standard deviations of a/(a+b).
+    {6.000000e+05, 5.000000e+05, 5.45399999999999996e-01,
+     4.54242976342055182482e-01},
+    {6.000000e+05, 5.000000e+05, 5.46000000000000041e-01,
+     8.74707822167668513913e-01},
+    {6.000000e+05, 5.000000e+05, 5.44900000000000051e-01,
+     1.21395308430037054959e-01},
+    {1.000000e+06, 2.500000e+00, 9.99998999999999971e-01,
+     8.49144690153511016995e-01},
+    {1.000000e+06, 2.500000e+00, 9.99999900000000053e-01,
+     9.99113859490354916382e-01},
+    {2.500000e+00, 1.000000e+06, 9.99999999999999955e-07,
+     1.50855309838531154165e-01},
+    {2.500000e+00, 1.000000e+06, 3.99999999999999982e-06,
+     8.43765584884056729642e-01},
+};
+
+TEST(Beta, CdfExtremeShapeRelativeAccuracy) {
+  for (const auto& [a, b, x, reference] : kBetaCdfReferences) {
+    const double got = beta_cdf(a, b, x);
+    const double rel = std::fabs(got - reference) / reference;
+    EXPECT_LT(rel, 1e-12) << "a=" << a << " b=" << b << " x=" << x
+                          << " got=" << got;
+  }
+  // The Lentz continued fraction converges more slowly at huge total
+  // counts; ~1e-9 relative is what 300 iterations deliver there.
+  for (const auto& [a, b, x, reference] : kBetaCdfLargeShapeReferences) {
+    const double got = beta_cdf(a, b, x);
+    const double rel = std::fabs(got - reference) / reference;
+    EXPECT_LT(rel, 1e-8) << "a=" << a << " b=" << b << " x=" << x
+                         << " got=" << got;
+  }
+}
+
+constexpr BetaReference kBetaQuantileReferences[] = {
+    // Tiny shapes push the quantile hundreds of decades below 1: the
+    // first row is ~9e-302, unreachable by arithmetic bisection — it pins
+    // the log-space Newton path in the inverter. Rows with the solution
+    // near 1 pin the complement-tail flip.
+    {1.000000e-03, 1.000000e+00, 5.00000000000000000e-01,
+     9.33263618503232348690e-302},
+    {1.000000e-03, 1.000000e+00, 9.00000000000000022e-01,
+     1.74787125172269859174e-46},
+    {1.000000e-04, 1.000000e+00, 9.99998999999999971e-01,
+     9.90049828798630904281e-01},
+    {1.000000e+00, 1.000000e-03, 1.00000000000000002e-03,
+     6.32304575229035936701e-01},
+    {1.000000e+00, 1.000000e-03, 9.99999999999999955e-07,
+     9.99500666125591056069e-04},
+    {5.000000e-01, 5.000000e-01, 1.00000000000000004e-10,
+     2.46740110027233974377e-20},
+    {5.000000e-01, 5.000000e-01, 5.00000000000000000e-01,
+     5.00000000000000000000e-01},
+};
+
+constexpr BetaReference kBetaQuantileLargeShapeReferences[] = {
+    {6.000000e+05, 5.000000e+05, 9.99999999999999955e-07,
+     5.43197238977036422902e-01},
+    {6.000000e+05, 5.000000e+05, 5.00000000000000000e-01,
+     5.45454573002764786516e-01},
+    {6.000000e+05, 5.000000e+05, 9.99998999999999971e-01,
+     5.47710662128769287804e-01},
+    {1.000000e+06, 2.500000e+00, 2.50000000000000014e-02,
+     9.99993583774399175113e-01},
+    {1.000000e+06, 2.500000e+00, 9.74999999999999978e-01,
+     9.99999584394591356507e-01},
+    {2.500000e+00, 1.000000e+06, 2.50000000000000014e-02,
+     4.15605408675359875545e-07},
+    {2.500000e+00, 1.000000e+06, 9.74999999999999978e-01,
+     6.41622560077082304607e-06},
+};
+
+TEST(Beta, QuantileExtremeShapeRelativeAccuracy) {
+  for (const auto& [a, b, p, reference] : kBetaQuantileReferences) {
+    const double got = beta_quantile(a, b, p);
+    const double rel = std::fabs(got - reference) / reference;
+    EXPECT_LT(rel, 1e-11) << "a=" << a << " b=" << b << " p=" << p
+                          << " got=" << got;
+  }
+  for (const auto& [a, b, p, reference] : kBetaQuantileLargeShapeReferences) {
+    const double got = beta_quantile(a, b, p);
+    const double rel = std::fabs(got - reference) / reference;
+    EXPECT_LT(rel, 1e-8) << "a=" << a << " b=" << b << " p=" << p
+                         << " got=" << got;
+  }
+}
+
+TEST(Beta, QuantileExtremeShapeRoundTrip) {
+  // CDF∘quantile must return each probability to near-full precision even
+  // where the quantile itself spans extreme magnitudes.
+  for (const auto& [a, b, p, reference] : kBetaQuantileReferences) {
+    (void)reference;
+    EXPECT_NEAR(beta_cdf(a, b, beta_quantile(a, b, p)), p, 1e-11 * p + 1e-15)
+        << "a=" << a << " b=" << b << " p=" << p;
+  }
+}
+
 TEST(DiscreteDistribution, ValidatesInput) {
   EXPECT_THROW(DiscreteDistribution({}), std::invalid_argument);
   EXPECT_THROW(DiscreteDistribution({0.5, 0.6}), std::invalid_argument);

@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <vector>
+
+#include "stats/rng.hpp"
 
 namespace hmdiv::stats {
 namespace {
@@ -126,6 +130,72 @@ TEST(Correlation, UnweightedMatchesWeighted) {
   EXPECT_NEAR(correlation(x, y), weighted_correlation(x, y, w), 1e-12);
   const std::vector<double> bad{1.0};
   EXPECT_THROW(correlation(x, bad), std::invalid_argument);
+}
+
+// Regression test pinning the interpolation convention of the shared
+// quantile routine (used by both the bootstrap and the posterior credible
+// intervals): Hyndman & Fan type 7, h = q·(n−1), linear interpolation —
+// the same convention as numpy's default. If this test starts failing, a
+// change silently moved every reported interval endpoint.
+TEST(Quantiles, PinsType7InterpolationConvention) {
+  std::vector<double> values{10, 9, 8, 7, 6, 5, 4, 3, 2, 1};  // unsorted
+  const double qs[] = {0.0, 0.1, 0.25, 0.5, 0.9, 0.975, 1.0};
+  double out[7];
+  quantiles(values, qs, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.9);   // h = 0.9  → 1 + 0.9·(2−1)
+  EXPECT_DOUBLE_EQ(out[2], 3.25);  // h = 2.25 → 3 + 0.25·(4−3)
+  EXPECT_DOUBLE_EQ(out[3], 5.5);
+  EXPECT_DOUBLE_EQ(out[4], 9.1);
+  EXPECT_DOUBLE_EQ(out[5], 9.775);
+  EXPECT_DOUBLE_EQ(out[6], 10.0);
+}
+
+TEST(Quantiles, SelectionMatchesFullSortReference) {
+  Rng rng(11);
+  std::vector<double> values(1'000);
+  rng.fill_uniform(values);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double qs[] = {0.01, 0.025, 0.5, 0.975, 0.99};
+  double out[5];
+  quantiles(values, qs, out);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], sorted_quantile(sorted, qs[i])) << "q " << qs[i];
+  }
+}
+
+TEST(Quantiles, CopyingOverloadAcceptsUnsortedProbabilities) {
+  const std::vector<double> values{4.0, 1.0, 3.0, 2.0};
+  const std::vector<double> qs{0.975, 0.025};  // descending on purpose
+  const auto out = quantiles(values, qs);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 3.925);
+  EXPECT_DOUBLE_EQ(out[1], 1.075);
+}
+
+TEST(Quantiles, NaNInputYieldsAllNaN) {
+  std::vector<double> values{1.0, std::numeric_limits<double>::quiet_NaN(),
+                             3.0};
+  const double qs[] = {0.25, 0.75};
+  double out[2];
+  quantiles(values, qs, out);
+  EXPECT_TRUE(std::isnan(out[0]));
+  EXPECT_TRUE(std::isnan(out[1]));
+}
+
+TEST(Quantiles, ValidatesArguments) {
+  std::vector<double> values{1.0, 2.0};
+  std::vector<double> empty;
+  const double qs[] = {0.5};
+  const double descending[] = {0.9, 0.1};
+  const double outside[] = {1.5};
+  double out1[1];
+  double out2[2];
+  EXPECT_THROW(quantiles(empty, qs, out1), std::invalid_argument);
+  EXPECT_THROW(quantiles(values, qs, out2), std::invalid_argument);
+  EXPECT_THROW(quantiles(values, descending, out2), std::invalid_argument);
+  EXPECT_THROW(quantiles(values, outside, out1), std::invalid_argument);
 }
 
 }  // namespace

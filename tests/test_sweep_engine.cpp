@@ -5,7 +5,8 @@
 // the steady-state "no heap allocation" contract of sweep_into and
 // minimise_cost is asserted, not just claimed. The replacement is
 // program-wide (it affects every test in the binary) but only adds one
-// relaxed atomic increment per allocation.
+// relaxed atomic increment per allocation; other TUs read the counter
+// through tests/alloc_count.hpp.
 #include "core/tradeoff.hpp"
 
 #include <gtest/gtest.h>
@@ -21,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "alloc_count.hpp"
 #include "exec/config.hpp"
 #include "exec/parallel.hpp"
 #include "exec/workspace.hpp"
@@ -49,12 +51,18 @@ void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
-namespace hmdiv::core {
-namespace {
+namespace hmdiv::test {
 
 std::uint64_t allocation_count() {
   return g_heap_allocations.load(std::memory_order_relaxed);
 }
+
+}  // namespace hmdiv::test
+
+namespace hmdiv::core {
+namespace {
+
+using hmdiv::test::allocation_count;
 
 /// Deterministically grows the thread-local arena of every thread that can
 /// participate in a `threads`-wide parallel region. Work-claiming pools
