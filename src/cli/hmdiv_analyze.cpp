@@ -30,14 +30,18 @@
 #include "core/model_io.hpp"
 #include "core/paper_example.hpp"
 #include "core/tradeoff.hpp"
+#include "core/tradeoff_shard.hpp"
 #include "core/uncertainty.hpp"
+#include "core/uncertainty_shard.hpp"
 #include "exec/config.hpp"
+#include "exec/shard.hpp"
 #include "obs/obs.hpp"
 #include "report/format.hpp"
 #include "report/profile.hpp"
 #include "report/table.hpp"
 #include "sim/tabular_world.hpp"
 #include "sim/trial.hpp"
+#include "sim/trial_shard.hpp"
 #include "stats/bootstrap.hpp"
 #include "stats/rng.hpp"
 #include "stats/special.hpp"
@@ -50,7 +54,7 @@ using namespace hmdiv;
   std::cerr
       << "usage: hmdiv_analyze --model FILE --trial FILE --field FILE\n"
          "                     [--improve CLASS=FACTOR]... [--text]\n"
-         "                     [--no-advice] [--threads N]\n"
+         "                     [--no-advice] [--threads N] [--shards N]\n"
          "                     [--profile] [--profile-csv FILE]\n"
          "                     [--grid-steps N] [--samples N]\n"
          "       hmdiv_analyze --example [--text]\n"
@@ -58,6 +62,9 @@ using namespace hmdiv;
          "--threads N caps the worker threads of Monte-Carlo and sweep\n"
          "computations (default: all hardware threads, or HMDIV_THREADS).\n"
          "Results are identical for any thread count.\n"
+         "--shards N fans the profiling workload out over N worker\n"
+         "processes of --threads threads each (default: 1, or\n"
+         "HMDIV_SHARDS). Results are bit-identical for any shard count.\n"
          "--profile runs a Monte-Carlo validation workload (simulated\n"
          "trial, bootstrap interval, threshold sweep) and prints the\n"
          "observability registry; --profile-csv FILE writes it as CSV.\n"
@@ -121,19 +128,25 @@ Improvement parse_improvement(const std::string& spec) {
 /// prints a short validation table. By the determinism contract the
 /// numbers are identical at any thread count, so the thread floor is
 /// raised to 2 to keep the pool paths observable on single-core hosts.
+/// The trial, posterior, sweep and minimisation phases route through the
+/// shard engine: with --shards N (or HMDIV_SHARDS) they fan out over N
+/// worker processes; at 1 shard they run in-process, bit-identically.
 void run_profiling_workload(const core::SequentialModel& model,
                             const core::DemandProfile& trial,
                             const core::DemandProfile& field, bool markdown,
                             std::size_t grid_steps, std::size_t samples) {
   exec::Config config = exec::default_config();
   if (config.resolved_threads() < 2) config = exec::Config{2};
+  exec::ShardOptions sopts;
+  sopts.threads = config.threads;
 
   // Trial phase: simulate the model under the trial profile and
   // cross-check the Eq.-(8) prediction against the observed rate.
   constexpr std::uint64_t kCases = 200'000;
   sim::TabularWorld world(model, trial);
   sim::TrialRunner runner(world, kCases);
-  const sim::TrialData data = runner.run(/*seed=*/20030625, config);
+  const sim::TrialData data =
+      sim::run_trial_sharded(world, kCases, /*seed=*/20030625, sopts);
   const double observed = data.observed_failure_rate();
   const double predicted = model.system_failure_probability(trial);
 
@@ -170,7 +183,8 @@ void run_profiling_workload(const core::SequentialModel& model,
   const core::PosteriorModelSampler sampler(model.class_names(), counts);
   stats::Rng posterior_rng(11);
   const auto posterior =
-      sampler.predict(field, posterior_rng, samples, 0.95, config);
+      core::predict_sharded(sampler, field, posterior_rng, samples, 0.95,
+                            sopts);
 
   // Sweep phase: the binormal machine implied by each class's PMf at
   // threshold 0 (mu = -probit(PMf)), swept across operating thresholds,
@@ -196,10 +210,10 @@ void run_profiling_workload(const core::SequentialModel& model,
     thresholds[i] = -4.0 + 8.0 * static_cast<double>(i) /
                                static_cast<double>(thresholds.size() - 1);
   }
-  const auto curve = analyzer.sweep(thresholds, config);
-  const auto best = analyzer.minimise_cost(/*cost_fn=*/500.0,
-                                           /*cost_fp=*/20.0, -4.0, 4.0,
-                                           grid_steps, config);
+  const auto curve = core::sweep_sharded(analyzer, thresholds, sopts);
+  const auto best = core::minimise_cost_sharded(analyzer, /*cost_fn=*/500.0,
+                                                /*cost_fp=*/20.0, -4.0, 4.0,
+                                                grid_steps, sopts);
 
   std::cout << (markdown ? "## Profiling workload (Monte-Carlo validation)\n\n"
                          : "== Profiling workload (Monte-Carlo validation) "
@@ -226,6 +240,11 @@ void run_profiling_workload(const core::SequentialModel& model,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Shard workers re-exec this binary with a hidden flag; they must take
+  // this branch before any argument parsing or output.
+  if (hmdiv::exec::shard_worker_requested(argc, argv)) {
+    return hmdiv::exec::shard_worker_main();
+  }
   std::optional<std::string> model_path, trial_path, field_path;
   std::vector<Improvement> improvements;
   bool use_example = false;
@@ -272,6 +291,22 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       exec::set_default_config(exec::Config{static_cast<unsigned>(parsed)});
+    } else if (arg == "--shards") {
+      // Same rejection table as --threads, over the shard engine's range:
+      // empty values, trailing garbage, overflow, zero, and counts above
+      // exec::kMaxShards all exit 2 instead of silently misconfiguring.
+      const std::string& value = next();
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || end != value.c_str() + value.size() ||
+          errno == ERANGE || parsed == 0 || parsed > exec::kMaxShards) {
+        std::cerr << "hmdiv_analyze: --shards expects an integer in "
+                     "[1, 256], got '"
+                  << value << "'\n";
+        std::exit(2);
+      }
+      exec::set_default_shard_count(static_cast<unsigned>(parsed));
     } else if (arg == "--grid-steps") {
       // Same rejection table as --threads: empty values, trailing garbage,
       // overflow, and out-of-range counts (< 2 cannot form a grid;

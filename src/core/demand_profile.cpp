@@ -46,6 +46,23 @@ DemandProfile DemandProfile::from_weights(std::vector<std::string> class_names,
   return DemandProfile(std::move(class_names), std::move(probabilities));
 }
 
+DemandProfile::DemandProfile(std::vector<std::string> class_names,
+                             stats::DiscreteDistribution distribution)
+    : names_(validate_names(std::move(class_names))),
+      distribution_(std::move(distribution)) {
+  if (names_.size() != distribution_.size()) {
+    throw std::invalid_argument(
+        "DemandProfile: names/probabilities size mismatch");
+  }
+}
+
+DemandProfile DemandProfile::from_normalised(
+    std::vector<std::string> class_names, std::vector<double> probabilities) {
+  return DemandProfile(
+      std::move(class_names),
+      stats::DiscreteDistribution::from_normalised(std::move(probabilities)));
+}
+
 const std::string& DemandProfile::class_name(std::size_t x) const {
   if (x >= names_.size()) {
     throw std::invalid_argument("DemandProfile: class index out of range");

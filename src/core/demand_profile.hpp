@@ -30,6 +30,14 @@ class DemandProfile {
   [[nodiscard]] static DemandProfile from_weights(
       std::vector<std::string> class_names, std::vector<double> weights);
 
+  /// Builds from already-normalised probabilities without renormalising
+  /// (stats::DiscreteDistribution::from_normalised): the bit-exact wire
+  /// round-trip path used by the shard protocol, where a rebuilt profile
+  /// must sample identically to the one the parent serialized.
+  [[nodiscard]] static DemandProfile from_normalised(
+      std::vector<std::string> class_names,
+      std::vector<double> probabilities);
+
   [[nodiscard]] std::size_t class_count() const { return names_.size(); }
   [[nodiscard]] const std::vector<std::string>& class_names() const {
     return names_;
@@ -76,6 +84,9 @@ class DemandProfile {
                                     double w) const;
 
  private:
+  DemandProfile(std::vector<std::string> class_names,
+                stats::DiscreteDistribution distribution);
+
   std::vector<std::string> names_;
   stats::DiscreteDistribution distribution_;
 };

@@ -285,6 +285,14 @@ std::vector<SystemOperatingPoint> TradeoffAnalyzer::sweep(
 SystemOperatingPoint TradeoffAnalyzer::minimise_cost(
     double cost_fn, double cost_fp, double lo, double hi, std::size_t steps,
     const exec::Config& config) const {
+  return minimise_cost_range(cost_fn, cost_fp, lo, hi, steps, 0, steps,
+                             config)
+      .point;
+}
+
+CostedOperatingPoint TradeoffAnalyzer::minimise_cost_range(
+    double cost_fn, double cost_fp, double lo, double hi, std::size_t steps,
+    std::size_t first, std::size_t last, const exec::Config& config) const {
   if (!(cost_fn >= 0.0 && cost_fp >= 0.0)) {
     throw std::invalid_argument("TradeoffAnalyzer: costs must be >= 0");
   }
@@ -292,23 +300,24 @@ SystemOperatingPoint TradeoffAnalyzer::minimise_cost(
     throw std::invalid_argument(
         "TradeoffAnalyzer: need lo < hi and at least two grid steps");
   }
+  if (first > last || last > steps) {
+    throw std::invalid_argument(
+        "TradeoffAnalyzer: grid range out of bounds");
+  }
+  if (first == last) return CostedOperatingPoint{};
   HMDIV_OBS_SCOPED_TIMER("core.tradeoff.minimise_ns");
-  HMDIV_OBS_COUNT("core.tradeoff.grid_points", steps);
-  struct Best {
-    SystemOperatingPoint point;
-    double cost = 0.0;
-    bool valid = false;
-  };
+  HMDIV_OBS_COUNT("core.tradeoff.grid_points", last - first);
   const std::size_t grain = 512;
-  const std::size_t chunks = exec::chunk_count(steps, grain);
+  const std::size_t chunks = exec::chunk_count(last - first, grain);
   // Per-chunk results live in the caller's workspace (each chunk writes
   // only its own slot), and each chunk's grid/point scratch comes from the
   // executing thread's workspace — steady state allocates nothing.
   exec::Workspace& workspace = exec::thread_workspace();
   const exec::Workspace::Scope scope(workspace);
-  const std::span<Best> partial = workspace.alloc<Best>(chunks);
+  const std::span<CostedOperatingPoint> partial =
+      workspace.alloc<CostedOperatingPoint>(chunks);
   exec::parallel_for_chunks(
-      steps, grain,
+      last - first, grain,
       [&](std::size_t begin, std::size_t end, std::size_t chunk) {
         exec::Workspace& local = exec::thread_workspace();
         const exec::Workspace::Scope chunk_scope(local);
@@ -318,20 +327,20 @@ SystemOperatingPoint TradeoffAnalyzer::minimise_cost(
             local.alloc<SystemOperatingPoint>(count);
         // Threshold i is derived from its *global* grid index, so the
         // evaluated grid — and therefore the minimiser — is independent of
-        // the chunk layout.
-        for (std::size_t i = begin; i < end; ++i) {
-          grid[i - begin] = lo + (hi - lo) * static_cast<double>(i) /
-                                     static_cast<double>(steps - 1);
+        // both the chunk layout and the [first, last) sub-range.
+        for (std::size_t i = first + begin; i < first + end; ++i) {
+          grid[i - first - begin] = lo + (hi - lo) * static_cast<double>(i) /
+                                             static_cast<double>(steps - 1);
         }
         evaluate_batch(grid, points);
-        Best best;
+        CostedOperatingPoint best;
         for (std::size_t i = 0; i < count; ++i) {
           const double cost = prevalence_ * cost_fn * points[i].system_fn +
                               (1.0 - prevalence_) * cost_fp *
                                   points[i].system_fp;
           // Strict < keeps the earliest grid point on exact cost ties.
           if (!best.valid || cost < best.cost) {
-            best = Best{points[i], cost, true};
+            best = CostedOperatingPoint{points[i], cost, true};
           }
         }
         partial[chunk] = best;
@@ -339,14 +348,14 @@ SystemOperatingPoint TradeoffAnalyzer::minimise_cost(
       config);
   // Ascending-chunk fold with strict < — combined with the in-chunk scan
   // above, exact ties resolve to the earliest grid point at any thread
-  // count, matching a serial scan.
-  Best best;
-  for (const Best& next : partial) {
+  // count (and any range partition), matching a serial scan.
+  CostedOperatingPoint best;
+  for (const CostedOperatingPoint& next : partial) {
     if (!best.valid || (next.valid && next.cost < best.cost)) {
       best = next;
     }
   }
-  return best.point;
+  return best;
 }
 
 }  // namespace hmdiv::core

@@ -75,6 +75,17 @@ struct SystemOperatingPoint {
   double ppv = 0.0;         ///< P(cancer | recall); 0 if nothing is recalled
 };
 
+/// An operating point together with its expected cost — the candidate type
+/// minimise_cost folds over, exposed so partial scans (grid sub-ranges
+/// computed by shard workers) can be merged with the same earliest-tie
+/// rule: fold candidates in ascending grid order with strict <.
+struct CostedOperatingPoint {
+  SystemOperatingPoint point;
+  double cost = 0.0;
+  /// False iff the scanned range was empty.
+  bool valid = false;
+};
+
 /// Analyses the two failure modes of the whole human-machine system as a
 /// function of the machine's operating threshold.
 class TradeoffAnalyzer {
@@ -135,6 +146,37 @@ class TradeoffAnalyzer {
   [[nodiscard]] SystemOperatingPoint minimise_cost(
       double cost_fn, double cost_fp, double lo, double hi, std::size_t steps,
       const exec::Config& config = exec::default_config()) const;
+
+  /// The scan under minimise_cost, restricted to global grid indices
+  /// [first, last) of the same `steps`-point grid (thresholds are derived
+  /// from the global index, so a sub-range evaluates exactly the points it
+  /// would in a full scan). Returns the range's best candidate under the
+  /// strict-< / ascending-order rule; folding the results of a partition
+  /// of [0, steps) in ascending order with strict < reproduces
+  /// minimise_cost exactly — the shard merge rule.
+  [[nodiscard]] CostedOperatingPoint minimise_cost_range(
+      double cost_fn, double cost_fp, double lo, double hi, std::size_t steps,
+      std::size_t first, std::size_t last,
+      const exec::Config& config = exec::default_config()) const;
+
+  // Construction parameters, exposed so an identical analyzer can be
+  // rebuilt elsewhere (the shard workloads serialize them as IEEE-754 bit
+  // patterns; rebuilding through from_normalised profiles reproduces this
+  // analyzer's arithmetic bit-for-bit).
+  [[nodiscard]] const BinormalMachine& machine() const { return machine_; }
+  [[nodiscard]] const DemandProfile& cancer_profile() const {
+    return cancer_profile_;
+  }
+  [[nodiscard]] const std::vector<HumanFnResponse>& fn_response() const {
+    return fn_response_;
+  }
+  [[nodiscard]] const DemandProfile& normal_profile() const {
+    return normal_profile_;
+  }
+  [[nodiscard]] const std::vector<HumanFpResponse>& fp_response() const {
+    return fp_response_;
+  }
+  [[nodiscard]] double prevalence() const { return prevalence_; }
 
  private:
   /// One cached sweep() result; see set_sweep_cache_capacity.

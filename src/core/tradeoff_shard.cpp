@@ -1,0 +1,244 @@
+#include "core/tradeoff_shard.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace hmdiv::core {
+
+namespace {
+
+using exec::wire::Reader;
+using exec::wire::Writer;
+
+// --- DemandProfile wire helpers -------------------------------------------
+
+void encode_profile(Writer& w, const DemandProfile& profile) {
+  w.u64(profile.class_count());
+  for (const std::string& name : profile.class_names()) w.str(name);
+  std::vector<double> probabilities(profile.class_count());
+  for (std::size_t x = 0; x < probabilities.size(); ++x) {
+    probabilities[x] = profile.probability(x);
+  }
+  w.doubles(probabilities);
+}
+
+DemandProfile decode_profile(Reader& r) {
+  const std::uint64_t k = r.u64();
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(k));
+  for (std::uint64_t x = 0; x < k; ++x) names.push_back(r.str());
+  return DemandProfile::from_normalised(std::move(names), r.doubles());
+}
+
+// --- Analyzer round trip --------------------------------------------------
+// Every double crosses as its bit pattern and the profiles rebuild through
+// from_normalised, so the worker's analyzer — SoA tables included — is
+// bit-identical to the parent's.
+
+void encode_analyzer(Writer& w, const TradeoffAnalyzer& analyzer) {
+  w.doubles(analyzer.machine().cancer_class_means);
+  w.doubles(analyzer.machine().normal_class_means);
+  encode_profile(w, analyzer.cancer_profile());
+  w.u64(analyzer.fn_response().size());
+  for (const HumanFnResponse& r : analyzer.fn_response()) {
+    w.f64(r.p_fail_given_machine_prompted);
+    w.f64(r.p_fail_given_machine_silent);
+  }
+  encode_profile(w, analyzer.normal_profile());
+  w.u64(analyzer.fp_response().size());
+  for (const HumanFpResponse& r : analyzer.fp_response()) {
+    w.f64(r.p_recall_given_machine_prompted);
+    w.f64(r.p_recall_given_machine_silent);
+  }
+  w.f64(analyzer.prevalence());
+}
+
+TradeoffAnalyzer decode_analyzer(Reader& r) {
+  BinormalMachine machine;
+  machine.cancer_class_means = r.doubles();
+  machine.normal_class_means = r.doubles();
+  DemandProfile cancer_profile = decode_profile(r);
+  std::vector<HumanFnResponse> fn_response(
+      static_cast<std::size_t>(r.u64()));
+  for (HumanFnResponse& response : fn_response) {
+    response.p_fail_given_machine_prompted = r.f64();
+    response.p_fail_given_machine_silent = r.f64();
+  }
+  DemandProfile normal_profile = decode_profile(r);
+  std::vector<HumanFpResponse> fp_response(
+      static_cast<std::size_t>(r.u64()));
+  for (HumanFpResponse& response : fp_response) {
+    response.p_recall_given_machine_prompted = r.f64();
+    response.p_recall_given_machine_silent = r.f64();
+  }
+  const double prevalence = r.f64();
+  return TradeoffAnalyzer(std::move(machine), std::move(cancer_profile),
+                          std::move(fn_response), std::move(normal_profile),
+                          std::move(fp_response), prevalence);
+}
+
+// --- Operating-point wire helpers -----------------------------------------
+
+void encode_point(Writer& w, const SystemOperatingPoint& p) {
+  w.f64(p.threshold);
+  w.f64(p.machine_fn);
+  w.f64(p.machine_fp);
+  w.f64(p.system_fn);
+  w.f64(p.system_fp);
+  w.f64(p.sensitivity);
+  w.f64(p.specificity);
+  w.f64(p.recall_rate);
+  w.f64(p.ppv);
+}
+
+SystemOperatingPoint decode_point(Reader& r) {
+  SystemOperatingPoint p;
+  p.threshold = r.f64();
+  p.machine_fn = r.f64();
+  p.machine_fp = r.f64();
+  p.system_fn = r.f64();
+  p.system_fp = r.f64();
+  p.sensitivity = r.f64();
+  p.specificity = r.f64();
+  p.recall_rate = r.f64();
+  p.ppv = r.f64();
+  return p;
+}
+
+// --- "core.sweep" ---------------------------------------------------------
+// Blob: analyzer, doubles thresholds. Result: u64 n, n × operating point.
+
+std::vector<std::uint8_t> handle_sweep_shard(
+    const exec::wire::ShardTask& task) {
+  Reader r(task.blob);
+  const TradeoffAnalyzer analyzer = decode_analyzer(r);
+  const std::vector<double> thresholds = r.doubles();
+  if (!r.exhausted()) {
+    throw exec::wire::ProtocolError("core.sweep blob: trailing bytes");
+  }
+  const exec::wire::ShardRange range = exec::wire::shard_range(
+      thresholds.size(), task.shard_index, task.shard_count);
+  std::vector<SystemOperatingPoint> points(
+      static_cast<std::size_t>(range.size()));
+  analyzer.sweep_into(
+      std::span<const double>(thresholds)
+          .subspan(static_cast<std::size_t>(range.begin),
+                   static_cast<std::size_t>(range.size())),
+      points);
+  Writer w;
+  w.u64(points.size());
+  for (const SystemOperatingPoint& p : points) encode_point(w, p);
+  return w.take();
+}
+
+// --- "core.minimise" ------------------------------------------------------
+// Blob: analyzer, f64 cost_fn, f64 cost_fp, f64 lo, f64 hi, u64 steps.
+// Result: u8 valid, f64 cost, operating point.
+
+std::vector<std::uint8_t> handle_minimise_shard(
+    const exec::wire::ShardTask& task) {
+  Reader r(task.blob);
+  const TradeoffAnalyzer analyzer = decode_analyzer(r);
+  const double cost_fn = r.f64();
+  const double cost_fp = r.f64();
+  const double lo = r.f64();
+  const double hi = r.f64();
+  const std::uint64_t steps = r.u64();
+  if (!r.exhausted()) {
+    throw exec::wire::ProtocolError("core.minimise blob: trailing bytes");
+  }
+  const exec::wire::ShardRange range = exec::wire::shard_range(
+      steps, task.shard_index, task.shard_count);
+  const CostedOperatingPoint best = analyzer.minimise_cost_range(
+      cost_fn, cost_fp, lo, hi, static_cast<std::size_t>(steps),
+      static_cast<std::size_t>(range.begin),
+      static_cast<std::size_t>(range.end));
+  Writer w;
+  w.u8(best.valid ? 1 : 0);
+  w.f64(best.cost);
+  encode_point(w, best.point);
+  return w.take();
+}
+
+const exec::ShardWorkloadRegistration kSweepRegistration{
+    kSweepShardWorkload, &handle_sweep_shard};
+const exec::ShardWorkloadRegistration kMinimiseRegistration{
+    kMinimiseShardWorkload, &handle_minimise_shard};
+
+}  // namespace
+
+std::vector<SystemOperatingPoint> sweep_sharded(
+    const TradeoffAnalyzer& analyzer, const std::vector<double>& thresholds,
+    const exec::ShardOptions& options) {
+  const exec::ShardRunner runner(options);
+  if (runner.resolved_shards() == 1 || thresholds.empty()) {
+    return analyzer.sweep(thresholds,
+                          options.threads ? exec::Config{options.threads}
+                                          : exec::default_config());
+  }
+  HMDIV_OBS_SCOPED_TIMER("core.tradeoff.shard_sweep_ns");
+  Writer blob;
+  encode_analyzer(blob, analyzer);
+  blob.doubles(thresholds);
+  const auto payloads = runner.run(kSweepShardWorkload, blob.data());
+  std::vector<SystemOperatingPoint> points;
+  points.reserve(thresholds.size());
+  for (const auto& payload : payloads) {
+    Reader r(payload);
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) points.push_back(decode_point(r));
+    if (!r.exhausted()) {
+      throw exec::wire::ProtocolError("core.sweep result: trailing bytes");
+    }
+  }
+  if (points.size() != thresholds.size()) {
+    throw exec::wire::ProtocolError(
+        "core.sweep: merged point count mismatch");
+  }
+  return points;
+}
+
+SystemOperatingPoint minimise_cost_sharded(const TradeoffAnalyzer& analyzer,
+                                           double cost_fn, double cost_fp,
+                                           double lo, double hi,
+                                           std::size_t steps,
+                                           const exec::ShardOptions& options) {
+  const exec::ShardRunner runner(options);
+  if (runner.resolved_shards() == 1) {
+    return analyzer.minimise_cost(cost_fn, cost_fp, lo, hi, steps,
+                                  options.threads
+                                      ? exec::Config{options.threads}
+                                      : exec::default_config());
+  }
+  HMDIV_OBS_SCOPED_TIMER("core.tradeoff.shard_minimise_ns");
+  Writer blob;
+  encode_analyzer(blob, analyzer);
+  blob.f64(cost_fn);
+  blob.f64(cost_fp);
+  blob.f64(lo);
+  blob.f64(hi);
+  blob.u64(steps);
+  const auto payloads = runner.run(kMinimiseShardWorkload, blob.data());
+  // Ascending shard order = ascending grid order, so the strict-< fold
+  // resolves exact cost ties to the earliest grid point — the same rule
+  // minimise_cost applies across its chunks.
+  CostedOperatingPoint best;
+  for (const auto& payload : payloads) {
+    Reader r(payload);
+    CostedOperatingPoint next;
+    next.valid = r.u8() != 0;
+    next.cost = r.f64();
+    next.point = decode_point(r);
+    if (!r.exhausted()) {
+      throw exec::wire::ProtocolError(
+          "core.minimise result: trailing bytes");
+    }
+    if (!best.valid || (next.valid && next.cost < best.cost)) {
+      best = next;
+    }
+  }
+  return best.point;
+}
+
+}  // namespace hmdiv::core

@@ -1,0 +1,46 @@
+// Multi-process sharding of trade-off analyses.
+//
+// Two shard workloads over the same serialized TradeoffAnalyzer:
+//
+//   "core.sweep"    — partition the threshold grid's index space; workers
+//                     sweep their wire::shard_range slice with the batched
+//                     kernel and ship the operating points back as bit
+//                     patterns. evaluate_batch is bit-identical to the
+//                     scalar evaluate() at any batch boundary, so the
+//                     parent's ascending-order concatenation equals the
+//                     single-process sweep bit-for-bit.
+//   "core.minimise" — partition the cost-scan grid; workers return their
+//                     range's best CostedOperatingPoint and the parent
+//                     folds them in ascending shard order with strict <,
+//                     preserving minimise_cost's earliest-grid-point tie
+//                     rule exactly.
+#pragma once
+
+#include <vector>
+
+#include "core/tradeoff.hpp"
+#include "exec/shard.hpp"
+
+namespace hmdiv::core {
+
+/// Shard-workload names the trade-off analyses register under.
+inline constexpr std::string_view kSweepShardWorkload = "core.sweep";
+inline constexpr std::string_view kMinimiseShardWorkload = "core.minimise";
+
+/// TradeoffAnalyzer::sweep across worker processes (options.shards; 1 runs
+/// in-process without spawning). Output is bit-identical to
+/// analyzer.sweep(thresholds) at any shard × thread composition. Throws
+/// exec::ShardError on worker failure.
+[[nodiscard]] std::vector<SystemOperatingPoint> sweep_sharded(
+    const TradeoffAnalyzer& analyzer, const std::vector<double>& thresholds,
+    const exec::ShardOptions& options = {});
+
+/// TradeoffAnalyzer::minimise_cost across worker processes, merging the
+/// per-shard partial minima with the earliest-grid-point tie rule. Output
+/// is bit-identical to the in-process scan.
+[[nodiscard]] SystemOperatingPoint minimise_cost_sharded(
+    const TradeoffAnalyzer& analyzer, double cost_fn, double cost_fp,
+    double lo, double hi, std::size_t steps,
+    const exec::ShardOptions& options = {});
+
+}  // namespace hmdiv::core

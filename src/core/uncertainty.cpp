@@ -106,14 +106,6 @@ SequentialModel PosteriorModelSampler::sample(stats::Rng& rng) const {
 
 namespace {
 
-/// Draws per chunk of the batched sampler. Also the substream grain: chunk
-/// c always covers draws [512c, 512c + 512) regardless of thread count, so
-/// Rng(base, c) makes the output independent of the chunk-to-thread
-/// mapping. Large enough that the per-parameter fill_beta calls run over
-/// full vector-width blocks; small enough that 4000-draw defaults still
-/// split into ~8 chunks for wide machines.
-constexpr std::size_t kDrawChunk = 512;
-
 void check_predict_args(std::size_t draws, double credibility) {
   if (draws == 0) {
     throw std::invalid_argument("PosteriorModelSampler::predict: draws == 0");
@@ -133,14 +125,40 @@ void PosteriorModelSampler::sample_failure_probabilities(
     throw std::invalid_argument(
         "PosteriorModelSampler::sample_failure_probabilities: empty output");
   }
+  const std::uint64_t base = rng.next_u64();
+  sample_failure_probability_chunks(profile, base, out.size(), 0,
+                                    draw_chunk_count(out.size()), out,
+                                    config);
+}
+
+std::size_t PosteriorModelSampler::draw_chunk_count(std::size_t draws) {
+  return (draws + kDrawChunk - 1) / kDrawChunk;
+}
+
+void PosteriorModelSampler::sample_failure_probability_chunks(
+    const DemandProfile& profile, std::uint64_t base, std::size_t total_draws,
+    std::size_t first_chunk, std::size_t last_chunk, std::span<double> out,
+    const exec::Config& config) const {
   if (profile.class_names() != names_) {
     throw std::invalid_argument(
         "SequentialModel: profile classes do not match model classes");
   }
+  const std::size_t chunks = draw_chunk_count(total_draws);
+  if (first_chunk > last_chunk || last_chunk > chunks) {
+    throw std::invalid_argument(
+        "PosteriorModelSampler: chunk range out of bounds");
+  }
+  const std::size_t draw_begin = first_chunk * kDrawChunk;
+  const std::size_t draw_end =
+      std::min(last_chunk * kDrawChunk, total_draws);
+  if (out.size() != draw_end - draw_begin) {
+    throw std::invalid_argument(
+        "PosteriorModelSampler: output size does not match chunk range");
+  }
+  if (out.empty()) return;
   HMDIV_OBS_SCOPED_TIMER("core.uq.sample_ns");
   HMDIV_OBS_COUNT("core.uq.sample_calls", 1);
   HMDIV_OBS_COUNT("core.uq.draws", out.size());
-  const std::uint64_t base = rng.next_u64();
   const std::size_t classes = counts_.size();
   exec::parallel_for_chunks(
       out.size(), kDrawChunk,
@@ -149,8 +167,11 @@ void PosteriorModelSampler::sample_failure_probabilities(
         // each class fills its whole chunk lane array with one fill_beta
         // call, then the Eq. (8) transform streams over the lanes. Same
         // arithmetic as the scalar reference, batched per parameter
-        // instead of per draw.
-        stats::Rng chunk_rng(base, chunk);
+        // instead of per draw. Local chunk c is global chunk
+        // first_chunk + c (draw_begin is a multiple of kDrawChunk), so a
+        // sub-range draws from the very substreams it occupies in a full
+        // run.
+        stats::Rng chunk_rng(base, first_chunk + chunk);
         const std::size_t lanes = end - begin;
         const std::span<double> total = out.subspan(begin, lanes);
         exec::Workspace& local = exec::thread_workspace();

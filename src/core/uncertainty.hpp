@@ -55,6 +55,15 @@ class PosteriorModelSampler {
                         std::vector<ClassCounts> counts);
 
   [[nodiscard]] std::size_t class_count() const { return names_.size(); }
+  [[nodiscard]] const std::vector<std::string>& class_names() const {
+    return names_;
+  }
+  /// The trial evidence this sampler was built from — integers, so a
+  /// sampler rebuilt from them (e.g. in a shard worker) has bit-identical
+  /// posterior preps.
+  [[nodiscard]] const std::vector<ClassCounts>& counts() const {
+    return counts_;
+  }
 
   /// Posterior-mean model (each parameter at its Beta posterior mean).
   [[nodiscard]] SequentialModel posterior_mean_model() const;
@@ -97,6 +106,27 @@ class PosteriorModelSampler {
   /// exec::thread_workspace() (zero steady-state heap allocations).
   void sample_failure_probabilities(
       const DemandProfile& profile, stats::Rng& rng, std::span<double> out,
+      const exec::Config& config = exec::default_config()) const;
+
+  /// Fixed substream grain of the batched sampler: chunk c always covers
+  /// draws [512c, 512c + 512) of a run, regardless of parallelism. This is
+  /// the index space the shard engine partitions.
+  static constexpr std::size_t kDrawChunk = 512;
+
+  /// Chunks a `draws`-sized run decomposes into — ceil(draws / kDrawChunk).
+  [[nodiscard]] static std::size_t draw_chunk_count(std::size_t draws);
+
+  /// Computes only chunks [first_chunk, last_chunk) of a `total_draws`-draw
+  /// run whose substream base is `base` (the value sample_failure_
+  /// probabilities takes from its rng). `out` receives draws
+  /// [512·first_chunk, min(512·last_chunk, total_draws)) and must be sized
+  /// exactly. Ranges that partition [0, draw_chunk_count(total_draws))
+  /// concatenate to the bit-identical full run — the shard workers' entry
+  /// point.
+  void sample_failure_probability_chunks(
+      const DemandProfile& profile, std::uint64_t base,
+      std::size_t total_draws, std::size_t first_chunk,
+      std::size_t last_chunk, std::span<double> out,
       const exec::Config& config = exec::default_config()) const;
 
   /// Reduces a vector of posterior predictive draws to mean, stddev and an

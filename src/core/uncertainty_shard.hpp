@@ -1,0 +1,42 @@
+// Multi-process sharding of posterior predictive sampling.
+//
+// The "core.uq.sample" shard workload partitions the batched sampler's
+// fixed 512-draw chunk index space (PosteriorModelSampler::kDrawChunk)
+// across worker processes. The parent consumes exactly one rng step for
+// the substream base — the same step the in-process engine consumes — and
+// each worker rebuilds the sampler from the integer trial counts (bit-
+// identical Beta preps) plus the from_normalised profile, then fills its
+// wire::shard_range slice of chunks. Concatenated in ascending shard
+// order, the draws equal the single-process sample_failure_probabilities
+// output bit-for-bit.
+#pragma once
+
+#include <span>
+
+#include "core/uncertainty.hpp"
+#include "exec/shard.hpp"
+
+namespace hmdiv::core {
+
+/// Shard-workload name posterior sampling registers under.
+inline constexpr std::string_view kUncertaintyShardWorkload =
+    "core.uq.sample";
+
+/// PosteriorModelSampler::sample_failure_probabilities across worker
+/// processes (options.shards; 1 runs in-process without spawning). Fills
+/// `out` bit-identically to the in-process call at any shard × thread
+/// composition; `rng` advances by exactly one step either way. Throws
+/// exec::ShardError on worker failure.
+void sample_failure_probabilities_sharded(
+    const PosteriorModelSampler& sampler, const DemandProfile& profile,
+    stats::Rng& rng, std::span<double> out,
+    const exec::ShardOptions& options = {});
+
+/// predict() on the sharded sampling stage: sample across workers, then
+/// summarise in the parent. Bit-identical to the in-process predict().
+[[nodiscard]] UncertainPrediction predict_sharded(
+    const PosteriorModelSampler& sampler, const DemandProfile& profile,
+    stats::Rng& rng, std::size_t draws = 4000, double credibility = 0.95,
+    const exec::ShardOptions& options = {});
+
+}  // namespace hmdiv::core

@@ -1,0 +1,740 @@
+#include "exec/shard.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "exec/config.hpp"
+#include "obs/obs.hpp"
+
+namespace hmdiv::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// --- HMDIV_SHARDS ---------------------------------------------------------
+
+constexpr unsigned kUnresolvedShards = ~0U;
+
+std::atomic<unsigned> g_default_shards{kUnresolvedShards};
+std::atomic<bool> g_shard_env_warned{false};
+
+void warn_bad_shard_env(const char* raw) noexcept {
+  if (g_shard_env_warned.exchange(true, std::memory_order_relaxed)) return;
+  std::fprintf(stderr,
+               "hmdiv: ignoring malformed HMDIV_SHARDS='%s' (expected an "
+               "integer in [1, %u]); running unsharded\n",
+               raw, kMaxShards);
+}
+
+// --- Workload registry ----------------------------------------------------
+
+std::mutex& registry_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, ShardHandler, std::less<>>& handler_registry() {
+  static std::map<std::string, ShardHandler, std::less<>> registry;
+  return registry;
+}
+
+ShardHandler find_handler(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = handler_registry().find(name);
+  return it == handler_registry().end() ? nullptr : it->second;
+}
+
+// --- Low-level I/O helpers ------------------------------------------------
+
+/// Blocks SIGPIPE for the calling thread so a write to a dead worker's
+/// pipe returns EPIPE instead of killing the parent; pending SIGPIPEs we
+/// caused are drained before the old mask is restored.
+class SigpipeGuard {
+ public:
+  SigpipeGuard() {
+    sigemptyset(&pipe_set_);
+    sigaddset(&pipe_set_, SIGPIPE);
+    blocked_ = pthread_sigmask(SIG_BLOCK, &pipe_set_, &old_mask_) == 0 &&
+               sigismember(&old_mask_, SIGPIPE) == 0;
+  }
+  SigpipeGuard(const SigpipeGuard&) = delete;
+  SigpipeGuard& operator=(const SigpipeGuard&) = delete;
+  ~SigpipeGuard() {
+    if (!blocked_) return;
+    timespec zero{};
+    while (sigtimedwait(&pipe_set_, nullptr, &zero) == SIGPIPE) {
+    }
+    pthread_sigmask(SIG_SETMASK, &old_mask_, nullptr);
+  }
+
+ private:
+  sigset_t pipe_set_{};
+  sigset_t old_mask_{};
+  bool blocked_ = false;
+};
+
+/// Writes all of `bytes` to a blocking fd; false on any error (errno set).
+bool write_all(int fd, std::span<const std::uint8_t> bytes) noexcept {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int remaining_ms(Clock::time_point deadline) noexcept {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 60'000) return 60'000;
+  return static_cast<int>(left.count());
+}
+
+// --- Worker-side fault injection (test hook) ------------------------------
+// HMDIV_SHARD_FAULT="<mode>:<shard>" makes the worker for `shard`
+// misbehave right before shipping its result: "sigkill" (SIGKILL itself
+// mid-write), "shortwrite" (drop the final bytes of the stream and exit
+// cleanly), "hang" (never write, sleep past any deadline), "exit" (exit 7
+// without writing). Only the fault-injection tests set this.
+
+struct Fault {
+  enum class Mode { none, sigkill, shortwrite, hang, exit_code } mode =
+      Mode::none;
+};
+
+Fault worker_fault(std::uint32_t shard_index) noexcept {
+  const char* raw = std::getenv("HMDIV_SHARD_FAULT");
+  if (raw == nullptr || *raw == '\0') return {};
+  const char* colon = std::strchr(raw, ':');
+  if (colon == nullptr) return {};
+  char* end = nullptr;
+  const unsigned long target = std::strtoul(colon + 1, &end, 10);
+  if (end == colon + 1 || *end != '\0' || target != shard_index) return {};
+  const std::string mode(raw, static_cast<std::size_t>(colon - raw));
+  Fault fault;
+  if (mode == "sigkill") fault.mode = Fault::Mode::sigkill;
+  if (mode == "shortwrite") fault.mode = Fault::Mode::shortwrite;
+  if (mode == "hang") fault.mode = Fault::Mode::hang;
+  if (mode == "exit") fault.mode = Fault::Mode::exit_code;
+  return fault;
+}
+
+}  // namespace
+
+namespace detail {
+
+void reset_shard_env_warning() noexcept {
+  g_shard_env_warned.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+unsigned shard_count_from_env() noexcept {
+  const char* raw = std::getenv("HMDIV_SHARDS");
+  if (raw == nullptr || *raw == '\0') return 1;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long value = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE || value == 0 ||
+      value > kMaxShards) {
+    // Same rationale as HMDIV_THREADS: a silent fallback would hide a
+    // deployment typo (HMDIV_SHARDS=8x quietly running unsharded).
+    warn_bad_shard_env(raw);
+    return 1;
+  }
+  return static_cast<unsigned>(value);
+}
+
+unsigned default_shard_count() noexcept {
+  unsigned shards = g_default_shards.load(std::memory_order_relaxed);
+  if (shards == kUnresolvedShards) {
+    shards = shard_count_from_env();
+    unsigned expected = kUnresolvedShards;
+    if (!g_default_shards.compare_exchange_strong(
+            expected, shards, std::memory_order_relaxed)) {
+      shards = expected;
+    }
+  }
+  return shards == 0 ? 1 : shards;
+}
+
+void set_default_shard_count(unsigned shards) noexcept {
+  g_default_shards.store(shards == 0 ? 1 : shards,
+                         std::memory_order_relaxed);
+}
+
+std::string_view to_string(ShardFailure::Kind kind) noexcept {
+  switch (kind) {
+    case ShardFailure::Kind::none: return "none";
+    case ShardFailure::Kind::spawn: return "spawn";
+    case ShardFailure::Kind::write: return "write";
+    case ShardFailure::Kind::timeout: return "timeout";
+    case ShardFailure::Kind::signal: return "signal";
+    case ShardFailure::Kind::exit_code: return "exit_code";
+    case ShardFailure::Kind::truncated: return "truncated";
+    case ShardFailure::Kind::protocol: return "protocol";
+    case ShardFailure::Kind::worker: return "worker";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Built by appending only: mixing `const char* + std::string` here trips
+// GCC 12's -Wrestrict false positive on the inlined concatenation under
+// -O2 and above (same issue tests/CMakeLists.txt documents).
+std::string describe(const ShardFailure& failure) {
+  std::string out = "shard ";
+  out += std::to_string(failure.shard);
+  out += " failed (";
+  out += to_string(failure.kind);
+  if (failure.code != 0) {
+    out += ' ';
+    out += std::to_string(failure.code);
+  }
+  out += ')';
+  if (!failure.detail.empty()) {
+    out += ": ";
+    out += failure.detail;
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardError::ShardError(ShardFailure failure)
+    : std::runtime_error(describe(failure)), failure_(std::move(failure)) {}
+
+void register_shard_workload(std::string_view name, ShardHandler handler) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  handler_registry()[std::string(name)] = handler;
+}
+
+bool shard_worker_requested(int argc, const char* const* argv) noexcept {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] != nullptr && kShardWorkerFlag == argv[i]) return true;
+  }
+  return false;
+}
+
+std::string self_exe_path() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (n <= 0) {
+    throw ShardError(ShardFailure{ShardFailure::Kind::spawn, 0, errno,
+                                  "cannot resolve /proc/self/exe"});
+  }
+  buffer[n] = '\0';
+  return std::string(buffer, static_cast<std::size_t>(n));
+}
+
+// --- Worker entry point ---------------------------------------------------
+
+namespace {
+
+/// Ships an error frame so the parent can report a cause, not just an exit
+/// code. Best effort: if the pipe is gone the exit code still tells.
+void write_error_frame(const std::string& message) noexcept {
+  wire::Writer payload;
+  payload.str(message);
+  std::vector<std::uint8_t> out;
+  wire::append_frame(out, wire::FrameType::error, payload.data());
+  static_cast<void>(write_all(STDOUT_FILENO, out));
+}
+
+}  // namespace
+
+int shard_worker_main() {
+  wire::ShardTask task;
+  try {
+    // Read exactly one task frame from stdin (blocking).
+    wire::FrameParser parser;
+    std::optional<wire::Frame> frame;
+    std::uint8_t buffer[1 << 16];
+    while (!(frame = parser.next())) {
+      const ssize_t n = ::read(STDIN_FILENO, buffer, sizeof buffer);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        write_error_frame("shard worker: task read failed");
+        return 3;
+      }
+      if (n == 0) {
+        write_error_frame("shard worker: task stream truncated");
+        return 3;
+      }
+      parser.feed({buffer, static_cast<std::size_t>(n)});
+    }
+    if (frame->type != wire::FrameType::task) {
+      write_error_frame("shard worker: first frame is not a task");
+      return 3;
+    }
+    task = wire::parse_task(frame->payload);
+  } catch (const std::exception& e) {
+    write_error_frame(std::string("shard worker: bad task: ") + e.what());
+    return 3;
+  }
+
+  set_default_config(Config{task.threads});
+  obs::set_enabled(task.obs_enabled);
+
+  std::vector<std::uint8_t> payload;
+  try {
+    const ShardHandler handler = find_handler(task.workload);
+    if (handler == nullptr) {
+      write_error_frame("shard worker: unknown workload '" + task.workload +
+                        "'");
+      return 3;
+    }
+    HMDIV_OBS_SCOPED_TIMER("exec.shard.worker_ns");
+    payload = handler(task);
+  } catch (const std::exception& e) {
+    write_error_frame(std::string("shard worker: ") + task.workload + ": " +
+                      e.what());
+    return 1;
+  }
+
+  std::vector<std::uint8_t> out;
+  wire::append_frame(out, wire::FrameType::result, payload);
+  if (task.obs_enabled) {
+    wire::append_frame(out, wire::FrameType::obs,
+                       obs::serialize_snapshot(obs::registry_snapshot()));
+  }
+
+  switch (worker_fault(task.shard_index).mode) {
+    case Fault::Mode::none:
+      break;
+    case Fault::Mode::sigkill:
+      // Die mid-stream: half the bytes make it out, then SIGKILL — the
+      // parent must see a signal death plus a truncated frame, not hang.
+      static_cast<void>(write_all(
+          STDOUT_FILENO,
+          std::span<const std::uint8_t>(out.data(), out.size() / 2)));
+      ::raise(SIGKILL);
+      break;
+    case Fault::Mode::shortwrite:
+      // Clean exit but a short stream: parent must flag truncation.
+      static_cast<void>(write_all(
+          STDOUT_FILENO,
+          std::span<const std::uint8_t>(
+              out.data(), out.size() - std::min<std::size_t>(16,
+                                                             out.size()))));
+      return 0;
+    case Fault::Mode::hang:
+      std::this_thread::sleep_for(std::chrono::hours(1));
+      break;
+    case Fault::Mode::exit_code:
+      return 7;
+  }
+
+  if (!write_all(STDOUT_FILENO, out)) return 4;
+  return 0;
+}
+
+// --- Parent-side runner ---------------------------------------------------
+
+namespace {
+
+struct Worker {
+  std::uint32_t shard = 0;
+  pid_t pid = -1;
+  int task_fd = -1;
+  int result_fd = -1;
+  std::vector<std::uint8_t> task_bytes;
+  std::size_t task_written = 0;
+  wire::FrameParser parser;
+  std::vector<wire::Frame> frames;
+  std::uint64_t bytes_received = 0;
+  bool eof = false;
+  bool killed_by_parent = false;
+  bool reaped = false;
+  int status = 0;
+  ShardFailure io_failure;  ///< provisional; final cause picked post-reap
+
+  [[nodiscard]] bool task_pending() const {
+    return task_fd >= 0 && task_written < task_bytes.size();
+  }
+  [[nodiscard]] bool done() const {
+    return eof && !task_pending() && io_failure.kind == ShardFailure::Kind::none;
+  }
+  void close_task() {
+    if (task_fd >= 0) ::close(task_fd);
+    task_fd = -1;
+  }
+  void close_result() {
+    if (result_fd >= 0) ::close(result_fd);
+    result_fd = -1;
+    eof = true;
+  }
+};
+
+void set_io_failure(Worker& worker, ShardFailure::Kind kind, int code,
+                    std::string detail) {
+  if (worker.io_failure.kind != ShardFailure::Kind::none) return;
+  worker.io_failure =
+      ShardFailure{kind, worker.shard, code, std::move(detail)};
+}
+
+/// fork + exec one worker; on success fills pid/task_fd/result_fd.
+void spawn_worker(Worker& worker, const std::string& exe) {
+  int task_pipe[2] = {-1, -1};
+  int result_pipe[2] = {-1, -1};
+  if (::pipe2(task_pipe, O_CLOEXEC) != 0) {
+    throw ShardError(ShardFailure{ShardFailure::Kind::spawn, worker.shard,
+                                  errno, "pipe2 failed"});
+  }
+  if (::pipe2(result_pipe, O_CLOEXEC) != 0) {
+    const int saved = errno;
+    ::close(task_pipe[0]);
+    ::close(task_pipe[1]);
+    throw ShardError(ShardFailure{ShardFailure::Kind::spawn, worker.shard,
+                                  saved, "pipe2 failed"});
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int saved = errno;
+    ::close(task_pipe[0]);
+    ::close(task_pipe[1]);
+    ::close(result_pipe[0]);
+    ::close(result_pipe[1]);
+    throw ShardError(ShardFailure{ShardFailure::Kind::spawn, worker.shard,
+                                  saved, "fork failed"});
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec. dup2
+    // clears O_CLOEXEC on the descriptor it creates; every other pipe fd
+    // (including other workers') closes on exec.
+    if (::dup2(task_pipe[0], STDIN_FILENO) < 0 ||
+        ::dup2(result_pipe[1], STDOUT_FILENO) < 0) {
+      ::_exit(127);
+    }
+    const char* argv[] = {exe.c_str(), kShardWorkerFlag.data(), nullptr};
+    ::execv(exe.c_str(), const_cast<char* const*>(argv));
+    ::_exit(127);  // surfaces as exit_code 127 on the parent
+  }
+  ::close(task_pipe[0]);
+  ::close(result_pipe[1]);
+  // Non-blocking parent ends: both sides are driven by one poll() loop
+  // under the run deadline, so neither a full task pipe (worker not
+  // reading) nor a stalled result stream can block the parent forever.
+  ::fcntl(task_pipe[1], F_SETFL, O_NONBLOCK);
+  ::fcntl(result_pipe[0], F_SETFL, O_NONBLOCK);
+  worker.pid = pid;
+  worker.task_fd = task_pipe[1];
+  worker.result_fd = result_pipe[0];
+}
+
+/// Reaps `worker` within the grace window; SIGKILLs first if the deadline
+/// passes. Every spawned pid goes through here exactly once on every
+/// path, so no run ever leaks a zombie.
+void reap_worker(Worker& worker, Clock::time_point grace_deadline) {
+  if (worker.reaped || worker.pid < 0) return;
+  for (;;) {
+    const pid_t got = ::waitpid(worker.pid, &worker.status, WNOHANG);
+    if (got == worker.pid) break;
+    if (got < 0 && errno != EINTR) {
+      worker.status = 0;
+      break;
+    }
+    if (Clock::now() >= grace_deadline) {
+      ::kill(worker.pid, SIGKILL);
+      worker.killed_by_parent = true;
+      if (::waitpid(worker.pid, &worker.status, 0) < 0) worker.status = 0;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+  worker.reaped = true;
+}
+
+void kill_worker(Worker& worker) {
+  if (worker.pid >= 0 && !worker.reaped) {
+    ::kill(worker.pid, SIGKILL);
+    worker.killed_by_parent = true;
+  }
+}
+
+/// Picks the most informative failure cause for one finished worker, in
+/// fixed precedence order; Kind::none when the shard succeeded.
+ShardFailure diagnose(Worker& worker, bool timed_out) {
+  // A structured error frame from the worker beats everything: it names
+  // the actual exception instead of the exit code it caused.
+  for (const wire::Frame& frame : worker.frames) {
+    if (frame.type == wire::FrameType::error) {
+      std::string message = "worker error";
+      try {
+        wire::Reader reader(frame.payload);
+        message = reader.str();
+      } catch (const wire::ProtocolError&) {
+      }
+      return ShardFailure{ShardFailure::Kind::worker, worker.shard, 0,
+                          std::move(message)};
+    }
+  }
+  if (timed_out || worker.killed_by_parent) {
+    return ShardFailure{ShardFailure::Kind::timeout, worker.shard, 0,
+                        "deadline expired before the worker finished"};
+  }
+  if (WIFSIGNALED(worker.status)) {
+    return ShardFailure{ShardFailure::Kind::signal, worker.shard,
+                        WTERMSIG(worker.status),
+                        std::string("worker killed by signal ") +
+                            std::to_string(WTERMSIG(worker.status))};
+  }
+  if (WIFEXITED(worker.status) && WEXITSTATUS(worker.status) != 0) {
+    const int code = WEXITSTATUS(worker.status);
+    return ShardFailure{ShardFailure::Kind::exit_code, worker.shard, code,
+                        code == 127 ? "exit code 127 (exec failed?)"
+                                    : "worker exited non-zero"};
+  }
+  if (worker.io_failure.kind != ShardFailure::Kind::none) {
+    return worker.io_failure;
+  }
+  if (!worker.parser.idle()) {
+    return ShardFailure{ShardFailure::Kind::truncated, worker.shard, 0,
+                        "result stream ended mid-frame (" +
+                            std::to_string(worker.parser.buffered()) +
+                            " bytes pending)"};
+  }
+  bool have_result = false;
+  for (const wire::Frame& frame : worker.frames) {
+    have_result = have_result || frame.type == wire::FrameType::result;
+  }
+  if (!have_result) {
+    return ShardFailure{ShardFailure::Kind::protocol, worker.shard, 0,
+                        "worker stream held no result frame"};
+  }
+  return ShardFailure{};
+}
+
+}  // namespace
+
+ShardRunner::ShardRunner(ShardOptions options) : options_(std::move(options)) {}
+
+unsigned ShardRunner::resolved_shards() const noexcept {
+  unsigned shards =
+      options_.shards == 0 ? default_shard_count() : options_.shards;
+  if (shards == 0) shards = 1;
+  return shards > kMaxShards ? kMaxShards : shards;
+}
+
+std::vector<std::vector<std::uint8_t>> ShardRunner::run(
+    std::string_view workload, std::span<const std::uint8_t> blob) const {
+  const unsigned shards = resolved_shards();
+  HMDIV_OBS_SCOPED_TIMER("exec.shard.run_ns");
+  HMDIV_OBS_COUNT("exec.shard.runs", 1);
+  HMDIV_OBS_COUNT("exec.shard.workers", shards);
+
+  const std::string exe = options_.exe.empty() ? self_exe_path() : options_.exe;
+  const bool ship_obs = obs::enabled();
+  const auto deadline = Clock::now() + options_.deadline;
+
+  std::vector<Worker> workers(shards);
+  bool timed_out = false;
+
+  // Everything after the first spawn must reap on the way out; wrap the
+  // poll loop so any exception (spawn failure, protocol error, bad_alloc)
+  // still kills and reaps every child.
+  const auto kill_and_reap_all = [&]() {
+    for (Worker& worker : workers) kill_worker(worker);
+    const auto grace = Clock::now() + std::chrono::seconds(2);
+    for (Worker& worker : workers) {
+      worker.close_task();
+      worker.close_result();
+      reap_worker(worker, grace);
+    }
+  };
+
+  try {
+    // Spawn the fleet and stage each worker's task frame.
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      Worker& worker = workers[s];
+      worker.shard = s;
+      spawn_worker(worker, exe);
+      wire::ShardTask task;
+      task.workload = std::string(workload);
+      task.shard_index = s;
+      task.shard_count = shards;
+      // Resolve the per-worker budget here so HMDIV_THREADS (already folded
+      // into the parent's default config) reaches workers even though they
+      // override their own env-derived default with this value.
+      task.threads = options_.threads ? options_.threads
+                                      : default_config().threads;
+      task.obs_enabled = ship_obs;
+      task.blob.assign(blob.begin(), blob.end());
+      wire::append_frame(worker.task_bytes, wire::FrameType::task,
+                         wire::serialize_task(task));
+      HMDIV_OBS_COUNT("exec.shard.bytes_out", worker.task_bytes.size());
+    }
+
+    // One poll() loop drives task hand-off and result collection for the
+    // whole fleet under the shared deadline.
+    const SigpipeGuard sigpipe_guard;
+    std::vector<pollfd> fds;
+    std::vector<Worker*> fd_owner;
+    std::vector<bool> fd_is_task;
+    std::uint8_t buffer[1 << 16];
+    for (;;) {
+      fds.clear();
+      fd_owner.clear();
+      fd_is_task.clear();
+      for (Worker& worker : workers) {
+        if (worker.task_pending()) {
+          fds.push_back(pollfd{worker.task_fd, POLLOUT, 0});
+          fd_owner.push_back(&worker);
+          fd_is_task.push_back(true);
+        }
+        if (!worker.eof && worker.result_fd >= 0) {
+          fds.push_back(pollfd{worker.result_fd, POLLIN, 0});
+          fd_owner.push_back(&worker);
+          fd_is_task.push_back(false);
+        }
+      }
+      if (fds.empty()) break;
+
+      const int timeout = remaining_ms(deadline);
+      if (timeout <= 0) {
+        timed_out = true;
+        break;
+      }
+      const int ready = ::poll(fds.data(), fds.size(), timeout);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        throw ShardError(ShardFailure{ShardFailure::Kind::spawn, 0, errno,
+                                      "poll failed"});
+      }
+      if (ready == 0) {
+        timed_out = true;
+        break;
+      }
+
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (fds[i].revents == 0) continue;
+        Worker& worker = *fd_owner[i];
+        if (fd_is_task[i]) {
+          // Hand-off: push as much of the task frame as the pipe takes.
+          const ssize_t n = ::write(
+              worker.task_fd, worker.task_bytes.data() + worker.task_written,
+              worker.task_bytes.size() - worker.task_written);
+          if (n < 0) {
+            if (errno != EAGAIN && errno != EINTR) {
+              // Usually EPIPE because the worker died; the real cause
+              // surfaces from waitpid/frames, this is the fallback.
+              set_io_failure(worker, ShardFailure::Kind::write, errno,
+                             "task hand-off failed");
+              worker.close_task();
+            }
+          } else {
+            worker.task_written += static_cast<std::size_t>(n);
+            if (worker.task_written == worker.task_bytes.size()) {
+              worker.close_task();  // EOF tells the worker the task is whole
+            }
+          }
+        } else {
+          const ssize_t n = ::read(worker.result_fd, buffer, sizeof buffer);
+          if (n < 0) {
+            if (errno != EAGAIN && errno != EINTR) {
+              set_io_failure(worker, ShardFailure::Kind::protocol, errno,
+                             "result read failed");
+              worker.close_result();
+            }
+          } else if (n == 0) {
+            worker.close_result();
+          } else {
+            worker.bytes_received += static_cast<std::uint64_t>(n);
+            HMDIV_OBS_COUNT("exec.shard.bytes_in", n);
+            try {
+              worker.parser.feed({buffer, static_cast<std::size_t>(n)});
+              while (auto frame = worker.parser.next()) {
+                worker.frames.push_back(std::move(*frame));
+              }
+            } catch (const wire::ProtocolError& e) {
+              set_io_failure(worker, ShardFailure::Kind::protocol, 0,
+                             e.what());
+              worker.close_result();
+            }
+          }
+        }
+      }
+    }
+  } catch (...) {
+    HMDIV_OBS_COUNT("exec.shard.failures", 1);
+    kill_and_reap_all();
+    throw;
+  }
+
+  // Collection is over (all streams closed, or the deadline expired with
+  // some workers unfinished). Kill whatever is still running, then reap
+  // every child — also the well-behaved ones.
+  for (Worker& worker : workers) {
+    if (!worker.done() || timed_out) {
+      if (!worker.eof || worker.task_pending()) kill_worker(worker);
+    }
+    worker.close_task();
+  }
+  {
+    const auto grace = Clock::now() + std::chrono::seconds(2);
+    for (Worker& worker : workers) {
+      worker.close_result();
+      reap_worker(worker, grace);
+    }
+  }
+
+  // Diagnose in ascending shard order; the first failure wins.
+  for (Worker& worker : workers) {
+    const bool worker_timed_out = timed_out && !worker.eof;
+    ShardFailure failure = diagnose(worker, worker_timed_out);
+    if (failure.kind != ShardFailure::Kind::none) {
+      HMDIV_OBS_COUNT("exec.shard.failures", 1);
+      throw ShardError(std::move(failure));
+    }
+  }
+
+  // Deterministic merge epilogue: results in ascending shard order, and
+  // every worker's obs registry folded into this process's.
+  HMDIV_OBS_SCOPED_TIMER("exec.shard.merge_ns");
+  std::vector<std::vector<std::uint8_t>> results;
+  results.reserve(shards);
+  for (Worker& worker : workers) {
+    std::vector<std::uint8_t> payload;
+    for (wire::Frame& frame : worker.frames) {
+      if (frame.type == wire::FrameType::result) {
+        payload = std::move(frame.payload);
+      } else if (frame.type == wire::FrameType::obs) {
+        try {
+          obs::Registry::global().merge(obs::parse_snapshot(frame.payload));
+        } catch (const std::exception& e) {
+          throw ShardError(ShardFailure{ShardFailure::Kind::protocol,
+                                        worker.shard, 0,
+                                        std::string("bad obs frame: ") +
+                                            e.what()});
+        }
+      }
+    }
+    results.push_back(std::move(payload));
+  }
+  return results;
+}
+
+}  // namespace hmdiv::exec

@@ -1,0 +1,180 @@
+// Multi-process sharded execution: fork/exec worker fan-out with a
+// deterministic merge.
+//
+// The thread pool (exec/parallel.hpp) stops at one process; the shard
+// engine is the next rung. A parent `ShardRunner` spawns N worker
+// processes — fork + exec of the *same binary* with the hidden
+// `--shard-worker` entry point — and hands each a shard descriptor
+// (workload name, shard index/count, thread budget, config blob) over a
+// pipe using the length-prefixed frame protocol of shard_protocol.hpp.
+// Workers rebuild the workload from the blob, run their slice on the
+// ordinary in-process engine (batched kernels × thread pool), and ship the
+// result plus their obs::Registry snapshot back over a second pipe.
+//
+// Determinism contract — the same guarantee the thread pool gives at 1 vs
+// N threads, lifted to processes: the work partition depends only on the
+// problem size and the shard count (wire::shard_range over the workload's
+// *substream* index space — trial batches, grid indices, draw chunks), every
+// slice draws from the same Rng(seed, stream) substreams it would occupy
+// in a single-process run, doubles cross the pipe as bit patterns, and the
+// parent merges per-shard results in ascending shard order. N-shard output
+// is therefore bit-identical to the 1-shard and to the in-process run.
+//
+// Failure handling: the parent multiplexes all pipes through poll() under
+// a deadline and reaps every child via waitpid on every path. A worker
+// that dies (non-zero exit, signal, SIGKILL), writes a truncated frame, or
+// stalls past the deadline surfaces as a structured ShardError naming the
+// shard and the failure kind — never a hang, never a zombie.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/shard_protocol.hpp"
+
+namespace hmdiv::exec {
+
+/// Process-level fan-out policy for one sharded run.
+struct ShardOptions {
+  /// Worker processes to spawn; 0 means default_shard_count() (the
+  /// HMDIV_SHARDS environment default, itself defaulting to 1).
+  unsigned shards = 0;
+  /// Thread budget *per worker* (the processes × threads composition);
+  /// 0 means each worker uses all hardware threads.
+  unsigned threads = 0;
+  /// Wall-clock budget for the whole fan-out (spawn, task hand-off,
+  /// result collection, reaping). On expiry the remaining workers are
+  /// SIGKILLed, reaped, and a structured timeout error is raised.
+  std::chrono::milliseconds deadline{120'000};
+  /// Worker binary; empty means the running binary (/proc/self/exe).
+  std::string exe;
+};
+
+/// Hard ceiling on worker processes (mirrors the --shards CLI range).
+inline constexpr unsigned kMaxShards = 256;
+
+/// What went wrong with one shard, in machine-readable form.
+struct ShardFailure {
+  enum class Kind {
+    none,        ///< no failure
+    spawn,       ///< pipe/fork/exec failed (code = errno)
+    write,       ///< task hand-off failed, e.g. worker died reading (errno)
+    timeout,     ///< deadline expired before the worker finished
+    signal,      ///< worker killed by signal (code = signal number)
+    exit_code,   ///< worker exited non-zero without a structured error
+    truncated,   ///< worker stream ended mid-frame (short write / kill)
+    protocol,    ///< malformed frame, missing result, or garbage bytes
+    worker,      ///< worker shipped a structured error frame (detail)
+  };
+  Kind kind = Kind::none;
+  /// Which shard failed, in [0, shard_count).
+  std::uint32_t shard = 0;
+  /// Kind-dependent: errno, exit status, or signal number.
+  int code = 0;
+  /// Human-readable specifics (worker error message, frame diagnostics).
+  std::string detail;
+};
+
+/// Name of a failure kind ("signal", "truncated", ...), for messages/tests.
+[[nodiscard]] std::string_view to_string(ShardFailure::Kind kind) noexcept;
+
+/// Structured failure of a sharded run. The what() string names the shard
+/// and kind; failure() exposes the machine-readable fields.
+class ShardError : public std::runtime_error {
+ public:
+  explicit ShardError(ShardFailure failure);
+  [[nodiscard]] const ShardFailure& failure() const noexcept {
+    return failure_;
+  }
+
+ private:
+  ShardFailure failure_;
+};
+
+/// Parses HMDIV_SHARDS. Unset or empty yields 1 (no fan-out); a malformed
+/// value (non-numeric, trailing garbage, 0, or > kMaxShards) also yields 1
+/// but prints a one-time warning to stderr naming the bad value — the same
+/// contract as HMDIV_THREADS, re-armed by detail::reset_env_warning().
+[[nodiscard]] unsigned shard_count_from_env() noexcept;
+
+/// Process-wide default worker count used when ShardOptions::shards is 0.
+/// First call resolves it from the environment; the CLI's --shards flag
+/// overrides it with set_default_shard_count().
+[[nodiscard]] unsigned default_shard_count() noexcept;
+void set_default_shard_count(unsigned shards) noexcept;
+
+namespace detail {
+/// Testing hook: re-arms the one-time malformed-HMDIV_SHARDS warning
+/// (config.cpp's reset_env_warning() calls this too, so one hook re-arms
+/// both environment warnings).
+void reset_shard_env_warning() noexcept;
+}  // namespace detail
+
+/// A worker-side workload implementation: rebuilds the workload from
+/// task.blob, computes the slice given by wire::shard_range(task) over its
+/// own index space, and returns the result payload shipped to the parent.
+/// Must be a plain function (workers run it in a fresh process).
+using ShardHandler = std::vector<std::uint8_t> (*)(const wire::ShardTask&);
+
+/// Registers `handler` under `name` (process-wide; later registrations of
+/// the same name win, so tests can stub workloads). Workload modules
+/// register at static-init time via ShardWorkloadRegistration.
+void register_shard_workload(std::string_view name, ShardHandler handler);
+
+/// Static registrar:
+///   const ShardWorkloadRegistration reg{"sim.trial", &handle_trial};
+struct ShardWorkloadRegistration {
+  ShardWorkloadRegistration(std::string_view name, ShardHandler handler) {
+    register_shard_workload(name, handler);
+  }
+};
+
+/// The hidden CLI flag that turns any hmdiv binary into a shard worker.
+inline constexpr std::string_view kShardWorkerFlag = "--shard-worker";
+
+/// True iff argv contains --shard-worker: main() should immediately
+/// delegate to shard_worker_main() and exit with its return value.
+[[nodiscard]] bool shard_worker_requested(int argc,
+                                          const char* const* argv) noexcept;
+
+/// Worker entry point: reads one task frame from stdin, sets the thread
+/// budget and obs gate from the descriptor, dispatches to the registered
+/// handler, and writes the result (+ obs snapshot) frames to stdout.
+/// Returns the process exit code (0 on success; failures also ship an
+/// error frame so the parent can report the cause, not just the code).
+[[nodiscard]] int shard_worker_main();
+
+/// Absolute path of the running binary (via /proc/self/exe); the default
+/// worker image. Throws ShardError{spawn} if it cannot be resolved.
+[[nodiscard]] std::string self_exe_path();
+
+/// Parent-side fan-out engine. One ShardRunner::run spawns the workers,
+/// hands out tasks, collects results, reaps children, and merges worker
+/// obs registries into this process's global registry.
+class ShardRunner {
+ public:
+  explicit ShardRunner(ShardOptions options = {});
+
+  /// Worker count this runner will spawn (options.shards resolved against
+  /// the process default, clamped to [1, kMaxShards]).
+  [[nodiscard]] unsigned resolved_shards() const noexcept;
+
+  /// Runs `workload` across resolved_shards() worker processes, handing
+  /// every worker the same `blob` and its own shard index. Returns the raw
+  /// result payloads in ascending shard order (the deterministic-merge
+  /// order); workload wrappers decode and concatenate/fold them. Throws
+  /// ShardError on any worker failure, after killing and reaping every
+  /// child.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> run(
+      std::string_view workload, std::span<const std::uint8_t> blob) const;
+
+ private:
+  ShardOptions options_;
+};
+
+}  // namespace hmdiv::exec

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace hmdiv::obs {
 
@@ -34,6 +35,28 @@ std::uint64_t Histogram::quantile(double q) const noexcept {
     }
   }
   return max();
+}
+
+void Histogram::merge(const HistogramSnapshot& other) noexcept {
+  if (other.count == 0) return;
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum, std::memory_order_relaxed);
+  const std::size_t buckets = std::min(other.buckets.size(), kBuckets);
+  for (std::size_t b = 0; b < buckets; ++b) {
+    if (other.buckets[b] != 0) {
+      buckets_[b].fetch_add(other.buckets[b], std::memory_order_relaxed);
+    }
+  }
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (other.min < seen &&
+         !min_.compare_exchange_weak(seen, other.min,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (other.max > seen &&
+         !max_.compare_exchange_weak(seen, other.max,
+                                     std::memory_order_relaxed)) {
+  }
 }
 
 void Histogram::reset() noexcept {
@@ -105,9 +128,22 @@ Snapshot Registry::snapshot() const {
     h.p50 = hist->quantile(0.50);
     h.p90 = hist->quantile(0.90);
     h.p99 = hist->quantile(0.99);
+    h.buckets.resize(Histogram::kBuckets);
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      h.buckets[b] = hist->bucket(b);
+    }
     out.histograms.push_back(std::move(h));
   }
   return out;
+}
+
+void Registry::merge(const Snapshot& other) {
+  for (const CounterSnapshot& c : other.counters) {
+    if (c.value != 0) counter(c.name).add(c.value);
+  }
+  for (const HistogramSnapshot& h : other.histograms) {
+    histogram(h.name).merge(h);
+  }
 }
 
 void Registry::reset() {
@@ -117,5 +153,124 @@ void Registry::reset() {
 }
 
 Snapshot registry_snapshot() { return Registry::global().snapshot(); }
+
+// --- Snapshot wire format -------------------------------------------------
+// obs sits below exec in the layer order, so the encoding is implemented
+// here with minimal local helpers rather than exec's wire::Writer/Reader.
+// Layout (all little-endian):
+//   u32 version | u64 n_counters | n × (str name, u64 value)
+//               | u64 n_histograms | n × (str name, u64 count, sum, min,
+//                 max, p50, p90, p99, u64 n_buckets, n_buckets × u64)
+// Strings are u64 length + raw bytes.
+
+namespace {
+
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+  }
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+struct Cursor {
+  std::span<const std::uint8_t> bytes;
+  std::size_t pos = 0;
+
+  std::span<const std::uint8_t> take(std::uint64_t n) {
+    if (n > bytes.size() - pos) {
+      throw std::runtime_error("obs snapshot: truncated payload");
+    }
+    const auto out = bytes.subspan(pos, static_cast<std::size_t>(n));
+    pos += static_cast<std::size_t>(n);
+    return out;
+  }
+  std::uint64_t u64() {
+    const auto raw = take(8);
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v |= std::uint64_t{raw[b]} << (8 * b);
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    const auto raw = take(n);
+    return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_snapshot(const Snapshot& s) {
+  std::vector<std::uint8_t> out;
+  put_u64(out, kSnapshotVersion);
+  put_u64(out, s.counters.size());
+  for (const CounterSnapshot& c : s.counters) {
+    put_str(out, c.name);
+    put_u64(out, c.value);
+  }
+  put_u64(out, s.histograms.size());
+  for (const HistogramSnapshot& h : s.histograms) {
+    put_str(out, h.name);
+    put_u64(out, h.count);
+    put_u64(out, h.sum);
+    put_u64(out, h.min);
+    put_u64(out, h.max);
+    put_u64(out, h.p50);
+    put_u64(out, h.p90);
+    put_u64(out, h.p99);
+    put_u64(out, h.buckets.size());
+    for (const std::uint64_t b : h.buckets) put_u64(out, b);
+  }
+  return out;
+}
+
+Snapshot parse_snapshot(std::span<const std::uint8_t> bytes) {
+  Cursor in{bytes};
+  const std::uint64_t version = in.u64();
+  if (version != kSnapshotVersion) {
+    throw std::runtime_error("obs snapshot: unsupported version " +
+                             std::to_string(version));
+  }
+  Snapshot out;
+  const std::uint64_t counters = in.u64();
+  out.counters.reserve(static_cast<std::size_t>(counters));
+  for (std::uint64_t i = 0; i < counters; ++i) {
+    CounterSnapshot c;
+    c.name = in.str();
+    c.value = in.u64();
+    out.counters.push_back(std::move(c));
+  }
+  const std::uint64_t histograms = in.u64();
+  out.histograms.reserve(static_cast<std::size_t>(histograms));
+  for (std::uint64_t i = 0; i < histograms; ++i) {
+    HistogramSnapshot h;
+    h.name = in.str();
+    h.count = in.u64();
+    h.sum = in.u64();
+    h.min = in.u64();
+    h.max = in.u64();
+    h.p50 = in.u64();
+    h.p90 = in.u64();
+    h.p99 = in.u64();
+    const std::uint64_t buckets = in.u64();
+    if (buckets > Histogram::kBuckets) {
+      throw std::runtime_error("obs snapshot: bucket count out of range");
+    }
+    h.buckets.reserve(static_cast<std::size_t>(buckets));
+    for (std::uint64_t b = 0; b < buckets; ++b) {
+      h.buckets.push_back(in.u64());
+    }
+    out.histograms.push_back(std::move(h));
+  }
+  if (in.pos != bytes.size()) {
+    throw std::runtime_error("obs snapshot: trailing bytes");
+  }
+  return out;
+}
 
 }  // namespace hmdiv::obs

@@ -32,6 +32,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -117,8 +118,21 @@ class Histogram {
   /// exact to within a factor of 2. 0 when empty.
   [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
 
+  /// Raw count of bucket `b` (0 for b >= kBuckets) — snapshots carry these
+  /// so histograms merge exactly instead of re-binning derived quantiles.
+  [[nodiscard]] std::uint64_t bucket(std::size_t b) const noexcept {
+    return b < kBuckets ? buckets_[b].load(std::memory_order_relaxed) : 0;
+  }
+
   void reset() noexcept;
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Folds a snapshot of another histogram (e.g. from a shard worker) into
+  /// this one by summing the per-bucket counts directly — never by
+  /// re-binning the snapshot's derived quantiles, which would smear every
+  /// merged value into one bucket. count/sum add, min/max fold, and the
+  /// merged quantiles are exactly those of the union of the recordings.
+  void merge(const struct HistogramSnapshot& other) noexcept;
 
  private:
   std::string name_;
@@ -167,6 +181,10 @@ struct HistogramSnapshot {
   std::uint64_t p50 = 0;
   std::uint64_t p90 = 0;
   std::uint64_t p99 = 0;
+  /// Raw per-bucket counts (length Histogram::kBuckets when produced by
+  /// snapshot()). Carrying them makes snapshots *mergeable*: bucket counts
+  /// sum exactly, whereas the derived p50/p90/p99 above cannot be combined.
+  std::vector<std::uint64_t> buckets;
 };
 
 /// Everything the registry knows, sorted by metric name.
@@ -191,6 +209,14 @@ class Registry {
 
   [[nodiscard]] Snapshot snapshot() const;
 
+  /// Folds `other` into this registry: counters add, histograms merge
+  /// per-bucket (Histogram::merge), and metrics not yet registered here are
+  /// created. This is how the shard runner accumulates worker registries
+  /// into the parent's profile; merging N worker snapshots plus the
+  /// parent's own tallies yields exactly the counts a single-process run
+  /// would have recorded.
+  void merge(const Snapshot& other);
+
   /// Zeroes every metric; registrations (and cached references) survive.
   void reset();
 
@@ -202,6 +228,14 @@ class Registry {
 
 /// Snapshot of the global registry — the API tests and report dumpers use.
 [[nodiscard]] Snapshot registry_snapshot();
+
+/// Stable binary serialization of a snapshot (little-endian, length-
+/// prefixed strings) — the payload of the shard protocol's obs frames.
+/// parse_snapshot(serialize_snapshot(s)) reproduces `s` field-for-field;
+/// malformed bytes throw std::runtime_error.
+[[nodiscard]] std::vector<std::uint8_t> serialize_snapshot(const Snapshot& s);
+[[nodiscard]] Snapshot parse_snapshot(
+    std::span<const std::uint8_t> bytes);
 
 }  // namespace hmdiv::obs
 

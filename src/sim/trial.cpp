@@ -1,5 +1,6 @@
 #include "sim/trial.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
@@ -95,17 +96,41 @@ TrialData TrialRunner::run(stats::Rng& rng) {
 TrialData TrialRunner::run(std::uint64_t seed, const exec::Config& config) {
   HMDIV_OBS_SCOPED_TIMER("sim.trial.run_ns");
   HMDIV_OBS_COUNT("sim.trial.runs", 1);
-  HMDIV_OBS_COUNT("sim.trial.cases", case_count_);
   TrialData data;
   data.class_names = world_.class_names();
-  data.records.resize(case_count_);
-  const auto total = static_cast<std::size_t>(case_count_);
+  data.records = run_batches(seed, 0, batch_count(), config);
+  return data;
+}
+
+std::uint64_t TrialRunner::batch_count() const {
+  return (case_count_ + kBatchSize - 1) / kBatchSize;
+}
+
+std::vector<CaseRecord> TrialRunner::run_batches(std::uint64_t seed,
+                                                 std::uint64_t first_batch,
+                                                 std::uint64_t last_batch,
+                                                 const exec::Config& config) {
+  const std::uint64_t batches = batch_count();
+  if (first_batch > last_batch || last_batch > batches) {
+    throw std::invalid_argument("TrialRunner: batch range out of bounds");
+  }
+  const std::uint64_t case_begin = first_batch * kBatchSize;
+  const std::uint64_t case_end =
+      std::min(last_batch * kBatchSize, case_count_);
+  std::vector<CaseRecord> records(
+      static_cast<std::size_t>(case_end - case_begin));
+  if (records.empty()) return records;
+  HMDIV_OBS_COUNT("sim.trial.cases", records.size());
+  const auto total = records.size();
+  // Chunk c of this sub-range is global batch first_batch + c (case_begin
+  // is a multiple of kBatchSize, so chunk boundaries coincide with the
+  // full run's batch boundaries) — same substream, same records.
   auto run_batch = [&](World& world, std::size_t begin, std::size_t end,
                        std::size_t batch) {
     HMDIV_OBS_SCOPED_TIMER("sim.trial.batch_ns");
-    stats::Rng batch_rng(seed, batch);
+    stats::Rng batch_rng(seed, first_batch + batch);
     world.simulate_batch(
-        std::span<CaseRecord>(data.records).subspan(begin, end - begin),
+        std::span<CaseRecord>(records).subspan(begin, end - begin),
         batch_rng);
   };
   if (!world_.cloneable()) {
@@ -118,7 +143,7 @@ TrialData TrialRunner::run(std::uint64_t seed, const exec::Config& config) {
           run_batch(world_, begin, end, batch);
         },
         exec::Config::serial());
-    return data;
+    return records;
   }
   if (world_.stateless()) {
     // Stateless worlds: borrow clones from a pool and reuse them across
@@ -132,7 +157,7 @@ TrialData TrialRunner::run(std::uint64_t seed, const exec::Config& config) {
           pool.release(std::move(local));
         },
         config);
-    return data;
+    return records;
   }
   exec::parallel_for_chunks(
       total, kBatchSize,
@@ -142,7 +167,7 @@ TrialData TrialRunner::run(std::uint64_t seed, const exec::Config& config) {
         run_batch(*local, begin, end, batch);
       },
       config);
-  return data;
+  return records;
 }
 
 }  // namespace hmdiv::sim

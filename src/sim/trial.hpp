@@ -123,6 +123,22 @@ class TrialRunner {
       std::uint64_t seed,
       const exec::Config& config = exec::default_config());
 
+  /// Total fixed-size batches a run of this trial decomposes into —
+  /// ceil(case_count / kBatchSize), the substream index space the shard
+  /// engine partitions.
+  [[nodiscard]] std::uint64_t batch_count() const;
+
+  /// Runs only batches [first_batch, last_batch) of the batched scheme and
+  /// returns their records in case order. run_batches(seed, 0,
+  /// batch_count()) reproduces run(seed, ...)'s records exactly; a
+  /// partition of the batch range reproduces them piecewise — each batch
+  /// draws from substream Rng(seed, batch) wherever it executes, which is
+  /// what lets shard workers compute disjoint slices that concatenate into
+  /// the bit-identical single-process trial.
+  [[nodiscard]] std::vector<CaseRecord> run_batches(
+      std::uint64_t seed, std::uint64_t first_batch, std::uint64_t last_batch,
+      const exec::Config& config = exec::default_config());
+
  private:
   World& world_;
   std::uint64_t case_count_;

@@ -1,0 +1,32 @@
+// Multi-process sharding of TabularWorld Monte-Carlo trials.
+//
+// The "sim.trial" shard workload ships a (SequentialModel, DemandProfile,
+// case_count, seed) description to each worker as IEEE-754 bit patterns;
+// workers rebuild the world through the bit-exact from_normalised path,
+// run their wire::shard_range slice of the fixed batch index space with
+// TrialRunner::run_batches, and return the per-case records. The parent's
+// concatenation (ascending shard order) is bit-identical to
+// TrialRunner::run(seed, config) in one process.
+#pragma once
+
+#include <cstdint>
+
+#include "exec/shard.hpp"
+#include "sim/tabular_world.hpp"
+#include "sim/trial.hpp"
+
+namespace hmdiv::sim {
+
+/// Shard-workload name trial runs are registered under.
+inline constexpr std::string_view kTrialShardWorkload = "sim.trial";
+
+/// Runs a `case_count`-case trial on `world` across worker processes
+/// (options.shards; 1 falls back to the in-process TrialRunner without
+/// spawning anything). Output is bit-identical to
+/// TrialRunner(world, case_count).run(seed) at any shard × thread
+/// composition. Throws exec::ShardError on worker failure.
+[[nodiscard]] TrialData run_trial_sharded(
+    const TabularWorld& world, std::uint64_t case_count, std::uint64_t seed,
+    const exec::ShardOptions& options = {});
+
+}  // namespace hmdiv::sim

@@ -52,7 +52,9 @@ double beta_quantile(double a, double b, double p) {
 
 namespace {
 
-std::vector<double> validated_probabilities(std::vector<double> probabilities) {
+/// Shared validation: finite, non-negative, sum within 1e-9 of 1. Returns
+/// the probabilities untouched; the public constructor renormalises on top.
+std::vector<double> checked_probabilities(std::vector<double> probabilities) {
   if (probabilities.empty()) {
     throw std::invalid_argument("DiscreteDistribution: empty");
   }
@@ -69,6 +71,13 @@ std::vector<double> validated_probabilities(std::vector<double> probabilities) {
         "DiscreteDistribution: probabilities must sum to 1 (use from_weights "
         "to normalise)");
   }
+  return probabilities;
+}
+
+std::vector<double> validated_probabilities(std::vector<double> probabilities) {
+  probabilities = checked_probabilities(std::move(probabilities));
+  double total = 0.0;
+  for (const double p : probabilities) total += p;
   // Renormalise exactly so expectation() is a true weighted average.
   for (double& p : probabilities) p /= total;
   return probabilities;
@@ -79,6 +88,16 @@ std::vector<double> validated_probabilities(std::vector<double> probabilities) {
 DiscreteDistribution::DiscreteDistribution(std::vector<double> probabilities)
     : probabilities_(validated_probabilities(std::move(probabilities))),
       alias_(probabilities_) {}
+
+DiscreteDistribution::DiscreteDistribution(NormalisedTag,
+                                           std::vector<double> probabilities)
+    : probabilities_(checked_probabilities(std::move(probabilities))),
+      alias_(probabilities_) {}
+
+DiscreteDistribution DiscreteDistribution::from_normalised(
+    std::vector<double> probabilities) {
+  return DiscreteDistribution(NormalisedTag{}, std::move(probabilities));
+}
 
 DiscreteDistribution DiscreteDistribution::from_weights(
     std::vector<double> weights) {

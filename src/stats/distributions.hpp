@@ -44,6 +44,17 @@ class DiscreteDistribution {
   [[nodiscard]] static DiscreteDistribution from_weights(
       std::vector<double> weights);
 
+  /// Builds from probabilities that are *already* normalised, validating
+  /// them (finite, >= 0, sum within 1e-9 of 1) but storing them untouched —
+  /// no renormalising division. This is the wire round-trip path: a
+  /// distribution serialized as IEEE-754 bit patterns rebuilds with the
+  /// exact same probabilities (the public constructor's `p /= total` could
+  /// move the last ulp when the stored sum differs from 1 by one rounding),
+  /// so alias tables — and every case drawn through them — match the
+  /// originating process bit-for-bit.
+  [[nodiscard]] static DiscreteDistribution from_normalised(
+      std::vector<double> probabilities);
+
   [[nodiscard]] std::size_t size() const { return probabilities_.size(); }
   [[nodiscard]] double operator[](std::size_t i) const {
     return probabilities_[i];
@@ -64,6 +75,9 @@ class DiscreteDistribution {
   [[nodiscard]] double expectation(std::span<const double> values) const;
 
  private:
+  struct NormalisedTag {};
+  DiscreteDistribution(NormalisedTag, std::vector<double> probabilities);
+
   std::vector<double> probabilities_;
   AliasTable alias_;
 };

@@ -1,0 +1,15 @@
+// Test-suite entry point. Replaces GTest::gtest_main so the test binary
+// can serve as its own shard worker: ShardRunner re-execs the running
+// executable with a hidden flag, and that re-entry must be handled before
+// GoogleTest touches argv (it would otherwise abort on the unknown flag).
+#include <gtest/gtest.h>
+
+#include "exec/shard.hpp"
+
+int main(int argc, char** argv) {
+  if (hmdiv::exec::shard_worker_requested(argc, argv)) {
+    return hmdiv::exec::shard_worker_main();
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

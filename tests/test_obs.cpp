@@ -5,7 +5,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "exec/parallel.hpp"
 #include "obs/obs.hpp"
@@ -217,6 +219,155 @@ TEST(ObsMacros, CountUnderParallelForIsExact) {
       kN, 64, [&](std::size_t) { HMDIV_OBS_COUNT("obs.test.parallel", 1); },
       exec::Config{8});
   EXPECT_EQ(obs::Registry::global().counter("obs.test.parallel").value(), kN);
+}
+#endif  // HMDIV_OBS
+
+// --- Snapshot merge + serialization (the shard engine's obs transport) ----
+
+const obs::HistogramSnapshot* find_histogram(const obs::Snapshot& snap,
+                                             const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+const obs::CounterSnapshot* find_counter(const obs::Snapshot& snap,
+                                         const std::string& name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+obs::HistogramSnapshot snapshot_of(const obs::Histogram& h) {
+  obs::HistogramSnapshot snap;
+  snap.name = h.name();
+  snap.count = h.count();
+  snap.sum = h.sum();
+  snap.min = h.min();
+  snap.max = h.max();
+  snap.buckets.resize(obs::Histogram::kBuckets);
+  for (std::size_t b = 0; b < obs::Histogram::kBuckets; ++b) {
+    snap.buckets[b] = h.bucket(b);
+  }
+  return snap;
+}
+
+TEST(ObsMerge, HistogramMergeSumsBucketsNotQuantiles) {
+  obs::Histogram left("h");
+  obs::Histogram right("h");
+  // Disjoint magnitude ranges: merging by re-binning derived quantiles
+  // would smear one side; summing buckets keeps both exactly.
+  left.record(4);
+  left.record(5);
+  right.record(1 << 20);
+
+  left.merge(snapshot_of(right));
+  EXPECT_EQ(left.count(), 3U);
+  EXPECT_EQ(left.sum(), 9U + (1U << 20));
+  EXPECT_EQ(left.min(), 4U);
+  EXPECT_EQ(left.max(), std::uint64_t{1} << 20);
+  // Bucket 3 ([4,8)) holds both small values, bucket 21 the large one.
+  EXPECT_EQ(left.bucket(3), 2U);
+  EXPECT_EQ(left.bucket(21), 1U);
+  // The merged p99 bound reflects the large recording, not a re-binned
+  // average of the two sides.
+  EXPECT_GE(left.quantile(0.99), std::uint64_t{1} << 20);
+}
+
+TEST(ObsMerge, HistogramMergeOfEmptySnapshotIsIdentity) {
+  obs::Histogram h("h");
+  h.record(7);
+  obs::Histogram empty("h");
+  h.merge(snapshot_of(empty));
+  EXPECT_EQ(h.count(), 1U);
+  EXPECT_EQ(h.min(), 7U);
+  EXPECT_EQ(h.max(), 7U);
+}
+
+TEST(ObsMerge, RegistryMergeAddsCountersAndCreatesMissingMetrics) {
+  ObsGateGuard guard;
+  auto& registry = obs::Registry::global();
+  registry.reset();
+  registry.counter("obs.test.merge_shared").add(5);
+
+  obs::Snapshot worker;
+  worker.counters.push_back({"obs.test.merge_shared", 7});
+  worker.counters.push_back({"obs.test.merge_new", 3});
+  obs::Histogram worker_hist("obs.test.merge_hist");
+  worker_hist.record(32);
+  worker.histograms.push_back(snapshot_of(worker_hist));
+
+  registry.merge(worker);
+  const obs::Snapshot merged = obs::registry_snapshot();
+  const auto* shared = find_counter(merged, "obs.test.merge_shared");
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->value, 12U);
+  const auto* created = find_counter(merged, "obs.test.merge_new");
+  ASSERT_NE(created, nullptr);
+  EXPECT_EQ(created->value, 3U);
+  const auto* hist = find_histogram(merged, "obs.test.merge_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1U);
+  EXPECT_EQ(hist->sum, 32U);
+}
+
+TEST(ObsMerge, SnapshotSerializationRoundTrips) {
+  obs::Snapshot snap;
+  snap.counters.push_back({"a.counter", 42});
+  snap.counters.push_back({"b.counter", 0});
+  obs::Histogram hist("a.hist_ns");
+  hist.record(0);
+  hist.record(1000);
+  snap.histograms.push_back(snapshot_of(hist));
+
+  const obs::Snapshot back = obs::parse_snapshot(serialize_snapshot(snap));
+  ASSERT_EQ(back.counters.size(), 2U);
+  EXPECT_EQ(back.counters[0].name, "a.counter");
+  EXPECT_EQ(back.counters[0].value, 42U);
+  ASSERT_EQ(back.histograms.size(), 1U);
+  EXPECT_EQ(back.histograms[0].name, "a.hist_ns");
+  EXPECT_EQ(back.histograms[0].count, 2U);
+  EXPECT_EQ(back.histograms[0].sum, 1000U);
+  EXPECT_EQ(back.histograms[0].buckets, snap.histograms[0].buckets);
+}
+
+TEST(ObsMerge, ParseRejectsTruncatedAndTrailingBytes) {
+  obs::Snapshot snap;
+  snap.counters.push_back({"c", 1});
+  std::vector<std::uint8_t> bytes = obs::serialize_snapshot(snap);
+  std::vector<std::uint8_t> truncated(bytes.begin(), bytes.end() - 2);
+  EXPECT_THROW(static_cast<void>(obs::parse_snapshot(truncated)),
+               std::runtime_error);
+  bytes.push_back(0);
+  EXPECT_THROW(static_cast<void>(obs::parse_snapshot(bytes)),
+               std::runtime_error);
+}
+
+#if HMDIV_OBS
+TEST(ObsMerge, MergedWorkerCountsEqualSingleProcessRun) {
+  // The shard invariant at the registry level: N workers each tallying a
+  // slice under parallel_for, merged into the parent, must equal one
+  // process tallying everything. Simulated here with snapshots taken
+  // between resets of the global registry.
+  ObsGateGuard guard;
+  obs::set_enabled(true);
+  auto& registry = obs::Registry::global();
+  registry.reset();
+  constexpr std::size_t kN = 10'000;
+
+  exec::parallel_for(
+      kN, 64, [&](std::size_t) { HMDIV_OBS_COUNT("obs.test.sharded", 1); },
+      exec::Config{4});
+  const obs::Snapshot worker_half = obs::registry_snapshot();
+  registry.reset();
+  exec::parallel_for(
+      kN, 64, [&](std::size_t) { HMDIV_OBS_COUNT("obs.test.sharded", 1); },
+      exec::Config{4});
+  registry.merge(worker_half);
+
+  EXPECT_EQ(registry.counter("obs.test.sharded").value(), 2 * kN);
 }
 #endif  // HMDIV_OBS
 
