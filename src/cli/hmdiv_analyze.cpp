@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "cli/parse_util.hpp"
 #include "core/analysis_report.hpp"
 #include "core/design_advisor.hpp"
 #include "core/model_io.hpp"
@@ -275,71 +276,25 @@ int main(int argc, char** argv) {
     } else if (arg == "--example") {
       use_example = true;
     } else if (arg == "--threads") {
-      // Same hardened parse as HMDIV_THREADS (exec/config.cpp): reject
-      // empty values, trailing garbage ("2x" used to pass as 2 via
-      // std::stoul), zero, negatives (strtoul wraps them huge) and
-      // overflow — all exit 2 rather than silently misconfiguring.
-      const std::string& value = next();
-      char* end = nullptr;
-      errno = 0;
-      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
-      if (value.empty() || end != value.c_str() + value.size() ||
-          errno == ERANGE || parsed == 0 || parsed > 4096) {
-        std::cerr << "hmdiv_analyze: --threads expects an integer in "
-                     "[1, 4096], got '"
-                  << value << "'\n";
-        std::exit(2);
-      }
-      exec::set_default_config(exec::Config{static_cast<unsigned>(parsed)});
+      // Hardened parse shared with every integer flag (parse_util.hpp):
+      // trailing garbage, negatives, overflow and out-of-range counts all
+      // exit 2 naming the offending value, same range as HMDIV_THREADS.
+      exec::set_default_config(exec::Config{
+          static_cast<unsigned>(cli::parse_bounded_ulong(
+              "hmdiv_analyze", "--threads", next(), 1, 4096))});
     } else if (arg == "--shards") {
-      // Same rejection table as --threads, over the shard engine's range:
-      // empty values, trailing garbage, overflow, zero, and counts above
-      // exec::kMaxShards all exit 2 instead of silently misconfiguring.
-      const std::string& value = next();
-      char* end = nullptr;
-      errno = 0;
-      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
-      if (value.empty() || end != value.c_str() + value.size() ||
-          errno == ERANGE || parsed == 0 || parsed > exec::kMaxShards) {
-        std::cerr << "hmdiv_analyze: --shards expects an integer in "
-                     "[1, 256], got '"
-                  << value << "'\n";
-        std::exit(2);
-      }
-      exec::set_default_shard_count(static_cast<unsigned>(parsed));
+      exec::set_default_shard_count(
+          static_cast<unsigned>(cli::parse_bounded_ulong(
+              "hmdiv_analyze", "--shards", next(), 1, exec::kMaxShards)));
     } else if (arg == "--grid-steps") {
-      // Same rejection table as --threads: empty values, trailing garbage,
-      // overflow, and out-of-range counts (< 2 cannot form a grid;
-      // > 5'000'000 is a typo, not a workload) all exit 2.
-      const std::string& value = next();
-      char* end = nullptr;
-      errno = 0;
-      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
-      if (value.empty() || end != value.c_str() + value.size() ||
-          errno == ERANGE || parsed < 2 || parsed > 5'000'000) {
-        std::cerr << "hmdiv_analyze: --grid-steps expects an integer in "
-                     "[2, 5000000], got '"
-                  << value << "'\n";
-        std::exit(2);
-      }
-      grid_steps = static_cast<std::size_t>(parsed);
+      // < 2 cannot form a grid; > 5'000'000 is a typo, not a workload.
+      grid_steps = static_cast<std::size_t>(cli::parse_bounded_ulong(
+          "hmdiv_analyze", "--grid-steps", next(), 2, 5'000'000));
     } else if (arg == "--samples") {
-      // Same rejection table again: empty values, trailing garbage,
-      // negatives (strtoul wraps them huge), overflow, and counts outside
-      // [100, 1e7] (fewer than 100 resamples cannot support a 95%
-      // interval; more than 1e7 is a typo) all exit 2.
-      const std::string& value = next();
-      char* end = nullptr;
-      errno = 0;
-      const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
-      if (value.empty() || end != value.c_str() + value.size() ||
-          errno == ERANGE || parsed < 100 || parsed > 10'000'000) {
-        std::cerr << "hmdiv_analyze: --samples expects an integer in "
-                     "[100, 10000000], got '"
-                  << value << "'\n";
-        std::exit(2);
-      }
-      samples = static_cast<std::size_t>(parsed);
+      // Fewer than 100 resamples cannot support a 95% interval; more than
+      // 1e7 is a typo.
+      samples = static_cast<std::size_t>(cli::parse_bounded_ulong(
+          "hmdiv_analyze", "--samples", next(), 100, 10'000'000));
     } else if (arg == "--profile") {
       profile = true;
     } else if (arg == "--profile-csv") {

@@ -1,0 +1,198 @@
+// hmdiv_serve — long-running analysis daemon over a TCP socket.
+//
+// Usage:
+//   hmdiv_serve --model MODEL_FILE --trial PROFILE_FILE --field PROFILE_FILE
+//               [--port N] [--address A] [--max-queue N]
+//               [--max-concurrent N] [--max-conns N] [--threads N]
+//               [--deadline-ms N] [--whatif-cache N] [--sweep-cache N]
+//               [--no-obs]
+//   hmdiv_serve --example [--port N] ...
+//
+// Protocol: newline-delimited JSON (one request object per line; see
+// DESIGN.md §13). Endpoints: analyze, whatif, sweep, minimise, uq,
+// compare, health, metrics, reload.
+//
+// The daemon prints exactly one "listening on <address>:<port>" line to
+// stdout once the socket is bound (--port 0 binds an ephemeral port and
+// reports the real one), then serves until SIGTERM/SIGINT. On signal it
+// stops accepting, answers every fully received request, closes every
+// connection and exits 0.
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "cli/parse_util.hpp"
+#include "core/model_io.hpp"
+#include "core/paper_example.hpp"
+#include "exec/config.hpp"
+#include "obs/obs.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace hmdiv;
+
+[[noreturn]] void usage(int exit_code) {
+  std::cerr
+      << "usage: hmdiv_serve --model FILE --trial FILE --field FILE\n"
+         "                   [--port N] [--address A] [--max-queue N]\n"
+         "                   [--max-concurrent N] [--max-conns N]\n"
+         "                   [--threads N] [--deadline-ms N]\n"
+         "                   [--whatif-cache N] [--sweep-cache N]\n"
+         "                   [--no-obs]\n"
+         "       hmdiv_serve --example [--port N] ...\n"
+         "\n"
+         "Serves the analysis endpoints (analyze, whatif, sweep, minimise,\n"
+         "uq, compare, health, metrics, reload) over a newline-delimited\n"
+         "JSON TCP protocol.\n"
+         "--port N binds TCP port N (default 0 = ephemeral; the bound\n"
+         "port is printed on startup). --address A binds A (default\n"
+         "127.0.0.1).\n"
+         "--max-concurrent N caps requests executing at once (default:\n"
+         "hardware threads); --max-queue N bounds the admission queue\n"
+         "beyond which requests are shed with a structured error\n"
+         "(default 64). --max-conns N caps open connections (default 64).\n"
+         "--threads N is the per-request compute thread budget (default\n"
+         "1; requests are already parallel across connections).\n"
+         "--deadline-ms N is the default per-request deadline (default\n"
+         "1000).\n"
+         "--whatif-cache/--sweep-cache N size the shared result caches\n"
+         "(entries; 0 disables). --no-obs disables the serve.* metrics.\n";
+  std::exit(exit_code);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "hmdiv_serve: cannot open '" << path << "'\n";
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+serve::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_path;
+  std::string trial_path;
+  std::string field_path;
+  bool example = false;
+  bool obs_enabled = true;
+  serve::ServiceOptions service_options;
+  serve::ServerOptions server_options;
+
+  const auto next = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(2);
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--model") {
+      model_path = next(i);
+    } else if (arg == "--trial") {
+      trial_path = next(i);
+    } else if (arg == "--field") {
+      field_path = next(i);
+    } else if (arg == "--example") {
+      example = true;
+    } else if (arg == "--port") {
+      server_options.port = static_cast<std::uint16_t>(cli::parse_bounded_ulong(
+          "hmdiv_serve", "--port", next(i), 0, 65535));
+    } else if (arg == "--address") {
+      server_options.bind_address = next(i);
+    } else if (arg == "--max-queue") {
+      service_options.max_queue = cli::parse_bounded_ulong(
+          "hmdiv_serve", "--max-queue", next(i), 0, 1'000'000);
+    } else if (arg == "--max-concurrent") {
+      service_options.max_concurrent = cli::parse_bounded_ulong(
+          "hmdiv_serve", "--max-concurrent", next(i), 1, 4096);
+    } else if (arg == "--max-conns") {
+      server_options.max_connections = cli::parse_bounded_ulong(
+          "hmdiv_serve", "--max-conns", next(i), 1, 65536);
+    } else if (arg == "--threads") {
+      service_options.compute_threads =
+          static_cast<unsigned>(cli::parse_bounded_ulong(
+              "hmdiv_serve", "--threads", next(i), 1, 4096));
+    } else if (arg == "--deadline-ms") {
+      service_options.default_deadline_ms = cli::parse_bounded_ulong(
+          "hmdiv_serve", "--deadline-ms", next(i), 1, 86'400'000);
+    } else if (arg == "--whatif-cache") {
+      service_options.whatif_cache_capacity = cli::parse_bounded_ulong(
+          "hmdiv_serve", "--whatif-cache", next(i), 0, 10'000'000);
+    } else if (arg == "--sweep-cache") {
+      service_options.sweep_cache_capacity = cli::parse_bounded_ulong(
+          "hmdiv_serve", "--sweep-cache", next(i), 0, 1'000'000);
+    } else if (arg == "--no-obs") {
+      obs_enabled = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "hmdiv_serve: unknown flag '" << arg << "'\n";
+      usage(2);
+    }
+  }
+
+  if (!example && (model_path.empty() || trial_path.empty() ||
+                   field_path.empty())) {
+    usage(2);
+  }
+
+  obs::set_enabled(obs_enabled);
+
+  std::optional<serve::Service> service;
+  try {
+    if (example) {
+      service.emplace(core::paper::example_model(),
+                      core::paper::trial_profile(),
+                      core::paper::field_profile(), service_options);
+    } else {
+      service.emplace(core::parse_sequential_model(read_file(model_path)),
+                      core::parse_demand_profile(read_file(trial_path)),
+                      core::parse_demand_profile(read_file(field_path)),
+                      service_options);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "hmdiv_serve: " << e.what() << "\n";
+    return 2;
+  }
+
+  serve::Server server(*service, server_options);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "hmdiv_serve: " << e.what() << "\n";
+    return 2;
+  }
+  g_server = &server;
+
+  struct sigaction action{};
+  action.sa_handler = handle_signal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: the accept/connection poll loops observe shutdown via
+  // the wake pipe, not via EINTR, so restart semantics are irrelevant —
+  // but leaving it off exercises the EINTR-retry paths.
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  std::cout << "hmdiv_serve: listening on " << server_options.bind_address
+            << ":" << server.port() << std::endl;
+
+  server.wait();
+  g_server = nullptr;
+  std::cout << "hmdiv_serve: drained, exiting\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared hardened option parsing for the hmdiv command-line tools.
+//
+// Every integer-valued flag across the CLIs wants the same rejection
+// table: empty values, leading/trailing garbage ("2x" must not pass as
+// 2), negatives (strtoul silently wraps them into huge values), overflow
+// (ERANGE) and out-of-range counts all exit 2 with a message that names
+// the flag, the accepted range AND the offending value — hmdiv_analyze
+// used to carry four near-identical copies of this logic, which is
+// exactly how the error messages drifted. One helper, one message shape.
+#pragma once
+
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace hmdiv::cli {
+
+/// Parses `value` as an unsigned decimal integer in [lo, hi]. On any
+/// violation prints
+///   <program>: <flag> expects an integer in [<lo>, <hi>], got '<value>'
+/// to stderr and exits 2 — malformed input must never silently
+/// misconfigure a run (or a long-lived server).
+[[nodiscard]] inline unsigned long parse_bounded_ulong(
+    const char* program, const char* flag, const std::string& value,
+    unsigned long lo, unsigned long hi) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+  // strtoul accepts leading whitespace and '-'; neither is a sane spelling
+  // of a count, and "-1" would otherwise wrap to ULONG_MAX and be caught
+  // only when hi is small. Reject any value that does not start with a
+  // digit outright.
+  const bool starts_with_digit =
+      !value.empty() && value.front() >= '0' && value.front() <= '9';
+  if (!starts_with_digit || end != value.c_str() + value.size() ||
+      errno == ERANGE || parsed < lo || parsed > hi) {
+    std::cerr << program << ": " << flag << " expects an integer in [" << lo
+              << ", " << hi << "], got '" << value << "'\n";
+    std::exit(2);
+  }
+  return parsed;
+}
+
+}  // namespace hmdiv::cli

@@ -2,25 +2,43 @@
 //
 // Analysts iterating with the extrapolation / design-advisor tooling ask
 // the same questions repeatedly (the same scenario under the same profile,
-// re-issued as surrounding inputs change). EvalCache memoises those
-// evaluations behind an exact key: a flat vector<double> encoding of every
-// input the result depends on. Exact bitwise key equality is deliberate —
-// keys are built from the exact inputs, so any bitwise difference is a
-// different query and near-misses must not alias.
+// re-issued as surrounding inputs change), and the serve layer shares one
+// cache across every concurrent connection. EvalCache memoises those
+// evaluations behind an exact key: a flat sequence of doubles encoding
+// every input the result depends on. Exact bitwise key equality is
+// deliberate — keys are built from the exact inputs, so any bitwise
+// difference is a different query and near-misses must not alias.
 //
-// Design mirrors TradeoffAnalyzer's sweep cache: FNV-1a hash for the fast
-// reject, stored-key exact compare against collisions, FIFO eviction, and
-// capacity 0 (the default) disables the cache entirely so callers that
-// never opt in pay only a single predictable branch. All operations are
-// mutex-guarded; the cache may sit behind a const evaluation method on a
-// shared analyzer.
+// Concurrency: lookups are hash-sharded. Each segment has its own mutex
+// and FIFO deque, and a key's segment is a pure function of its hash, so
+// concurrent requests for different keys contend only when they land in
+// the same segment (audited for the serve layer's cross-request sharing;
+// the single global mutex it replaces serialised every hit). Capacity
+// changes and clear() take every segment lock and may rebuild the layout;
+// a find() racing a rebuild can miss spuriously (and recompute), never
+// read torn data.
+//
+// Semantics:
+//  - capacity 0 (the default) disables the cache entirely; callers that
+//    never opt in pay one relaxed atomic load per call.
+//  - capacity < kSegments keeps every entry in one segment, preserving
+//    the exact global FIFO eviction order small caches (and their tests)
+//    rely on. Larger capacities split it evenly across segments, each
+//    evicting oldest-first; the global order is FIFO per segment.
+//  - shrinking preserves the newest entries (a global insertion sequence
+//    number decides age across segments).
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -28,7 +46,7 @@ namespace hmdiv::core {
 
 /// FNV-1a over the raw bytes of the key doubles.
 [[nodiscard]] inline std::size_t eval_cache_hash(
-    const std::vector<double>& key) {
+    std::span<const double> key) {
   std::uint64_t h = 14695981039346656037ULL;
   for (const double v : key) {
     unsigned char bytes[sizeof(double)];
@@ -46,57 +64,158 @@ class EvalCache {
  public:
   using Key = std::vector<double>;
 
-  /// Sets the maximum number of memoised results; 0 disables the cache and
-  /// drops anything stored. Shrinking evicts oldest-first.
+  /// Lock-sharding width. Fixed so a key's segment never depends on
+  /// anything but its hash and the current layout mode.
+  static constexpr std::size_t kSegments = 8;
+
+  /// Sets the maximum total number of memoised results; 0 disables the
+  /// cache and drops anything stored. Shrinking evicts oldest-first
+  /// (globally, by insertion sequence). May redistribute surviving
+  /// entries between segments when the layout mode changes.
   void set_capacity(std::size_t capacity) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    capacity_ = capacity;
-    while (entries_.size() > capacity_) entries_.pop_front();
+    const std::lock_guard<std::mutex> structural(structural_mutex_);
+    // Collect survivors in global insertion order before re-laying out.
+    std::vector<Entry> entries;
+    for (Segment& segment : segments_) {
+      const std::lock_guard<std::mutex> lock(segment.mutex);
+      for (Entry& entry : segment.entries) entries.push_back(std::move(entry));
+      segment.entries.clear();
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+    if (entries.size() > capacity) {
+      entries.erase(entries.begin(),
+                    entries.end() - static_cast<std::ptrdiff_t>(capacity));
+    }
+    for (std::size_t s = 0; s < kSegments; ++s) {
+      const std::lock_guard<std::mutex> lock(segments_[s].mutex);
+      segments_[s].capacity = segment_capacity(capacity, s);
+    }
+    capacity_.store(capacity, std::memory_order_release);
+    for (Entry& entry : entries) {
+      Segment& segment = segment_for(entry.hash, capacity);
+      const std::lock_guard<std::mutex> lock(segment.mutex);
+      if (segment.entries.size() < segment.capacity) {
+        segment.entries.push_back(std::move(entry));
+      }
+      // A full segment drops the (older) overflow — total stays <=
+      // capacity and the newest entries survive.
+    }
   }
 
   [[nodiscard]] std::size_t capacity() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return capacity_;
+    return capacity_.load(std::memory_order_acquire);
   }
 
   /// True when a capacity has been set; find/insert are no-ops otherwise.
-  [[nodiscard]] bool enabled() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    return capacity_ > 0;
+  [[nodiscard]] bool enabled() const { return capacity() > 0; }
+
+  /// Drops every entry (capacity is kept). The serve layer calls this on
+  /// model reload: results keyed by scenario inputs would otherwise leak
+  /// stale answers computed against the previous model.
+  void clear() {
+    const std::lock_guard<std::mutex> structural(structural_mutex_);
+    for (Segment& segment : segments_) {
+      const std::lock_guard<std::mutex> lock(segment.mutex);
+      segment.entries.clear();
+    }
   }
 
-  /// Returns a copy of the memoised value for `key`, if present.
-  [[nodiscard]] std::optional<Value> find(const Key& key) const {
+  /// Total entries currently memoised.
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const Segment& segment : segments_) {
+      const std::lock_guard<std::mutex> lock(segment.mutex);
+      total += segment.entries.size();
+    }
+    return total;
+  }
+
+  /// Returns a copy of the memoised value for `key`, if present. The span
+  /// overload performs no heap allocation on either hit or miss (for
+  /// trivially copyable Value), so steady-state hot paths can probe with
+  /// reused key storage.
+  [[nodiscard]] std::optional<Value> find(std::span<const double> key) const {
+    const std::size_t capacity = this->capacity();
+    if (capacity == 0) return std::nullopt;
     const std::size_t hash = eval_cache_hash(key);
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (capacity_ == 0) return std::nullopt;
-    for (const Entry& entry : entries_) {
-      if (entry.hash == hash && entry.key == key) return entry.value;
+    const Segment& segment = segment_for(hash, capacity);
+    const std::lock_guard<std::mutex> lock(segment.mutex);
+    for (const Entry& entry : segment.entries) {
+      if (entry.hash == hash && entry.key.size() == key.size() &&
+          std::equal(entry.key.begin(), entry.key.end(), key.begin())) {
+        return entry.value;
+      }
     }
     return std::nullopt;
   }
 
-  /// Stores `value` under `key`, evicting the oldest entry when full.
-  /// Duplicate keys are tolerated (find returns the oldest surviving copy);
-  /// both copies age out normally.
+  [[nodiscard]] std::optional<Value> find(const Key& key) const {
+    return find(std::span<const double>(key));
+  }
+
+  /// Stores `value` under `key`, evicting the segment's oldest entry when
+  /// full. Duplicate keys are tolerated (find returns the oldest surviving
+  /// copy); both copies age out normally.
   void insert(Key key, Value value) {
+    const std::size_t capacity = this->capacity();
+    if (capacity == 0) return;
     const std::size_t hash = eval_cache_hash(key);
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (capacity_ == 0) return;
-    entries_.push_back(Entry{hash, std::move(key), std::move(value)});
-    while (entries_.size() > capacity_) entries_.pop_front();
+    Segment& segment = segment_for(hash, capacity);
+    const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(segment.mutex);
+    if (segment.capacity == 0) return;
+    segment.entries.push_back(
+        Entry{hash, seq, std::move(key), std::move(value)});
+    while (segment.entries.size() > segment.capacity) {
+      segment.entries.pop_front();
+    }
+  }
+
+  void insert(std::span<const double> key, Value value) {
+    insert(Key(key.begin(), key.end()), std::move(value));
   }
 
  private:
   struct Entry {
-    std::size_t hash;
+    std::size_t hash = 0;
+    std::uint64_t seq = 0;  ///< global insertion order, for shrink/migrate
     Key key;
     Value value;
   };
 
-  mutable std::mutex mutex_;
-  std::deque<Entry> entries_;
-  std::size_t capacity_ = 0;
+  struct Segment {
+    mutable std::mutex mutex;
+    std::deque<Entry> entries;      // guarded by mutex
+    std::size_t capacity = 0;       // guarded by mutex
+  };
+
+  /// Per-segment share of `capacity` under the layout that capacity
+  /// implies: one segment takes everything while capacity < kSegments
+  /// (exact global FIFO for small caches), otherwise an even split with
+  /// the remainder spread over the first segments (sum == capacity).
+  [[nodiscard]] static std::size_t segment_capacity(std::size_t capacity,
+                                                    std::size_t s) {
+    if (capacity < kSegments) return s == 0 ? capacity : 0;
+    return capacity / kSegments + (s < capacity % kSegments ? 1 : 0);
+  }
+
+  [[nodiscard]] static std::size_t segment_index(std::size_t hash,
+                                                 std::size_t capacity) {
+    return capacity < kSegments ? 0 : hash % kSegments;
+  }
+
+  [[nodiscard]] Segment& segment_for(std::size_t hash,
+                                     std::size_t capacity) const {
+    return segments_[segment_index(hash, capacity)];
+  }
+
+  mutable std::array<Segment, kSegments> segments_;
+  /// Serialises structural operations (set_capacity, clear) against each
+  /// other; point operations take only their segment's mutex.
+  std::mutex structural_mutex_;
+  std::atomic<std::size_t> capacity_{0};
+  std::atomic<std::uint64_t> seq_{0};
 };
 
 }  // namespace hmdiv::core

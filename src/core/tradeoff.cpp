@@ -37,22 +37,6 @@ void check_probability(double p, const char* what) {
   }
 }
 
-/// FNV-1a over the raw bytes of a double vector — the sweep-cache key.
-/// Collisions are survivable: entries also store the thresholds and are
-/// compared exactly before a hit is declared.
-std::size_t hash_thresholds(std::span<const double> thresholds) {
-  std::size_t h = 14695981039346656037ull;
-  for (const double t : thresholds) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &t, sizeof bits);
-    for (int b = 0; b < 8; ++b) {
-      h ^= (bits >> (8 * b)) & 0xFFu;
-      h *= 1099511628211ull;
-    }
-  }
-  return h;
-}
-
 }  // namespace
 
 TradeoffAnalyzer::TradeoffAnalyzer(BinormalMachine machine,
@@ -244,41 +228,22 @@ void TradeoffAnalyzer::sweep_into(std::span<const double> thresholds,
 }
 
 void TradeoffAnalyzer::set_sweep_cache_capacity(std::size_t capacity) const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
-  sweep_cache_capacity_ = capacity;
-  while (sweep_cache_.size() > sweep_cache_capacity_) {
-    sweep_cache_.pop_front();
-  }
+  sweep_cache_.set_capacity(capacity);
 }
 
 std::vector<SystemOperatingPoint> TradeoffAnalyzer::sweep(
     const std::vector<double>& thresholds,
     const exec::Config& config) const {
-  std::size_t hash = 0;
-  {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
-    if (sweep_cache_capacity_ > 0) {
-      hash = hash_thresholds(thresholds);
-      for (const SweepCacheEntry& entry : sweep_cache_) {
-        if (entry.hash == hash && entry.thresholds == thresholds) {
-          HMDIV_OBS_COUNT("core.sweep.cache_hit", 1);
-          return entry.points;
-        }
-      }
-      HMDIV_OBS_COUNT("core.sweep.cache_miss", 1);
+  if (sweep_cache_.enabled()) {
+    if (auto hit = sweep_cache_.find(thresholds)) {
+      HMDIV_OBS_COUNT("core.sweep.cache_hit", 1);
+      return *std::move(hit);
     }
+    HMDIV_OBS_COUNT("core.sweep.cache_miss", 1);
   }
   std::vector<SystemOperatingPoint> out(thresholds.size());
   sweep_into(thresholds, out, config);
-  {
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
-    if (sweep_cache_capacity_ > 0) {
-      sweep_cache_.push_back(SweepCacheEntry{hash, thresholds, out});
-      while (sweep_cache_.size() > sweep_cache_capacity_) {
-        sweep_cache_.pop_front();
-      }
-    }
-  }
+  if (sweep_cache_.enabled()) sweep_cache_.insert(thresholds, out);
   return out;
 }
 

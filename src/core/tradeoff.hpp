@@ -22,13 +22,12 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/demand_profile.hpp"
+#include "core/eval_cache.hpp"
 #include "exec/config.hpp"
 
 namespace hmdiv::core {
@@ -179,13 +178,6 @@ class TradeoffAnalyzer {
   [[nodiscard]] double prevalence() const { return prevalence_; }
 
  private:
-  /// One cached sweep() result; see set_sweep_cache_capacity.
-  struct SweepCacheEntry {
-    std::size_t hash = 0;
-    std::vector<double> thresholds;
-    std::vector<SystemOperatingPoint> points;
-  };
-
   BinormalMachine machine_;
   DemandProfile cancer_profile_;
   std::vector<HumanFnResponse> fn_response_;
@@ -206,10 +198,9 @@ class TradeoffAnalyzer {
   std::vector<double> fp_silent_;
 
   // Keyed evaluation cache for repeated what-if sweeps; disabled (capacity
-  // 0) by default so benches and the zero-alloc path stay honest.
-  mutable std::mutex cache_mutex_;
-  mutable std::deque<SweepCacheEntry> sweep_cache_;  // guarded by cache_mutex_
-  mutable std::size_t sweep_cache_capacity_ = 0;     // guarded by cache_mutex_
+  // 0) by default so benches and the zero-alloc path stay honest. The
+  // threshold grid is the key (hash + exact contents, see EvalCache).
+  mutable EvalCache<std::vector<SystemOperatingPoint>> sweep_cache_;
 };
 
 }  // namespace hmdiv::core

@@ -79,7 +79,14 @@ class SigpipeGuard {
   ~SigpipeGuard() {
     if (!blocked_) return;
     timespec zero{};
-    while (sigtimedwait(&pipe_set_, nullptr, &zero) == SIGPIPE) {
+    for (;;) {
+      const int sig = sigtimedwait(&pipe_set_, nullptr, &zero);
+      if (sig == SIGPIPE) continue;  // drain one pending SIGPIPE, re-poll
+      // EINTR: an unrelated signal handler ran mid-wait. Bailing out here
+      // would restore the mask with a SIGPIPE still pending and kill the
+      // process, so retry the drain instead.
+      if (sig < 0 && errno == EINTR) continue;
+      break;  // EAGAIN: nothing pending
     }
     pthread_sigmask(SIG_SETMASK, &old_mask_, nullptr);
   }

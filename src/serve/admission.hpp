@@ -1,0 +1,81 @@
+// Admission control for the serve daemon: a bounded concurrency gate that
+// sheds load instead of queueing it unboundedly.
+//
+// Tail latency in a saturated server is set by queue length, not by
+// compute speed — an unbounded queue turns a burst into minutes of
+// stale-deadline work. The gate therefore admits up to `max_concurrent`
+// requests at once, lets at most `max_queue` more wait, and refuses
+// everything beyond that *immediately* with a structured "shed" outcome
+// the protocol layer turns into a 429-style error. Waiters are bounded by
+// their request deadline: a request whose deadline passes while queued is
+// failed as deadline_exceeded without ever running.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace hmdiv::serve {
+
+class AdmissionGate {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    /// Requests allowed to execute simultaneously (>= 1).
+    std::size_t max_concurrent = 1;
+    /// Requests allowed to wait for a slot; one more is shed.
+    std::size_t max_queue = 64;
+  };
+
+  enum class Outcome {
+    kAdmitted,          ///< slot acquired; caller must release()
+    kShedQueueFull,     ///< refused immediately: queue at capacity
+    kDeadlineExceeded,  ///< queued, but the deadline passed before a slot
+  };
+
+  explicit AdmissionGate(Options options);
+
+  /// Tries to acquire an execution slot, waiting (bounded by `deadline`)
+  /// in FIFO-ish order behind up to max_queue other waiters. Only
+  /// kAdmitted transfers ownership of a slot.
+  [[nodiscard]] Outcome acquire(Clock::time_point deadline);
+
+  /// Returns a slot acquired by a successful acquire().
+  void release() noexcept;
+
+  [[nodiscard]] std::size_t in_flight() const;
+  [[nodiscard]] std::size_t queued() const;
+  [[nodiscard]] const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable slot_freed_;
+  std::size_t in_flight_ = 0;
+  std::size_t queued_ = 0;
+};
+
+/// RAII slot: releases on destruction iff the gate admitted the request.
+class AdmissionTicket {
+ public:
+  AdmissionTicket(AdmissionGate& gate, AdmissionGate::Clock::time_point deadline)
+      : gate_(&gate), outcome_(gate.acquire(deadline)) {}
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+  ~AdmissionTicket() {
+    if (outcome_ == AdmissionGate::Outcome::kAdmitted) gate_->release();
+  }
+
+  [[nodiscard]] AdmissionGate::Outcome outcome() const { return outcome_; }
+  [[nodiscard]] bool admitted() const {
+    return outcome_ == AdmissionGate::Outcome::kAdmitted;
+  }
+
+ private:
+  AdmissionGate* gate_;
+  AdmissionGate::Outcome outcome_;
+};
+
+}  // namespace hmdiv::serve

@@ -1,0 +1,389 @@
+#include "serve/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <system_error>
+
+namespace hmdiv::serve {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != JsonType::kObject) return nullptr;
+  for (std::size_t i = 0; i < member_count; ++i) {
+    if (members[i].name() == key) return &members[i].value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+struct ParseState {
+  const char* cursor;
+  const char* begin;
+  const char* end;
+  exec::Workspace* workspace;
+  std::vector<JsonValue>* values;
+  std::vector<JsonMember>* members;
+  const char* error = nullptr;
+  const char* error_cursor = nullptr;
+
+  bool fail(const char* message) {
+    if (error == nullptr) {
+      error = message;
+      error_cursor = cursor;
+    }
+    return false;
+  }
+
+  void skip_whitespace() {
+    while (cursor != end && (*cursor == ' ' || *cursor == '\t' ||
+                             *cursor == '\n' || *cursor == '\r')) {
+      ++cursor;
+    }
+  }
+
+  [[nodiscard]] bool at_end() const { return cursor == end; }
+  [[nodiscard]] char peek() const { return *cursor; }
+
+  bool consume_literal(std::string_view literal) {
+    if (end - cursor < static_cast<std::ptrdiff_t>(literal.size()) ||
+        std::memcmp(cursor, literal.data(), literal.size()) != 0) {
+      return fail("invalid literal");
+    }
+    cursor += literal.size();
+    return true;
+  }
+};
+
+bool parse_value(ParseState& s, JsonValue& out, std::size_t depth);
+
+/// Writes `code_point` (basic plane) as UTF-8 into `out`; returns the
+/// number of bytes written.
+std::size_t encode_utf8(std::uint32_t code_point, char* out) {
+  if (code_point < 0x80) {
+    out[0] = static_cast<char>(code_point);
+    return 1;
+  }
+  if (code_point < 0x800) {
+    out[0] = static_cast<char>(0xC0 | (code_point >> 6));
+    out[1] = static_cast<char>(0x80 | (code_point & 0x3F));
+    return 2;
+  }
+  out[0] = static_cast<char>(0xE0 | (code_point >> 12));
+  out[1] = static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+  out[2] = static_cast<char>(0x80 | (code_point & 0x3F));
+  return 3;
+}
+
+bool parse_hex4(ParseState& s, std::uint32_t& out) {
+  if (s.end - s.cursor < 4) return s.fail("truncated \\u escape");
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    const char c = s.cursor[i];
+    std::uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      return s.fail("invalid \\u escape");
+    }
+    value = (value << 4) | digit;
+  }
+  s.cursor += 4;
+  out = value;
+  return true;
+}
+
+/// Parses a string token (cursor on the opening quote). Escape-free
+/// strings come back as a view into the input; escaped ones are decoded
+/// into the workspace.
+bool parse_string(ParseState& s, const char*& text, std::size_t& size) {
+  ++s.cursor;  // opening quote
+  const char* const raw_begin = s.cursor;
+  bool has_escape = false;
+  for (;;) {
+    if (s.at_end()) return s.fail("unterminated string");
+    const char c = s.peek();
+    if (c == '"') break;
+    if (static_cast<unsigned char>(c) < 0x20) {
+      return s.fail("unescaped control character in string");
+    }
+    if (c == '\\') {
+      has_escape = true;
+      ++s.cursor;
+      if (s.at_end()) return s.fail("unterminated string");
+    }
+    ++s.cursor;
+  }
+  const char* const raw_end = s.cursor;
+  ++s.cursor;  // closing quote
+  if (!has_escape) {
+    text = raw_begin;
+    size = static_cast<std::size_t>(raw_end - raw_begin);
+    return true;
+  }
+  // Decoded text never exceeds the raw span (every escape shrinks).
+  const std::span<char> buffer = s.workspace->alloc<char>(
+      static_cast<std::size_t>(raw_end - raw_begin));
+  char* write = buffer.data();
+  const char* read = raw_begin;
+  while (read != raw_end) {
+    if (*read != '\\') {
+      *write++ = *read++;
+      continue;
+    }
+    ++read;  // backslash; the scan above guarantees one more byte
+    const char esc = *read++;
+    switch (esc) {
+      case '"': *write++ = '"'; break;
+      case '\\': *write++ = '\\'; break;
+      case '/': *write++ = '/'; break;
+      case 'b': *write++ = '\b'; break;
+      case 'f': *write++ = '\f'; break;
+      case 'n': *write++ = '\n'; break;
+      case 'r': *write++ = '\r'; break;
+      case 't': *write++ = '\t'; break;
+      case 'u': {
+        ParseState hex = s;
+        hex.cursor = read;
+        std::uint32_t code_point = 0;
+        if (!parse_hex4(hex, code_point)) {
+          s.cursor = read;
+          return s.fail("invalid \\u escape");
+        }
+        read = hex.cursor;
+        if (code_point >= 0xD800 && code_point <= 0xDFFF) {
+          s.cursor = read;
+          return s.fail("surrogate \\u escapes are not supported");
+        }
+        write += encode_utf8(code_point, write);
+        break;
+      }
+      default:
+        s.cursor = read - 1;
+        return s.fail("invalid escape");
+    }
+  }
+  text = buffer.data();
+  size = static_cast<std::size_t>(write - buffer.data());
+  return true;
+}
+
+bool parse_number(ParseState& s, JsonValue& out) {
+  // Validate the JSON number grammar first: from_chars is laxer (it
+  // accepts "inf"/"nan" and leading '+').
+  const char* p = s.cursor;
+  if (p != s.end && *p == '-') ++p;
+  if (p == s.end || *p < '0' || *p > '9') return s.fail("invalid number");
+  if (*p == '0') {
+    ++p;
+  } else {
+    while (p != s.end && *p >= '0' && *p <= '9') ++p;
+  }
+  if (p != s.end && *p == '.') {
+    ++p;
+    if (p == s.end || *p < '0' || *p > '9') return s.fail("invalid number");
+    while (p != s.end && *p >= '0' && *p <= '9') ++p;
+  }
+  if (p != s.end && (*p == 'e' || *p == 'E')) {
+    ++p;
+    if (p != s.end && (*p == '+' || *p == '-')) ++p;
+    if (p == s.end || *p < '0' || *p > '9') return s.fail("invalid number");
+    while (p != s.end && *p >= '0' && *p <= '9') ++p;
+  }
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.cursor, p, value);
+  if (ec != std::errc{} || ptr != p) return s.fail("number out of range");
+  s.cursor = p;
+  out.type = JsonType::kNumber;
+  out.number = value;
+  return true;
+}
+
+bool parse_array(ParseState& s, JsonValue& out, std::size_t depth) {
+  ++s.cursor;  // '['
+  const std::size_t stack_base = s.values->size();
+  s.skip_whitespace();
+  if (!s.at_end() && s.peek() == ']') {
+    ++s.cursor;
+  } else {
+    for (;;) {
+      JsonValue item;
+      if (!parse_value(s, item, depth + 1)) return false;
+      s.values->push_back(item);
+      s.skip_whitespace();
+      if (s.at_end()) return s.fail("unterminated array");
+      const char c = s.peek();
+      ++s.cursor;
+      if (c == ']') break;
+      if (c != ',') {
+        --s.cursor;
+        return s.fail("expected ',' or ']' in array");
+      }
+      s.skip_whitespace();
+    }
+  }
+  const std::size_t count = s.values->size() - stack_base;
+  const std::span<JsonValue> storage = s.workspace->alloc<JsonValue>(count);
+  std::memcpy(storage.data(), s.values->data() + stack_base,
+              count * sizeof(JsonValue));
+  s.values->resize(stack_base);
+  out.type = JsonType::kArray;
+  out.items = storage.data();
+  out.item_count = count;
+  return true;
+}
+
+bool parse_object(ParseState& s, JsonValue& out, std::size_t depth) {
+  ++s.cursor;  // '{'
+  const std::size_t stack_base = s.members->size();
+  s.skip_whitespace();
+  if (!s.at_end() && s.peek() == '}') {
+    ++s.cursor;
+  } else {
+    for (;;) {
+      s.skip_whitespace();
+      if (s.at_end() || s.peek() != '"') {
+        return s.fail("expected string key in object");
+      }
+      JsonMember member;
+      if (!parse_string(s, member.key, member.key_size)) return false;
+      s.skip_whitespace();
+      if (s.at_end() || s.peek() != ':') {
+        return s.fail("expected ':' in object");
+      }
+      ++s.cursor;
+      if (!parse_value(s, member.value, depth + 1)) return false;
+      s.members->push_back(member);
+      s.skip_whitespace();
+      if (s.at_end()) return s.fail("unterminated object");
+      const char c = s.peek();
+      ++s.cursor;
+      if (c == '}') break;
+      if (c != ',') {
+        --s.cursor;
+        return s.fail("expected ',' or '}' in object");
+      }
+    }
+  }
+  const std::size_t count = s.members->size() - stack_base;
+  const std::span<JsonMember> storage = s.workspace->alloc<JsonMember>(count);
+  std::memcpy(storage.data(), s.members->data() + stack_base,
+              count * sizeof(JsonMember));
+  s.members->resize(stack_base);
+  out.type = JsonType::kObject;
+  out.members = storage.data();
+  out.member_count = count;
+  return true;
+}
+
+bool parse_value(ParseState& s, JsonValue& out, std::size_t depth) {
+  if (depth > JsonParser::kMaxDepth) return s.fail("nesting too deep");
+  s.skip_whitespace();
+  if (s.at_end()) return s.fail("unexpected end of input");
+  switch (s.peek()) {
+    case '{':
+      return parse_object(s, out, depth);
+    case '[':
+      return parse_array(s, out, depth);
+    case '"': {
+      out.type = JsonType::kString;
+      return parse_string(s, out.text, out.text_size);
+    }
+    case 't':
+      out.type = JsonType::kBool;
+      out.boolean = true;
+      return s.consume_literal("true");
+    case 'f':
+      out.type = JsonType::kBool;
+      out.boolean = false;
+      return s.consume_literal("false");
+    case 'n':
+      out.type = JsonType::kNull;
+      return s.consume_literal("null");
+    default:
+      return parse_number(s, out);
+  }
+}
+
+}  // namespace
+
+JsonParser::Result JsonParser::parse(std::string_view text,
+                                     exec::Workspace& workspace) {
+  values_.clear();
+  members_.clear();
+  ParseState state{text.data(), text.data(), text.data() + text.size(),
+                   &workspace, &values_, &members_};
+  JsonValue root;
+  Result result;
+  if (!parse_value(state, root, 0)) {
+    result.error = state.error;
+    result.error_at =
+        static_cast<std::size_t>(state.error_cursor - state.begin);
+    return result;
+  }
+  state.skip_whitespace();
+  if (!state.at_end()) {
+    result.error = "trailing garbage after document";
+    result.error_at = static_cast<std::size_t>(state.cursor - state.begin);
+    return result;
+  }
+  const std::span<JsonValue> storage = workspace.alloc<JsonValue>(1);
+  storage[0] = root;
+  result.value = storage.data();
+  return result;
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_json_number(std::string& out, double value) {
+  // JSON has no spelling for nan/inf; null is the conventional stand-in.
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  std::array<char, 32> buffer;
+  const auto [ptr, ec] = std::to_chars(buffer.data(),
+                                       buffer.data() + buffer.size(), value);
+  if (ec != std::errc{}) {
+    out += "null";
+    return;
+  }
+  out.append(buffer.data(), static_cast<std::size_t>(ptr - buffer.data()));
+}
+
+void append_json_uint(std::string& out, unsigned long long value) {
+  std::array<char, 24> buffer;
+  const auto [ptr, ec] = std::to_chars(buffer.data(),
+                                       buffer.data() + buffer.size(), value);
+  static_cast<void>(ec);
+  out.append(buffer.data(), static_cast<std::size_t>(ptr - buffer.data()));
+}
+
+}  // namespace hmdiv::serve

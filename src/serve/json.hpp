@@ -1,0 +1,118 @@
+// Workspace-backed JSON for the serve layer's newline-delimited protocol.
+//
+// Every request is one JSON line; the daemon parses thousands per second,
+// so the parser is built for the arena discipline of DESIGN.md §10 rather
+// than for generality: all nodes, member tables and decoded strings are
+// bump-allocated from the caller's exec::Workspace and become invalid when
+// the enclosing Workspace::Scope closes. JsonValue is trivially copyable
+// (string payloads are views into the input line or into the arena), so
+// after the first request at a given shape the parse performs zero heap
+// allocations — the property the serve hot path is tested for.
+//
+// Supported: RFC 8259 minus surrogate-pair decoding (\uXXXX escapes decode
+// basic-plane code points to UTF-8; lone surrogates are rejected). Numbers
+// are doubles via std::from_chars. Depth is capped (kMaxDepth) so hostile
+// nesting cannot blow the recursion stack.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/workspace.hpp"
+
+namespace hmdiv::serve {
+
+enum class JsonType : unsigned char {
+  kNull,
+  kBool,
+  kNumber,
+  kString,
+  kArray,
+  kObject,
+};
+
+struct JsonMember;
+
+/// One parsed JSON node. Trivially copyable; every pointer refers to
+/// workspace storage (or to the input text for escape-free strings) owned
+/// by the caller's scope.
+struct JsonValue {
+  JsonType type = JsonType::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  const char* text = nullptr;
+  std::size_t text_size = 0;
+  const JsonValue* items = nullptr;
+  std::size_t item_count = 0;
+  const JsonMember* members = nullptr;
+  std::size_t member_count = 0;
+
+  [[nodiscard]] bool is_null() const { return type == JsonType::kNull; }
+  [[nodiscard]] bool is_bool() const { return type == JsonType::kBool; }
+  [[nodiscard]] bool is_number() const { return type == JsonType::kNumber; }
+  [[nodiscard]] bool is_string() const { return type == JsonType::kString; }
+  [[nodiscard]] bool is_array() const { return type == JsonType::kArray; }
+  [[nodiscard]] bool is_object() const { return type == JsonType::kObject; }
+
+  [[nodiscard]] std::string_view string() const { return {text, text_size}; }
+
+  /// Member lookup by key; nullptr when absent or not an object. First
+  /// match wins on (malformed) duplicate keys.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+/// One object member; key is a workspace/input view like string payloads.
+struct JsonMember {
+  const char* key = nullptr;
+  std::size_t key_size = 0;
+  JsonValue value;
+
+  [[nodiscard]] std::string_view name() const { return {key, key_size}; }
+};
+
+/// Reusable parser: the per-container build stacks are members so their
+/// capacity survives across requests on the same connection.
+class JsonParser {
+ public:
+  /// Nesting cap for arrays/objects; deeper input is a parse error.
+  static constexpr std::size_t kMaxDepth = 64;
+
+  struct Result {
+    /// Root node, or nullptr on error. Lives in `workspace`.
+    const JsonValue* value = nullptr;
+    /// Static description of the failure; nullptr on success.
+    const char* error = nullptr;
+    /// Byte offset of the failure in the input.
+    std::size_t error_at = 0;
+  };
+
+  /// Parses `text` (one complete JSON document; trailing whitespace is
+  /// allowed, trailing garbage is not). All output storage comes from
+  /// `workspace` and is only valid until the caller's scope closes.
+  [[nodiscard]] Result parse(std::string_view text,
+                             exec::Workspace& workspace);
+
+ private:
+  // Scratch for collecting container children before the sizes are known;
+  // finished containers are copied into right-sized workspace spans.
+  std::vector<JsonValue> values_;
+  std::vector<JsonMember> members_;
+};
+
+// --- Writer helpers ----------------------------------------------------
+// Responses are appended to a reused std::string whose capacity survives
+// across requests, so these never allocate in steady state.
+
+/// Appends `s` JSON-escaped, without surrounding quotes.
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// Appends a double in round-trippable shortest form (std::to_chars).
+/// NaN / infinities — unrepresentable in JSON — are appended as null.
+void append_json_number(std::string& out, double value);
+
+/// Appends an unsigned integer in decimal.
+void append_json_uint(std::string& out, unsigned long long value);
+
+}  // namespace hmdiv::serve

@@ -1,0 +1,292 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace hmdiv::serve {
+
+namespace {
+
+/// poll() with EINTR retry (signals — SIGCHLD from shard workers, the
+/// daemon's own SIGTERM — must not surface as transport errors; the
+/// shutdown signal is observed via the wake pipe, not via EINTR).
+int poll_retry(pollfd* fds, nfds_t count, int timeout_ms) {
+  for (;;) {
+    const int rc = ::poll(fds, count, timeout_ms);
+    if (rc >= 0 || errno != EINTR) return rc;
+  }
+}
+
+void close_quietly(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Server::Server(Service& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+Server::~Server() {
+  if (running()) shutdown();
+}
+
+void Server::start() {
+  if (running()) throw std::runtime_error("server already running");
+  stopping_.store(false, std::memory_order_release);
+
+  if (::pipe(wake_pipe_) != 0) {
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    close_quietly(wake_pipe_[0]);
+    close_quietly(wake_pipe_[1]);
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    const std::string bad = options_.bind_address;
+    close_quietly(listen_fd_);
+    close_quietly(wake_pipe_[0]);
+    close_quietly(wake_pipe_[1]);
+    throw std::runtime_error("invalid bind address '" + bad + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, options_.listen_backlog) != 0) {
+    const std::string reason = std::strerror(errno);
+    close_quietly(listen_fd_);
+    close_quietly(wake_pipe_[0]);
+    close_quietly(wake_pipe_[1]);
+    throw std::runtime_error("bind/listen: " + reason);
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+}
+
+void Server::request_shutdown() noexcept {
+  // Only async-signal-safe operations: atomic stores and one write().
+  service_.set_draining(true);
+  stopping_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'x';
+    [[maybe_unused]] const ssize_t rc = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::shutdown() {
+  request_shutdown();
+  wait();
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop is gone; no new connections can appear.
+  for (;;) {
+    std::unique_ptr<Connection> connection;
+    {
+      const std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (connections_.empty()) break;
+      connection = std::move(connections_.back());
+      connections_.pop_back();
+    }
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  close_quietly(listen_fd_);
+  close_quietly(wake_pipe_[0]);
+  close_quietly(wake_pipe_[1]);
+  running_.store(false, std::memory_order_release);
+}
+
+std::size_t Server::reap_connections_locked() {
+  std::size_t live = 0;
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++live;
+      ++it;
+    }
+  }
+  return live;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    if (poll_retry(fds, 2, -1) < 0) break;
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const int conn_fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (conn_fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) {
+        continue;
+      }
+      break;
+    }
+    const int enable = 1;
+    ::setsockopt(conn_fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable);
+    timeval send_timeout{};
+    send_timeout.tv_sec = options_.send_timeout_seconds;
+    ::setsockopt(conn_fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof send_timeout);
+
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (reap_connections_locked() >= options_.max_connections) {
+      HMDIV_OBS_COUNT("serve.conn.busy_rejected", 1);
+      static constexpr char kBusy[] =
+          "{\"id\":null,\"ok\":false,\"error\":{\"code\":\"busy\","
+          "\"message\":\"connection limit reached\"}}\n";
+      static_cast<void>(send_all(conn_fd, kBusy, sizeof kBusy - 1));
+      int fd = conn_fd;
+      close_quietly(fd);
+      continue;
+    }
+    HMDIV_OBS_COUNT("serve.conn.accepted", 1);
+    auto connection = std::make_unique<Connection>();
+    connection->fd = conn_fd;
+    Connection& ref = *connection;
+    connections_.push_back(std::move(connection));
+    ref.thread = std::thread(&Server::connection_loop, this, std::ref(ref));
+  }
+}
+
+bool Server::send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t rc =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    // EAGAIN here means the send timeout elapsed: the peer stopped
+    // reading. Treat it (and any other error) as a dead connection.
+    return false;
+  }
+  return true;
+}
+
+void Server::connection_loop(Connection& connection) {
+  RequestScratch scratch;
+  std::string in;
+  std::string out;
+  std::size_t consumed = 0;
+  bool peer_ok = true;
+  bool oversized = false;
+  char buffer[64 * 1024];
+
+  // Answers every complete line currently buffered. Returns false when
+  // the connection must close (oversized unfinished line).
+  const auto process_buffered = [&]() -> bool {
+    for (;;) {
+      const std::size_t newline = in.find('\n', consumed);
+      if (newline == std::string::npos) break;
+      std::string_view line(in.data() + consumed, newline - consumed);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (!line.empty()) service_.handle_line(line, scratch, out);
+      consumed = newline + 1;
+    }
+    if (consumed == in.size()) {
+      in.clear();
+      consumed = 0;
+    } else if (consumed > 4096) {
+      // In-place shift; keeps the buffer from growing without bound
+      // while a partial line straddles reads.
+      in.erase(0, consumed);
+      consumed = 0;
+    }
+    if (in.size() - consumed > options_.max_line_bytes) {
+      oversized = true;
+      HMDIV_OBS_COUNT("serve.protocol.oversized", 1);
+      out +=
+          "{\"id\":null,\"ok\":false,\"error\":{\"code\":\"oversized\","
+          "\"message\":\"request line exceeds the size limit\"}}\n";
+      return false;
+    }
+    return true;
+  };
+
+  for (;;) {
+    pollfd fds[2] = {{connection.fd, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    if (poll_retry(fds, 2, -1) < 0) break;
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+
+    const ssize_t got = ::read(connection.fd, buffer, sizeof buffer);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;  // peer closed or hard error
+    in.append(buffer, static_cast<std::size_t>(got));
+    const bool resyncable = process_buffered();
+    if (!out.empty()) {
+      peer_ok = send_all(connection.fd, out.data(), out.size());
+      out.clear();
+      if (!peer_ok) break;
+    }
+    if (!resyncable) break;
+  }
+
+  // Drain: requests sent before shutdown still get answers. Bytes the
+  // peer wrote before the stop signal may still be in flight or queued in
+  // the kernel, so keep reading until the socket goes quiet for one grace
+  // interval (bounded by kDrainMaxPolls so a chatty peer cannot stall
+  // shutdown indefinitely).
+  if (peer_ok && !oversized && stopping_.load(std::memory_order_acquire)) {
+    constexpr int kDrainGraceMs = 25;
+    constexpr int kDrainMaxPolls = 10;
+    for (int polls = 0; polls < kDrainMaxPolls; ++polls) {
+      pollfd pfd{connection.fd, POLLIN, 0};
+      if (poll_retry(&pfd, 1, kDrainGraceMs) <= 0) break;
+      if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) == 0) break;
+      const ssize_t got = ::read(connection.fd, buffer, sizeof buffer);
+      if (got < 0 && errno == EINTR) continue;
+      if (got <= 0) break;
+      in.append(buffer, static_cast<std::size_t>(got));
+      if (!process_buffered()) break;
+    }
+    if (!oversized) process_buffered();
+    if (!out.empty()) {
+      static_cast<void>(send_all(connection.fd, out.data(), out.size()));
+    }
+  }
+  ::shutdown(connection.fd, SHUT_RDWR);
+  close_quietly(connection.fd);
+  connection.done.store(true, std::memory_order_release);
+}
+
+}  // namespace hmdiv::serve

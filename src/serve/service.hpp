@@ -1,0 +1,235 @@
+// The serve layer's request dispatcher: protocol parsing, model state,
+// shared result caches and per-endpoint observability, independent of any
+// transport. server.hpp moves bytes; Service turns one request line into
+// one response line.
+//
+// Protocol (newline-delimited JSON, one object per line):
+//   {"op":"whatif","id":7,"deadline_ms":250,"params":{...}}
+// ->
+//   {"id":7,"ok":true,"result":{...}}
+//   {"id":7,"ok":false,"error":{"code":"shed","message":"..."}}
+//
+// Error codes: bad_request, unknown_op, shed, deadline_exceeded, internal.
+//
+// Request lifecycle (DESIGN.md §13):
+//  * Each handle_line() opens a Workspace::Scope on the calling thread's
+//    exec workspace; JSON nodes and all per-request scratch live there and
+//    are rewound on return. Together with the reused RequestScratch
+//    buffers, hot endpoints (whatif/compare on cache hits) perform zero
+//    steady-state heap allocations.
+//  * Compute endpoints pass through the AdmissionGate (bounded queue +
+//    deadline wait); health/metrics/reload bypass it so the daemon stays
+//    observable under overload.
+//  * Model state (model, profiles, derived engines) lives behind a
+//    shared_mutex with an epoch counter. `reload` swaps in a new bundle
+//    under the exclusive lock, bumps the epoch and clears every result
+//    cache — cached values are keyed by request inputs only and would
+//    otherwise leak answers computed against the previous model.
+//
+// Metrics: serve.<ep>.requests / .errors / .shed counters and a
+// serve.<ep>.ns histogram per endpoint, plus serve.<ep>.cache_hit/_miss
+// for the cached endpoints; all registered once at construction and
+// gated on obs::enabled().
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/demand_profile.hpp"
+#include "core/eval_cache.hpp"
+#include "core/extrapolation.hpp"
+#include "core/sequential_model.hpp"
+#include "core/tradeoff.hpp"
+#include "core/uncertainty.hpp"
+#include "obs/obs.hpp"
+#include "serve/admission.hpp"
+#include "serve/json.hpp"
+
+namespace hmdiv::serve {
+
+struct ServiceOptions {
+  /// Shared result-cache capacities (entries; 0 disables a cache).
+  std::size_t whatif_cache_capacity = 4096;
+  std::size_t sweep_cache_capacity = 64;
+  std::size_t minimise_cache_capacity = 128;
+  std::size_t uq_cache_capacity = 128;
+  /// Deadline applied when a request carries none, and the cap on the
+  /// deadline a request may ask for.
+  std::uint64_t default_deadline_ms = 1000;
+  std::uint64_t max_deadline_ms = 60'000;
+  /// Thread budget for one request's compute (requests are already
+  /// parallel across connections; 1 = serial per request).
+  unsigned compute_threads = 1;
+  /// Admission control; max_concurrent 0 = hardware concurrency.
+  std::size_t max_concurrent = 0;
+  std::size_t max_queue = 64;
+  /// Input bounds on expensive endpoints.
+  std::size_t max_sweep_steps = 100'000;
+  std::size_t max_uq_draws = 100'000;
+  std::size_t max_compare_scenarios = 32;
+  /// Synthetic per-class trial size used to derive posterior counts for
+  /// the uq endpoint when the request supplies none.
+  std::uint64_t uq_cases_per_class = 2000;
+};
+
+/// Per-connection reusable parse/compute scratch. Buffer capacities
+/// survive across requests, which is what keeps the hot path allocation
+/// free after the first request of each shape.
+struct RequestScratch {
+  JsonParser parser;
+  std::vector<double> key;
+  std::vector<std::pair<std::size_t, double>> class_factors;
+};
+
+class Service {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Builds the daemon state from a trial-estimated model and the trial /
+  /// field demand profiles (the Section-5 inputs). Throws
+  /// std::invalid_argument when the profiles do not match the model.
+  Service(core::SequentialModel model, core::DemandProfile trial,
+          core::DemandProfile field, ServiceOptions options = {});
+  ~Service();
+
+  /// Handles one request line (no trailing newline required) and appends
+  /// exactly one newline-terminated response line to `out`.
+  void handle_line(std::string_view line, RequestScratch& scratch,
+                   std::string& out);
+
+  /// Atomically replaces the model bundle, clears every result cache and
+  /// bumps the epoch. Throws std::invalid_argument on incompatible inputs
+  /// (the current state is untouched).
+  void reload(core::SequentialModel model, core::DemandProfile trial,
+              core::DemandProfile field);
+
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Flagged by the server during shutdown; `health` reports it so load
+  /// balancers can drain before the listener disappears.
+  void set_draining(bool draining) noexcept {
+    draining_.store(draining, std::memory_order_release);
+  }
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] AdmissionGate& gate() { return gate_; }
+  [[nodiscard]] const ServiceOptions& options() const { return options_; }
+
+ private:
+  enum Endpoint : std::size_t {
+    kAnalyze = 0,
+    kWhatif,
+    kSweep,
+    kMinimise,
+    kUq,
+    kCompare,
+    kHealth,
+    kMetrics,
+    kReload,
+    kEndpointCount,
+  };
+
+  /// Everything derived from one (model, trial, field) triple; rebuilt
+  /// whole on reload so readers under the shared lock never see a
+  /// half-updated bundle.
+  struct Loaded;
+
+  struct EndpointMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Histogram* ns = nullptr;
+    obs::Counter* cache_hit = nullptr;   // cached endpoints only
+    obs::Counter* cache_miss = nullptr;  // cached endpoints only
+  };
+
+  /// Fixed-size memoised values — EvalCache copies them by value, so they
+  /// must stay trivially copyable (no per-hit allocation).
+  struct WhatifNumbers {
+    double system_failure = 0.0;
+    double machine_failure = 0.0;
+    double failure_floor = 0.0;
+    double floor = 0.0;
+    double mean_field = 0.0;
+    double covariance = 0.0;
+  };
+  static constexpr std::size_t kMaxSweepPoints = 33;
+  struct SweepSummary {
+    std::uint32_t point_count = 0;
+    std::array<core::SystemOperatingPoint, kMaxSweepPoints> points{};
+  };
+  struct MinimiseNumbers {
+    core::SystemOperatingPoint best;
+    double cost = 0.0;
+  };
+  struct UqNumbers {
+    double mean = 0.0;
+    double lower = 0.0;
+    double upper = 0.0;
+    double stddev = 0.0;
+  };
+
+  [[nodiscard]] static std::unique_ptr<Loaded> build_loaded(
+      core::SequentialModel model, core::DemandProfile trial,
+      core::DemandProfile field, const ServiceOptions& options);
+
+  void clear_caches();
+
+  // Endpoint handlers append the `"result":{...}` payload body.
+  void handle_analyze(const Loaded& state, const JsonValue* params,
+                      std::string& out) const;
+  void handle_whatif(const Loaded& state, const JsonValue* params,
+                     RequestScratch& scratch, std::string& out) const;
+  void handle_sweep(const Loaded& state, const JsonValue* params,
+                    RequestScratch& scratch, Clock::time_point deadline,
+                    std::string& out) const;
+  void handle_minimise(const Loaded& state, const JsonValue* params,
+                       RequestScratch& scratch, Clock::time_point deadline,
+                       std::string& out) const;
+  void handle_uq(const Loaded& state, const JsonValue* params,
+                 RequestScratch& scratch, Clock::time_point deadline,
+                 std::string& out) const;
+  void handle_compare(const Loaded& state, const JsonValue* params,
+                      RequestScratch& scratch, std::string& out) const;
+  void handle_health(const Loaded& state, std::string& out) const;
+  void handle_metrics(std::string& out) const;
+  void handle_reload(const JsonValue* params, std::string& out);
+
+  /// Shared whatif machinery (whatif + compare): resolves a scenario spec,
+  /// probes the cache, computes on miss. `cached` reports the hit/miss.
+  [[nodiscard]] WhatifNumbers compute_whatif(const Loaded& state,
+                                             const JsonValue& spec,
+                                             RequestScratch& scratch,
+                                             bool& cached) const;
+
+  ServiceOptions options_;
+  AdmissionGate gate_;
+  Clock::time_point started_;
+
+  mutable std::shared_mutex state_mutex_;
+  std::unique_ptr<Loaded> state_;  // guarded by state_mutex_
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<bool> draining_{false};
+
+  mutable core::EvalCache<WhatifNumbers> whatif_cache_;
+  mutable core::EvalCache<SweepSummary> sweep_cache_;
+  mutable core::EvalCache<MinimiseNumbers> minimise_cache_;
+  mutable core::EvalCache<UqNumbers> uq_cache_;
+
+  std::array<EndpointMetrics, kEndpointCount> metrics_{};
+};
+
+}  // namespace hmdiv::serve

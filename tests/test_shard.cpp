@@ -13,12 +13,15 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/time.h>
 #include <sys/wait.h>
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <span>
@@ -340,6 +343,47 @@ TEST(ShardRunnerTest, BadWorkerBinarySurfacesExecFailure) {
   const exec::ShardFailure failure = expect_failure("test.echo", options);
   EXPECT_EQ(failure.kind, exec::ShardFailure::Kind::exit_code);
   EXPECT_EQ(failure.code, 127);
+  expect_no_zombies();
+}
+
+std::atomic<std::uint64_t> g_storm_ticks{0};
+void storm_tick(int) { g_storm_ticks.fetch_add(1, std::memory_order_relaxed); }
+
+TEST(ShardRunnerTest, SurvivesSigalrmStormWithoutSaRestart) {
+  HMDIV_SKIP_FORK_UNDER_TSAN();
+  // Fault injection for the runner's EINTR handling: a no-op SIGALRM
+  // handler installed WITHOUT SA_RESTART interrupts every blocking
+  // syscall in the parent (poll, read, write, waitpid, sigtimedwait in
+  // SigpipeGuard's drain) at ~2 kHz while workers run. Workers are
+  // unaffected: fork clears interval timers and exec resets the handler.
+  struct sigaction storm {};
+  storm.sa_handler = &storm_tick;
+  sigemptyset(&storm.sa_mask);
+  storm.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old_action {};
+  ASSERT_EQ(sigaction(SIGALRM, &storm, &old_action), 0);
+  itimerval interval{};
+  interval.it_interval.tv_usec = 500;
+  interval.it_value.tv_usec = 500;
+  ASSERT_EQ(setitimer(ITIMER_REAL, &interval, nullptr), 0);
+
+  const std::vector<std::uint8_t> blob{1, 2, 3, 4};
+  std::vector<std::vector<std::uint8_t>> stormy;
+  for (int round = 0; round < 5; ++round) {
+    const exec::ShardRunner runner(test_options(3));
+    stormy = runner.run("test.echo", blob);
+    ASSERT_EQ(stormy.size(), 3U);
+  }
+
+  // Stop the storm before asserting; gtest is not itself EINTR-proof.
+  itimerval off{};
+  setitimer(ITIMER_REAL, &off, nullptr);
+  sigaction(SIGALRM, &old_action, nullptr);
+  EXPECT_GT(g_storm_ticks.load(), 0U) << "storm never fired";
+
+  // The same workload without the storm must be bit-identical.
+  const exec::ShardRunner calm_runner(test_options(3));
+  EXPECT_EQ(stormy, calm_runner.run("test.echo", blob));
   expect_no_zombies();
 }
 
