@@ -1,22 +1,32 @@
-// serve_load — load generator for the hmdiv_serve service layer (PR 7).
+// serve_load — load generator for the hmdiv_serve service layer.
 //
 // Spins up an in-process serve::Server on an ephemeral loopback port,
-// then drives it with pipelined `whatif` requests over raw TCP sockets:
-// each client connection keeps a window of in-flight requests and
-// refills it as responses drain, rotating through a fixed set of
-// distinct parameter vectors so the steady state exercises the shared
-// EvalCache hit path (the zero-allocation fast path the service is
-// specified against).
+// then drives it with pipelined requests over raw TCP sockets: each
+// client connection keeps a window of in-flight requests and refills it
+// as responses drain, rotating through a fixed set of distinct parameter
+// vectors.
 //
-// Reports throughput (QPS) and per-request latency quantiles (p50/p99,
-// measured send-to-receive per pipelined slot), and writes
-// BENCH_pr7_serve_qps.json next to the working directory (or to --out).
+// Two modes:
+//  * Default (PR 7 shape): warm-cache `whatif` workload, reports QPS and
+//    p50/p99 latency, writes BENCH_pr7_serve_qps.json (or --out).
+//    --endpoint uq|mixed and --cold-cache change the workload;
+//    --batch-max/--batch-wait-us/--compute-threads turn on request
+//    coalescing (DESIGN.md §14).
+//  * --matrix (PR 8): cold-cache mixed whatif+uq workload measured with
+//    batching off and on at 2/8/16 connections (fresh Service per cell),
+//    writes BENCH_pr8_batch_serve.json. On a one-core CI box coalescing
+//    buys little wall-clock, so the gate is an overhead bound — batching
+//    on must stay within 10% of batching off in aggregate — rather than
+//    a speedup target; the cell numbers are recorded for boxes where the
+//    kernels can actually run side by side.
+//
 // Exit is non-zero only on a correctness failure (server error response,
-// short read, connect failure) — throughput on a shared CI box is
-// recorded, not gated.
+// short read, connect failure) or, under --matrix, the overhead gate.
 //
 //   serve_load [--seconds S] [--connections N] [--pipeline W]
-//              [--distinct K] [--out FILE]
+//              [--distinct K] [--endpoint whatif|uq|mixed] [--mix PCT]
+//              [--cold-cache] [--batch-max N] [--batch-wait-us N]
+//              [--compute-threads N] [--matrix] [--out FILE]
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -81,8 +91,8 @@ bool send_fully(int fd, const char* data, std::size_t size) {
   return true;
 }
 
-/// One client connection: keeps `window` whatif requests in flight,
-/// cycling through `requests` (pre-rendered lines). Latency per slot is
+/// One client connection: keeps `window` requests in flight, cycling
+/// through `requests` (pre-rendered lines). Latency per slot is
 /// send-time to the arrival of the matching (FIFO-ordered) response.
 void client_loop(std::uint16_t port, const std::vector<std::string>& requests,
                  std::size_t window, Clock::time_point stop_at,
@@ -171,14 +181,228 @@ std::uint64_t quantile_ns(std::vector<std::uint64_t>& sorted, double q) {
   return sorted[static_cast<std::size_t>(pos + 0.5)];
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+struct RunConfig {
   double seconds = 1.5;
   std::size_t connections = 2;
   std::size_t window = 64;
   std::size_t distinct = 64;
-  std::string out_path = "BENCH_pr7_serve_qps.json";
+  std::string endpoint = "whatif";  // whatif | uq | mixed
+  std::size_t mix_pct = 10;         // % of uq lines under "mixed"
+  bool cold_cache = false;
+  std::size_t batch_max = 1;
+  std::uint64_t batch_wait_us = 100;
+  unsigned compute_threads = 1;
+};
+
+struct RunResult {
+  double elapsed = 0.0;
+  double qps = 0.0;
+  std::uint64_t responses = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  bool transport_ok = true;
+};
+
+std::vector<std::string> make_requests(const RunConfig& config) {
+  std::vector<std::string> requests;
+  requests.reserve(config.distinct);
+  for (std::size_t k = 0; k < config.distinct; ++k) {
+    const bool uq_line =
+        config.endpoint == "uq" ||
+        (config.endpoint == "mixed" && (k % 100) < config.mix_pct);
+    std::string line;
+    if (uq_line) {
+      // Small draw count: the point is coalescing pressure, not posterior
+      // resolution, and matrix cells must finish quickly on one core.
+      line = "{\"op\":\"uq\",\"id\":";
+      line += std::to_string(k);
+      line += ",\"params\":{\"draws\":128,\"seed\":";
+      line += std::to_string(k);
+      line += ",\"credibility\":0.9}}\n";
+    } else {
+      const double reader = 0.5 + 0.03 * static_cast<double>(k);
+      const double machine = 0.8 + 0.01 * static_cast<double>(k % 16);
+      line = "{\"op\":\"whatif\",\"id\":";
+      line += std::to_string(k);
+      line += ",\"params\":{\"reader_factor\":";
+      line += std::to_string(reader);
+      line += ",\"machine_factor\":";
+      line += std::to_string(machine);
+      line += "}}\n";
+    }
+    requests.push_back(std::move(line));
+  }
+  return requests;
+}
+
+/// Builds a fresh Service+Server for `config`, warms it with one pass
+/// over the distinct requests, runs the timed window, and aggregates.
+RunResult run_once(const RunConfig& config) {
+  using namespace hmdiv;
+  RunResult result;
+
+  serve::ServiceOptions service_options;
+  service_options.max_concurrent = config.connections;
+  // Admission and batch queues must hold a full pipeline burst from every
+  // connection, and queue wait must not eat the request deadline.
+  service_options.max_queue = config.connections * config.window + 64;
+  service_options.default_deadline_ms = 60'000;
+  service_options.batch_max = config.batch_max;
+  service_options.batch_wait_us = config.batch_wait_us;
+  service_options.batch_workers = config.compute_threads;
+  if (config.cold_cache) {
+    service_options.whatif_cache_capacity = 0;
+    service_options.sweep_cache_capacity = 0;
+    service_options.minimise_cache_capacity = 0;
+    service_options.uq_cache_capacity = 0;
+  }
+  serve::Service service(core::paper::example_model(),
+                         core::paper::trial_profile(),
+                         core::paper::field_profile(), service_options);
+  serve::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.max_connections = config.connections + 4;
+  serve::Server server(service, server_options);
+  server.start();
+
+  const std::vector<std::string> requests = make_requests(config);
+
+  // Warm-up: one pass over every distinct request. With caches on this
+  // fills them so the timed window measures the hit path; with
+  // --cold-cache it still warms the workspace arenas.
+  {
+    ClientStats warm;
+    client_loop(server.port(), requests, requests.size(),
+                Clock::now() - std::chrono::seconds(1), warm);
+    if (!warm.transport_ok || warm.errors != 0 ||
+        warm.responses != requests.size()) {
+      std::cerr << "serve_load: warm-up failed (responses=" << warm.responses
+                << " errors=" << warm.errors << ")\n";
+      server.shutdown();
+      result.transport_ok = false;
+      result.errors = warm.errors != 0 ? warm.errors : 1;
+      return result;
+    }
+  }
+
+  const auto t0 = Clock::now();
+  const auto stop_at =
+      t0 + std::chrono::microseconds(static_cast<long>(config.seconds * 1e6));
+  std::vector<ClientStats> stats(config.connections);
+  std::vector<std::thread> clients;
+  clients.reserve(config.connections);
+  for (std::size_t c = 0; c < config.connections; ++c) {
+    clients.emplace_back(client_loop, server.port(), std::cref(requests),
+                         config.window, stop_at, std::ref(stats[c]));
+  }
+  for (auto& t : clients) t.join();
+  result.elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+  server.shutdown();
+
+  std::vector<std::uint64_t> latencies;
+  for (auto& s : stats) {
+    result.responses += s.responses;
+    result.errors += s.errors;
+    result.transport_ok = result.transport_ok && s.transport_ok;
+    latencies.insert(latencies.end(), s.latencies_ns.begin(),
+                     s.latencies_ns.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  result.qps = result.elapsed > 0.0
+                   ? static_cast<double>(result.responses) / result.elapsed
+                   : 0.0;
+  result.p50_ns = quantile_ns(latencies, 0.50);
+  result.p99_ns = quantile_ns(latencies, 0.99);
+  return result;
+}
+
+int run_matrix(RunConfig base, const std::string& out_path) {
+  // Cold-cache mixed workload: the batched whatif kernel and the
+  // per-request uq compute both run every time, which is the regime
+  // coalescing targets.
+  base.endpoint = "mixed";
+  base.cold_cache = true;
+
+  const std::size_t kBatchSettings[] = {1, 8};
+  const std::size_t kConnections[] = {2, 8, 16};
+
+  std::string rows;
+  double qps_off_total = 0.0;
+  double qps_on_total = 0.0;
+  bool all_ok = true;
+  for (const std::size_t batch_max : kBatchSettings) {
+    for (const std::size_t connections : kConnections) {
+      RunConfig cell = base;
+      cell.batch_max = batch_max;
+      cell.connections = connections;
+      const RunResult r = run_once(cell);
+      all_ok = all_ok && r.transport_ok && r.errors == 0 && r.responses > 0;
+      if (batch_max <= 1) {
+        qps_off_total += r.qps;
+      } else {
+        qps_on_total += r.qps;
+      }
+      char row[512];
+      std::snprintf(
+          row, sizeof row,
+          "%s{\"batch_max\":%zu,\"connections\":%zu,\"qps\":%.0f,"
+          "\"responses\":%llu,\"errors\":%llu,\"p50_ns\":%llu,"
+          "\"p99_ns\":%llu}",
+          rows.empty() ? "" : ",", batch_max, connections, r.qps,
+          static_cast<unsigned long long>(r.responses),
+          static_cast<unsigned long long>(r.errors),
+          static_cast<unsigned long long>(r.p50_ns),
+          static_cast<unsigned long long>(r.p99_ns));
+      rows += row;
+      std::printf(
+          "serve_load: batch_max=%zu conns=%zu: %.0f QPS "
+          "(%llu responses, %llu errors, p50 %.1fus, p99 %.1fus)\n",
+          batch_max, connections, r.qps,
+          static_cast<unsigned long long>(r.responses),
+          static_cast<unsigned long long>(r.errors),
+          static_cast<double>(r.p50_ns) / 1e3,
+          static_cast<double>(r.p99_ns) / 1e3);
+    }
+  }
+
+  const bool overhead_ok = qps_on_total >= 0.9 * qps_off_total;
+  char json[4096];
+  std::snprintf(
+      json, sizeof json,
+      "{\"bench\":\"pr8_batch_serve\",\"endpoint\":\"mixed\","
+      "\"mix_pct\":%zu,\"pipeline\":%zu,\"distinct\":%zu,"
+      "\"seconds_per_cell\":%.3f,\"cold_cache\":true,"
+      "\"rows\":[%s],"
+      "\"qps_off_total\":%.0f,\"qps_on_total\":%.0f,"
+      "\"overhead_gate\":0.9,\"overhead_ok\":%s}",
+      base.mix_pct, base.window, base.distinct, base.seconds, rows.c_str(),
+      qps_off_total, qps_on_total, overhead_ok ? "true" : "false");
+  std::cout << json << "\n";
+  {
+    std::ofstream out(out_path);
+    out << json << "\n";
+  }
+
+  if (!all_ok) {
+    std::cerr << "serve_load: FAILED (matrix cell error)\n";
+    return 1;
+  }
+  if (!overhead_ok) {
+    std::cerr << "serve_load: FAILED (batching on lost more than 10% "
+                 "aggregate QPS: "
+              << qps_on_total << " vs " << qps_off_total << ")\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunConfig config;
+  bool matrix = false;
+  std::string out_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
@@ -189,13 +413,33 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--seconds") {
-      seconds = std::stod(value());
+      config.seconds = std::stod(value());
     } else if (arg == "--connections") {
-      connections = std::stoul(value());
+      config.connections = std::stoul(value());
     } else if (arg == "--pipeline") {
-      window = std::stoul(value());
+      config.window = std::stoul(value());
     } else if (arg == "--distinct") {
-      distinct = std::stoul(value());
+      config.distinct = std::stoul(value());
+    } else if (arg == "--endpoint") {
+      config.endpoint = value();
+      if (config.endpoint != "whatif" && config.endpoint != "uq" &&
+          config.endpoint != "mixed") {
+        std::cerr << "serve_load: --endpoint must be whatif, uq or mixed\n";
+        return 2;
+      }
+    } else if (arg == "--mix") {
+      config.mix_pct = std::min<std::size_t>(100, std::stoul(value()));
+    } else if (arg == "--cold-cache") {
+      config.cold_cache = true;
+    } else if (arg == "--batch-max") {
+      config.batch_max = std::max<std::size_t>(1, std::stoul(value()));
+    } else if (arg == "--batch-wait-us") {
+      config.batch_wait_us = std::stoul(value());
+    } else if (arg == "--compute-threads") {
+      config.compute_threads =
+          static_cast<unsigned>(std::max<unsigned long>(1, std::stoul(value())));
+    } else if (arg == "--matrix") {
+      matrix = true;
     } else if (arg == "--out") {
       out_path = value();
     } else {
@@ -203,101 +447,39 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  connections = std::max<std::size_t>(1, connections);
-  window = std::max<std::size_t>(1, window);
-  distinct = std::max<std::size_t>(1, distinct);
+  config.connections = std::max<std::size_t>(1, config.connections);
+  config.window = std::max<std::size_t>(1, config.window);
+  config.distinct = std::max<std::size_t>(1, config.distinct);
 
-  using namespace hmdiv;
-  obs::set_enabled(true);
+  hmdiv::obs::set_enabled(true);
 
-  serve::ServiceOptions service_options;
-  service_options.max_concurrent = connections;
-  serve::Service service(core::paper::example_model(),
-                         core::paper::trial_profile(),
-                         core::paper::field_profile(), service_options);
-  serve::ServerOptions server_options;
-  server_options.port = 0;
-  server_options.max_connections = connections + 4;
-  serve::Server server(service, server_options);
-  server.start();
-
-  // Pre-render the distinct whatif parameter vectors. Factors stay in a
-  // benign range; after one rotation every request is an EvalCache hit.
-  std::vector<std::string> requests;
-  requests.reserve(distinct);
-  for (std::size_t k = 0; k < distinct; ++k) {
-    const double reader = 0.5 + 0.03 * static_cast<double>(k);
-    const double machine = 0.8 + 0.01 * static_cast<double>(k % 16);
-    std::string line = "{\"op\":\"whatif\",\"id\":";
-    line += std::to_string(k);
-    line += ",\"params\":{\"reader_factor\":";
-    line += std::to_string(reader);
-    line += ",\"machine_factor\":";
-    line += std::to_string(machine);
-    line += "}}\n";
-    requests.push_back(std::move(line));
+  if (matrix) {
+    if (out_path.empty()) out_path = "BENCH_pr8_batch_serve.json";
+    // Matrix cells pipeline a moderate window so the largest cell
+    // (16 conns) keeps its backlog well under the admission queue bound.
+    config.window = 32;
+    return run_matrix(config, out_path);
   }
+  if (out_path.empty()) out_path = "BENCH_pr7_serve_qps.json";
 
-  // Warm-up: one pass over every distinct request fills the cache, so the
-  // timed window measures the steady-state hit path.
-  {
-    ClientStats warm;
-    client_loop(server.port(), requests, requests.size(),
-                Clock::now() - std::chrono::seconds(1), warm);
-    if (!warm.transport_ok || warm.errors != 0 ||
-        warm.responses != requests.size()) {
-      std::cerr << "serve_load: warm-up failed (responses=" << warm.responses
-                << " errors=" << warm.errors << ")\n";
-      server.shutdown();
-      return 1;
-    }
-  }
-
-  const auto t0 = Clock::now();
-  const auto stop_at =
-      t0 + std::chrono::microseconds(static_cast<long>(seconds * 1e6));
-  std::vector<ClientStats> stats(connections);
-  std::vector<std::thread> clients;
-  clients.reserve(connections);
-  for (std::size_t c = 0; c < connections; ++c) {
-    clients.emplace_back(client_loop, server.port(), std::cref(requests),
-                         window, stop_at, std::ref(stats[c]));
-  }
-  for (auto& t : clients) t.join();
-  const double elapsed =
-      std::chrono::duration<double>(Clock::now() - t0).count();
-  server.shutdown();
-
-  std::uint64_t responses = 0;
-  std::uint64_t errors = 0;
-  bool transport_ok = true;
-  std::vector<std::uint64_t> latencies;
-  for (auto& s : stats) {
-    responses += s.responses;
-    errors += s.errors;
-    transport_ok = transport_ok && s.transport_ok;
-    latencies.insert(latencies.end(), s.latencies_ns.begin(),
-                     s.latencies_ns.end());
-  }
-  std::sort(latencies.begin(), latencies.end());
-  const double qps =
-      elapsed > 0.0 ? static_cast<double>(responses) / elapsed : 0.0;
-  const std::uint64_t p50 = quantile_ns(latencies, 0.50);
-  const std::uint64_t p99 = quantile_ns(latencies, 0.99);
+  const RunResult r = run_once(config);
 
   char json[1024];
   std::snprintf(json, sizeof json,
-                "{\"bench\":\"pr7_serve_qps\",\"endpoint\":\"whatif\","
+                "{\"bench\":\"pr7_serve_qps\",\"endpoint\":\"%s\","
                 "\"connections\":%zu,\"pipeline\":%zu,\"distinct\":%zu,"
+                "\"cold_cache\":%s,\"batch_max\":%zu,"
                 "\"seconds\":%.3f,\"responses\":%llu,\"errors\":%llu,"
                 "\"qps\":%.0f,\"p50_ns\":%llu,\"p99_ns\":%llu,"
                 "\"target_qps\":50000,\"met_target\":%s}",
-                connections, window, distinct, elapsed,
-                static_cast<unsigned long long>(responses),
-                static_cast<unsigned long long>(errors), qps,
-                static_cast<unsigned long long>(p50),
-                static_cast<unsigned long long>(p99),
-                qps >= 50000.0 ? "true" : "false");
+                config.endpoint.c_str(), config.connections, config.window,
+                config.distinct, config.cold_cache ? "true" : "false",
+                config.batch_max, r.elapsed,
+                static_cast<unsigned long long>(r.responses),
+                static_cast<unsigned long long>(r.errors), r.qps,
+                static_cast<unsigned long long>(r.p50_ns),
+                static_cast<unsigned long long>(r.p99_ns),
+                r.qps >= 50000.0 ? "true" : "false");
   std::cout << json << "\n";
   {
     std::ofstream out(out_path);
@@ -306,13 +488,14 @@ int main(int argc, char** argv) {
 
   std::printf("serve_load: %llu responses in %.2fs over %zu conns "
               "(pipeline %zu): %.0f QPS, p50 %.1fus, p99 %.1fus\n",
-              static_cast<unsigned long long>(responses), elapsed, connections,
-              window, qps, static_cast<double>(p50) / 1e3,
-              static_cast<double>(p99) / 1e3);
+              static_cast<unsigned long long>(r.responses), r.elapsed,
+              config.connections, config.window, r.qps,
+              static_cast<double>(r.p50_ns) / 1e3,
+              static_cast<double>(r.p99_ns) / 1e3);
 
-  if (!transport_ok || errors != 0 || responses == 0) {
-    std::cerr << "serve_load: FAILED (transport_ok=" << transport_ok
-              << " errors=" << errors << ")\n";
+  if (!r.transport_ok || r.errors != 0 || r.responses == 0) {
+    std::cerr << "serve_load: FAILED (transport_ok=" << r.transport_ok
+              << " errors=" << r.errors << ")\n";
     return 1;
   }
   return 0;

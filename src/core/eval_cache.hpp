@@ -172,7 +172,11 @@ class EvalCache {
     }
   }
 
+  /// Materialising the Key copies to the heap, so a disabled cache must
+  /// short-circuit here — not in the Key overload — to keep disabled-cache
+  /// miss paths allocation free.
   void insert(std::span<const double> key, Value value) {
+    if (capacity() == 0) return;
     insert(Key(key.begin(), key.end()), std::move(value));
   }
 

@@ -37,6 +37,25 @@ std::uint64_t Histogram::quantile(double q) const noexcept {
   return max();
 }
 
+std::uint64_t snapshot_quantile(const HistogramSnapshot& h,
+                                double q) noexcept {
+  if (h.count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(h.count)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+    cumulative += h.buckets[b];
+    if (cumulative >= target && cumulative > 0) {
+      // Upper bound of bucket b: values in [2^(b-1), 2^b).
+      if (b == 0) return 0;
+      if (b >= 64) return ~std::uint64_t{0};
+      return (std::uint64_t{1} << b) - 1;
+    }
+  }
+  return h.max;
+}
+
 void Histogram::merge(const HistogramSnapshot& other) noexcept {
   if (other.count == 0) return;
   count_.fetch_add(other.count, std::memory_order_relaxed);

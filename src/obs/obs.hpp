@@ -187,6 +187,14 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> buckets;
 };
 
+/// Report-side quantile over a snapshot's raw bucket counts, using the
+/// same bucket-upper-bound convention as Histogram::quantile. This is how
+/// derived quantiles the snapshot does not pre-compute (e.g. p99.9) are
+/// rendered without widening HistogramSnapshot. Falls back to `max` when
+/// the buckets vector is absent or the target lies past it.
+[[nodiscard]] std::uint64_t snapshot_quantile(const HistogramSnapshot& h,
+                                              double q) noexcept;
+
 /// Everything the registry knows, sorted by metric name.
 struct Snapshot {
   std::vector<CounterSnapshot> counters;

@@ -1,0 +1,172 @@
+#include "serve/batch_executor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace hmdiv::serve {
+
+namespace {
+constexpr std::size_t kNoKind = ~std::size_t{0};
+/// Dead-prefix bound before a queue vector compacts (erases) its popped
+/// jobs. Compaction is a move of the live tail, never an allocation.
+constexpr std::size_t kCompactHead = 64;
+}  // namespace
+
+BatchExecutor::BatchExecutor(Options options, BatchFn compute)
+    : options_(std::move(options)), compute_(std::move(compute)) {
+  if (options_.kinds == 0) {
+    throw std::invalid_argument("BatchExecutor: kinds must be >= 1");
+  }
+  if (options_.batch_max == 0) {
+    throw std::invalid_argument("BatchExecutor: batch_max must be >= 1");
+  }
+  if (!compute_) {
+    throw std::invalid_argument("BatchExecutor: compute callback required");
+  }
+  queues_.resize(options_.kinds);
+  // Pre-size every queue and pre-register the metrics so the steady state
+  // (submit → drain → compute) never allocates or takes the registry lock.
+  for (KindQueue& queue : queues_) {
+    queue.jobs.reserve(options_.max_queued + kCompactHead);
+  }
+  obs::Registry& registry = obs::Registry::global();
+  batch_size_ = &registry.histogram("serve.batch.size");
+  batch_wait_ns_ = &registry.histogram("serve.batch.wait_ns");
+  batch_occupancy_ = &registry.histogram("serve.batch.occupancy");
+  batches_ = &registry.counter("serve.batch.batches");
+  const unsigned workers = std::max(1u, options_.workers);
+  workers_.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    workers_.emplace_back(&BatchExecutor::worker_loop, this);
+  }
+}
+
+BatchExecutor::~BatchExecutor() { stop(); }
+
+bool BatchExecutor::submit(const Job& job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || total_queued_ >= options_.max_queued ||
+        job.kind >= queues_.size()) {
+      return false;
+    }
+    KindQueue& queue = queues_[job.kind];
+    queue.jobs.push_back(job);
+    queue.jobs.back().enqueued = Clock::now();
+    ++total_queued_;
+    if (job.group != nullptr) job.group->add_one();
+  }
+  // notify_all, not notify_one: a coalescing worker parked in its
+  // formation wait must re-check batch fullness, and an idle worker must
+  // wake for a different kind — one notify cannot target both.
+  work_ready_.notify_all();
+  return true;
+}
+
+void BatchExecutor::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::size_t BatchExecutor::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_queued_;
+}
+
+void BatchExecutor::worker_loop() {
+  // Per-worker batch scratch; capacity warms once, then drains reuse it.
+  std::vector<Job> batch;
+  batch.reserve(options_.batch_max);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [&] { return stopping_ || total_queued_ > 0; });
+    if (total_queued_ == 0) {
+      if (stopping_) return;
+      continue;
+    }
+
+    // Serve the kind whose head job has waited longest.
+    std::size_t kind = kNoKind;
+    Clock::time_point oldest{};
+    for (std::size_t k = 0; k < queues_.size(); ++k) {
+      const KindQueue& queue = queues_[k];
+      if (queue.size() == 0) continue;
+      const Clock::time_point head = queue.jobs[queue.head].enqueued;
+      if (kind == kNoKind || head < oldest) {
+        kind = k;
+        oldest = head;
+      }
+    }
+    if (kind == kNoKind) continue;
+    KindQueue& queue = queues_[kind];
+
+    // Batch formation: let a partial batch coalesce, bounded by the
+    // formation window *and* by the earliest deadline among this kind's
+    // queued jobs — a request never waits past its own deadline just to
+    // keep a batch company. Recomputed every wakeup because submits can
+    // add a job with a nearer deadline.
+    if (options_.batch_max > 1 && options_.batch_wait_us > 0) {
+      const Clock::time_point window_end =
+          queue.jobs[queue.head].enqueued +
+          std::chrono::microseconds(options_.batch_wait_us);
+      while (!stopping_ && queue.size() != 0 &&
+             queue.size() < options_.batch_max) {
+        Clock::time_point cap = window_end;
+        for (std::size_t j = queue.head; j < queue.jobs.size(); ++j) {
+          cap = std::min(cap, queue.jobs[j].deadline);
+        }
+        if (cap <= Clock::now()) break;
+        work_ready_.wait_until(lock, cap);
+      }
+      if (queue.size() == 0) continue;  // another worker drained it
+    }
+
+    const std::size_t n = std::min(options_.batch_max, queue.size());
+    const Clock::time_point drained_at = Clock::now();
+    batch.assign(queue.jobs.begin() + static_cast<std::ptrdiff_t>(queue.head),
+                 queue.jobs.begin() +
+                     static_cast<std::ptrdiff_t>(queue.head + n));
+    queue.head += n;
+    total_queued_ -= n;
+    if (queue.head == queue.jobs.size()) {
+      queue.jobs.clear();
+      queue.head = 0;
+    } else if (queue.head >= kCompactHead) {
+      queue.jobs.erase(queue.jobs.begin(),
+                       queue.jobs.begin() +
+                           static_cast<std::ptrdiff_t>(queue.head));
+      queue.head = 0;
+    }
+    const std::size_t still_queued = total_queued_;
+    lock.unlock();
+
+    if (obs::enabled()) {
+      batch_size_->record(n);
+      batch_occupancy_->record(still_queued);
+      batches_->add(1);
+      for (const Job& job : batch) {
+        const auto waited = drained_at - job.enqueued;
+        batch_wait_ns_->record(static_cast<std::uint64_t>(std::max<long long>(
+            0, std::chrono::duration_cast<std::chrono::nanoseconds>(waited)
+                   .count())));
+      }
+    }
+
+    compute_(kind, std::span<Job>(batch));
+    for (const Job& job : batch) {
+      if (job.group != nullptr) job.group->complete_one();
+    }
+    batch.clear();
+    lock.lock();
+  }
+}
+
+}  // namespace hmdiv::serve

@@ -1,0 +1,167 @@
+// Cross-request micro-batching for the serve layer (DESIGN.md §14).
+//
+// Connection threads parse and validate, then stop: submit() enqueues one
+// Job per request into a per-kind coalescing queue, and a small worker
+// pool drains each queue in batches of up to `batch_max` jobs. A worker
+// whose queue holds fewer than batch_max jobs waits up to `batch_wait_us`
+// for more requests to coalesce — but never past the earliest deadline
+// among that kind's queued jobs, so deadline_exceeded stays a per-request
+// property rather than a batching casualty. The submitting thread parks
+// on a Group until every job it submitted has completed, which preserves
+// per-connection response order for pipelined clients.
+//
+// The executor knows nothing about endpoints: the owner supplies the
+// compute callback and interprets `kind` (the Service uses its endpoint
+// index). Jobs carry pointers into the submitting thread's workspace (the
+// parsed JSON nodes); that storage stays valid because the submitter
+// blocks in Group::wait() with its Workspace::Scope open until the worker
+// is done, and the queue mutex orders the handoff (see the cross-thread
+// note in exec/workspace.hpp).
+//
+// Obs (runtime-gated): serve.batch.size / serve.batch.wait_ns /
+// serve.batch.occupancy histograms and the serve.batch.batches counter.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "serve/json.hpp"
+
+namespace hmdiv::serve {
+
+class BatchExecutor {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Completion latch for one submitter's group of jobs. A connection
+  /// thread submits every parsed line of a read burst against one Group,
+  /// then wait()s; non-batchable requests use wait() mid-group as an
+  /// in-order barrier. Reusable: add/complete cycles may repeat.
+  class Group {
+   public:
+    Group() = default;
+    Group(const Group&) = delete;
+    Group& operator=(const Group&) = delete;
+    /// A Group destroyed with jobs pending would leave workers writing
+    /// through dangling out-pointers; the destructor waits.
+    ~Group() { wait(); }
+
+    /// Blocks until every job added so far has completed.
+    void wait() {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_.wait(lock, [&] { return pending_ == 0; });
+    }
+
+   private:
+    friend class BatchExecutor;
+    void add_one() {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++pending_;
+    }
+    /// Notifies while holding the mutex: the submitter destroys the Group
+    /// as soon as wait() observes pending_ == 0, so an unlocked notify
+    /// could broadcast on an already-destroyed condition variable.
+    void complete_one() {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_.notify_all();
+    }
+
+    std::mutex mutex_;
+    std::condition_variable done_;
+    std::size_t pending_ = 0;
+  };
+
+  /// One enqueued request. All pointers are borrowed from the submitter,
+  /// which must keep them alive until its Group completes the job.
+  struct Job {
+    std::size_t kind = 0;
+    /// Parsed request id / params nodes (may be null), workspace-owned by
+    /// the submitting thread.
+    const JsonValue* id = nullptr;
+    const JsonValue* params = nullptr;
+    Clock::time_point t0{};
+    Clock::time_point deadline{};
+    /// Set by submit(); measures coalescing wait for serve.batch.wait_ns.
+    Clock::time_point enqueued{};
+    /// Response sink; the compute callback appends exactly one NDJSON
+    /// line (result or error) here.
+    std::string* out = nullptr;
+    /// Completion latch; may be null for fire-and-forget tests.
+    Group* group = nullptr;
+  };
+
+  struct Options {
+    /// Number of distinct job kinds (queues).
+    std::size_t kinds = 1;
+    /// Largest batch handed to the compute callback.
+    std::size_t batch_max = 8;
+    /// How long a worker lets a partial batch coalesce before computing
+    /// it anyway. Bounded by the earliest deadline in the queue.
+    std::uint64_t batch_wait_us = 100;
+    /// Worker threads draining the queues.
+    unsigned workers = 1;
+    /// Upper bound on jobs queued across all kinds; submit() refuses
+    /// beyond it (the caller sheds). Replaces the AdmissionGate bound for
+    /// batched endpoints.
+    std::size_t max_queued = 64;
+  };
+
+  /// Called on a worker thread with every job of one drained batch (all
+  /// of the same kind). Must write each job's response and must not
+  /// throw; per-job errors are rendered as error lines by the callback.
+  using BatchFn = std::function<void(std::size_t kind, std::span<Job> jobs)>;
+
+  BatchExecutor(Options options, BatchFn compute);
+  ~BatchExecutor();
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  /// Enqueues one job. Returns false (without touching job.group) when
+  /// the executor is stopping or max_queued is reached.
+  bool submit(const Job& job);
+
+  /// Stops accepting work, drains everything already queued (without
+  /// further coalescing waits), and joins the workers. Idempotent.
+  void stop();
+
+  [[nodiscard]] const Options& options() const { return options_; }
+  /// Jobs currently queued (not yet handed to a compute callback).
+  [[nodiscard]] std::size_t queued() const;
+
+ private:
+  /// Per-kind FIFO with an explicit head index: pops advance `head`, and
+  /// the vector compacts only when the dead prefix grows past a bound, so
+  /// steady state never allocates once capacity is warm.
+  struct KindQueue {
+    std::vector<Job> jobs;
+    std::size_t head = 0;
+    [[nodiscard]] std::size_t size() const { return jobs.size() - head; }
+  };
+
+  void worker_loop();
+
+  const Options options_;
+  const BatchFn compute_;
+  obs::Histogram* batch_size_ = nullptr;
+  obs::Histogram* batch_wait_ns_ = nullptr;
+  obs::Histogram* batch_occupancy_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::vector<KindQueue> queues_;
+  std::size_t total_queued_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hmdiv::serve

@@ -6,11 +6,14 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
+#include <string_view>
 
 #include "obs/obs.hpp"
 
@@ -202,6 +205,37 @@ bool Server::send_all(int fd, const char* data, std::size_t size) {
   return true;
 }
 
+bool Server::send_all_vec(int fd, std::vector<iovec>& iov) {
+  // sendmsg rather than writev: writev raises SIGPIPE on a dead peer,
+  // and MSG_NOSIGNAL is a per-call flag only sendmsg/send accept.
+  constexpr std::size_t kIovChunk = 64;  // safely under any IOV_MAX
+  std::size_t first = 0;
+  while (first < iov.size()) {
+    msghdr msg{};
+    msg.msg_iov = iov.data() + first;
+    msg.msg_iovlen = std::min(iov.size() - first, kIovChunk);
+    const ssize_t rc = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (rc <= 0) {
+      if (rc < 0 && errno == EINTR) continue;
+      return false;
+    }
+    // Advance past fully-sent entries; trim a partially-sent one.
+    std::size_t advanced = static_cast<std::size_t>(rc);
+    while (advanced > 0) {
+      iovec& entry = iov[first];
+      if (advanced >= entry.iov_len) {
+        advanced -= entry.iov_len;
+        ++first;
+      } else {
+        entry.iov_base = static_cast<char*>(entry.iov_base) + advanced;
+        entry.iov_len -= advanced;
+        advanced = 0;
+      }
+    }
+  }
+  return true;
+}
+
 void Server::connection_loop(Connection& connection) {
   RequestScratch scratch;
   std::string in;
@@ -211,16 +245,51 @@ void Server::connection_loop(Connection& connection) {
   bool oversized = false;
   char buffer[64 * 1024];
 
+  // Batched mode: every complete line in a read burst is handed to the
+  // Service as one group so compute can coalesce across connections, and
+  // the group's responses flush with one vectored send. These vectors are
+  // reused across bursts so the steady state allocates nothing.
+  const bool batching = service_.batching();
+  std::vector<std::string_view> lines;
+  std::vector<std::string> responses;
+  std::vector<iovec> iov;
+
   // Answers every complete line currently buffered. Returns false when
   // the connection must close (oversized unfinished line).
   const auto process_buffered = [&]() -> bool {
-    for (;;) {
-      const std::size_t newline = in.find('\n', consumed);
-      if (newline == std::string::npos) break;
-      std::string_view line(in.data() + consumed, newline - consumed);
-      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-      if (!line.empty()) service_.handle_line(line, scratch, out);
-      consumed = newline + 1;
+    if (batching) {
+      lines.clear();
+      std::size_t scan = consumed;
+      for (;;) {
+        const std::size_t newline = in.find('\n', scan);
+        if (newline == std::string::npos) break;
+        std::string_view line(in.data() + scan, newline - scan);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        if (!line.empty()) lines.push_back(line);
+        scan = newline + 1;
+      }
+      if (!lines.empty()) {
+        service_.handle_lines(lines, scratch, responses);
+        iov.clear();
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+          if (responses[i].empty()) continue;
+          iovec entry{};
+          entry.iov_base = responses[i].data();
+          entry.iov_len = responses[i].size();
+          iov.push_back(entry);
+        }
+        if (!iov.empty()) peer_ok = send_all_vec(connection.fd, iov);
+      }
+      consumed = scan;
+    } else {
+      for (;;) {
+        const std::size_t newline = in.find('\n', consumed);
+        if (newline == std::string::npos) break;
+        std::string_view line(in.data() + consumed, newline - consumed);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        if (!line.empty()) service_.handle_line(line, scratch, out);
+        consumed = newline + 1;
+      }
     }
     if (consumed == in.size()) {
       in.clear();
@@ -234,9 +303,16 @@ void Server::connection_loop(Connection& connection) {
     if (in.size() - consumed > options_.max_line_bytes) {
       oversized = true;
       HMDIV_OBS_COUNT("serve.protocol.oversized", 1);
-      out +=
+      static constexpr char kOversized[] =
           "{\"id\":null,\"ok\":false,\"error\":{\"code\":\"oversized\","
           "\"message\":\"request line exceeds the size limit\"}}\n";
+      if (batching) {
+        if (peer_ok) {
+          peer_ok = send_all(connection.fd, kOversized, sizeof kOversized - 1);
+        }
+      } else {
+        out += kOversized;
+      }
       return false;
     }
     return true;
@@ -256,8 +332,8 @@ void Server::connection_loop(Connection& connection) {
     if (!out.empty()) {
       peer_ok = send_all(connection.fd, out.data(), out.size());
       out.clear();
-      if (!peer_ok) break;
     }
+    if (!peer_ok) break;
     if (!resyncable) break;
   }
 

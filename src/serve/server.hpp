@@ -17,6 +17,12 @@
 // (the frame boundary is lost), so the connection gets one structured
 // error response and is closed. Writes use send(MSG_NOSIGNAL) with a send
 // timeout so a stuck peer cannot wedge shutdown.
+//
+// Batched mode: when the Service runs a BatchExecutor
+// (service.batching()), each read burst's complete lines go through
+// Service::handle_lines — compute coalesces across connections — and the
+// burst's responses flush with one vectored sendmsg per group instead of
+// one send per response. Per-connection response order is unchanged.
 #pragma once
 
 #include <atomic>
@@ -29,6 +35,8 @@
 #include <vector>
 
 #include "serve/service.hpp"
+
+struct iovec;
 
 namespace hmdiv::serve {
 
@@ -83,6 +91,10 @@ class Server {
   /// Joins finished connection threads; returns the number still live.
   std::size_t reap_connections_locked();
   [[nodiscard]] bool send_all(int fd, const char* data, std::size_t size);
+  /// One-syscall group flush for batched mode: sendmsg with MSG_NOSIGNAL
+  /// over the iovec array (chunked under IOV_MAX), advancing through
+  /// partial sends. Consumes/modifies `iov`.
+  [[nodiscard]] static bool send_all_vec(int fd, std::vector<struct iovec>& iov);
 
   Service& service_;
   ServerOptions options_;

@@ -26,18 +26,6 @@ struct RequestError {
   std::string message;
 };
 
-/// Must match the Service::Endpoint enumerator order exactly.
-constexpr std::array<std::string_view, 9> kEndpointNames = {
-    "analyze", "whatif",  "sweep",   "minimise", "uq",
-    "compare", "health",  "metrics", "reload"};
-
-[[nodiscard]] std::size_t endpoint_index(std::string_view op) {
-  for (std::size_t i = 0; i < kEndpointNames.size(); ++i) {
-    if (kEndpointNames[i] == op) return i;
-  }
-  return kEndpointNames.size();
-}
-
 /// Grid chunk sizes between deadline checks: big enough to amortise the
 /// clock read, small enough that an expired request dies within ~ms.
 constexpr std::size_t kSweepChunk = 2048;
@@ -162,6 +150,30 @@ void append_operating_point(std::string& out,
 
 }  // namespace
 
+// --- Endpoint registry ---------------------------------------------------
+
+// The single source of truth for dispatch: row i describes Endpoint i.
+// handle_line / handle_lines route by it, the BatchExecutor callback
+// interprets its `kind` through it, unknown_op checks scan its names, and
+// the constructor registers metrics from it — so a new endpoint is one
+// row plus one handler, and the paths can never disagree about the list.
+const std::array<Service::EndpointEntry, Service::kEndpointCount>&
+Service::endpoint_table() {
+  static const std::array<EndpointEntry, kEndpointCount> kTable = {{
+      // name, handler, compute, batchable, needs_state, cached
+      {"analyze", &Service::handle_analyze, true, true, true, false},
+      {"whatif", &Service::handle_whatif, true, true, true, true},
+      {"sweep", &Service::handle_sweep, true, true, true, true},
+      {"minimise", &Service::handle_minimise, true, true, true, true},
+      {"uq", &Service::handle_uq, true, true, true, true},
+      {"compare", &Service::handle_compare, true, true, true, false},
+      {"health", &Service::handle_health, false, false, true, false},
+      {"metrics", &Service::handle_metrics, false, false, false, false},
+      {"reload", &Service::handle_reload, false, false, false, false},
+  }};
+  return kTable;
+}
+
 // --- Model state --------------------------------------------------------
 
 namespace {
@@ -285,26 +297,40 @@ Service::Service(core::SequentialModel model, core::DemandProfile trial,
   // Pre-register every endpoint metric so the hot path bumps cached
   // pointers instead of hitting the registry's name lookup per request.
   obs::Registry& registry = obs::Registry::global();
+  const auto& table = endpoint_table();
   for (std::size_t i = 0; i < kEndpointCount; ++i) {
     std::string base = "serve.";
-    base += kEndpointNames[i];
+    base += table[i].name;
     metrics_[i].requests = &registry.counter(base + ".requests");
     metrics_[i].errors = &registry.counter(base + ".errors");
     metrics_[i].shed = &registry.counter(base + ".shed");
     metrics_[i].ns = &registry.histogram(base + ".ns");
+    if (table[i].cached) {
+      metrics_[i].cache_hit = &registry.counter(base + ".cache_hit");
+      metrics_[i].cache_miss = &registry.counter(base + ".cache_miss");
+    }
   }
-  for (const std::size_t cached : {static_cast<std::size_t>(kWhatif),
-                                   static_cast<std::size_t>(kSweep),
-                                   static_cast<std::size_t>(kMinimise),
-                                   static_cast<std::size_t>(kUq)}) {
-    std::string base = "serve.";
-    base += kEndpointNames[cached];
-    metrics_[cached].cache_hit = &registry.counter(base + ".cache_hit");
-    metrics_[cached].cache_miss = &registry.counter(base + ".cache_miss");
+
+  if (options_.batch_max > 1) {
+    BatchExecutor::Options executor_options;
+    executor_options.kinds = kEndpointCount;
+    executor_options.batch_max = options_.batch_max;
+    executor_options.batch_wait_us = options_.batch_wait_us;
+    executor_options.workers = std::max(1u, options_.batch_workers);
+    // The queue bound replaces the AdmissionGate for batched endpoints.
+    executor_options.max_queued = std::max<std::size_t>(1, options_.max_queue);
+    executor_ = std::make_unique<BatchExecutor>(
+        executor_options,
+        [this](std::size_t kind, std::span<BatchExecutor::Job> jobs) {
+          execute_batch(kind, jobs);
+        });
   }
 }
 
-Service::~Service() = default;
+Service::~Service() {
+  // Stop the compute workers before any state they touch goes away.
+  if (executor_ != nullptr) executor_->stop();
+}
 
 void Service::clear_caches() {
   whatif_cache_.clear();
@@ -328,16 +354,11 @@ void Service::reload(core::SequentialModel model, core::DemandProfile trial,
 
 // --- Request dispatch ---------------------------------------------------
 
-void Service::handle_line(std::string_view line, RequestScratch& scratch,
-                          std::string& out) {
-  const Clock::time_point t0 = Clock::now();
-  const bool obs_on = obs::enabled();
-  const std::size_t out_mark = out.size();
-
-  exec::Workspace& workspace = exec::thread_workspace();
-  const exec::Workspace::Scope scope(workspace);
-
-  const JsonParser::Result parsed = scratch.parser.parse(line, workspace);
+bool Service::parse_frame(std::string_view line, RequestScratch& scratch,
+                          std::string& out, Parsed& request) {
+  request.t0 = Clock::now();
+  const JsonParser::Result parsed =
+      scratch.parser.parse(line, exec::thread_workspace());
   if (parsed.value == nullptr || !parsed.value->is_object()) {
     HMDIV_OBS_COUNT("serve.protocol.errors", 1);
     std::string message = "invalid request: ";
@@ -349,141 +370,431 @@ void Service::handle_line(std::string_view line, RequestScratch& scratch,
       message += "request must be a JSON object";
     }
     write_error_line(out, nullptr, kBadRequest, message);
-    return;
+    return false;
   }
-  const JsonValue& root = *parsed.value;
-  const JsonValue* id = root.find("id");
-  const JsonValue* op = root.find("op");
+  request.root = parsed.value;
+  request.id = parsed.value->find("id");
+  const JsonValue* op = parsed.value->find("op");
   if (op == nullptr || !op->is_string()) {
     HMDIV_OBS_COUNT("serve.protocol.errors", 1);
-    write_error_line(out, id, kBadRequest, "missing \"op\" string");
-    return;
+    write_error_line(out, request.id, kBadRequest, "missing \"op\" string");
+    return false;
   }
-  const std::size_t ep_index = endpoint_index(op->string());
-  if (ep_index == kEndpointNames.size()) {
+  const auto& table = endpoint_table();
+  request.ep = kEndpointCount;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i].name == op->string()) {
+      request.ep = i;
+      break;
+    }
+  }
+  if (request.ep == kEndpointCount) {
     HMDIV_OBS_COUNT("serve.protocol.errors", 1);
-    write_error_line(out, id, "unknown_op",
+    write_error_line(out, request.id, "unknown_op",
                      "unknown op '" + std::string(op->string()) + "'");
+    return false;
+  }
+  if (obs::enabled()) metrics_[request.ep].requests->add(1);
+  return true;
+}
+
+void Service::validate_request(Parsed& request) const {
+  const JsonValue& root = *request.root;
+  // Per-request deadline: requested (capped) or the configured default.
+  std::uint64_t deadline_ms = options_.default_deadline_ms;
+  if (const JsonValue* dl = root.find("deadline_ms");
+      dl != nullptr && !dl->is_null()) {
+    if (!dl->is_number() || !std::isfinite(dl->number) || dl->number < 1.0 ||
+        dl->number != std::floor(dl->number)) {
+      throw RequestError{kBadRequest,
+                         "deadline_ms must be a positive integer"};
+    }
+    deadline_ms = dl->number >= static_cast<double>(options_.max_deadline_ms)
+                      ? options_.max_deadline_ms
+                      : static_cast<std::uint64_t>(dl->number);
+  }
+  request.deadline = request.t0 + std::chrono::milliseconds(deadline_ms);
+
+  const JsonValue* params = root.find("params");
+  if (params != nullptr && params->is_null()) params = nullptr;
+  if (params != nullptr && !params->is_object()) {
+    throw RequestError{kBadRequest, "params must be an object"};
+  }
+  request.params = params;
+}
+
+void Service::execute_inline(const Parsed& request, RequestScratch& scratch,
+                             std::string& out) {
+  const EndpointEntry& entry = endpoint_table()[request.ep];
+  if (!entry.compute) {
+    if (entry.needs_state) {
+      const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+      begin_result(out, request.id);
+      (this->*entry.handler)(state_.get(), request, scratch, out);
+      end_result(out);
+    } else {
+      begin_result(out, request.id);
+      (this->*entry.handler)(nullptr, request, scratch, out);
+      end_result(out);
+    }
     return;
   }
-  const auto ep = static_cast<Endpoint>(ep_index);
-  EndpointMetrics& metrics = metrics_[ep];
-  if (obs_on) metrics.requests->add(1);
+  // Compute endpoints go through admission control.
+  const AdmissionTicket ticket(gate_, request.deadline);
+  if (ticket.outcome() == AdmissionGate::Outcome::kShedQueueFull) {
+    if (obs::enabled()) metrics_[request.ep].shed->add(1);
+    write_error_line(out, request.id, "shed",
+                     "admission queue full; retry later");
+    return;
+  }
+  if (ticket.outcome() == AdmissionGate::Outcome::kDeadlineExceeded) {
+    throw RequestError{kDeadlineExceeded, "deadline expired while queued"};
+  }
+  check_deadline(request.deadline);
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  begin_result(out, request.id);
+  (this->*entry.handler)(state_.get(), request, scratch, out);
+  end_result(out);
+}
 
+void Service::dispatch_parsed(Parsed& request, RequestScratch& scratch,
+                              std::string& out) {
+  const bool obs_on = obs::enabled();
+  EndpointMetrics& metrics = metrics_[request.ep];
+  const std::size_t out_mark = out.size();
   try {
-    // Per-request deadline: requested (capped) or the configured default.
-    std::uint64_t deadline_ms = options_.default_deadline_ms;
-    if (const JsonValue* dl = root.find("deadline_ms");
-        dl != nullptr && !dl->is_null()) {
-      if (!dl->is_number() || !std::isfinite(dl->number) ||
-          dl->number < 1.0 || dl->number != std::floor(dl->number)) {
-        throw RequestError{kBadRequest,
-                           "deadline_ms must be a positive integer"};
-      }
-      deadline_ms =
-          dl->number >= static_cast<double>(options_.max_deadline_ms)
-              ? options_.max_deadline_ms
-              : static_cast<std::uint64_t>(dl->number);
-    }
-    const Clock::time_point deadline =
-        t0 + std::chrono::milliseconds(deadline_ms);
-
-    const JsonValue* params = root.find("params");
-    if (params != nullptr && params->is_null()) params = nullptr;
-    if (params != nullptr && !params->is_object()) {
-      throw RequestError{kBadRequest, "params must be an object"};
-    }
-
-    switch (ep) {
-      case kHealth: {
-        const std::shared_lock<std::shared_mutex> lock(state_mutex_);
-        begin_result(out, id);
-        handle_health(*state_, out);
-        end_result(out);
-        break;
-      }
-      case kMetrics: {
-        begin_result(out, id);
-        handle_metrics(out);
-        end_result(out);
-        break;
-      }
-      case kReload: {
-        begin_result(out, id);
-        handle_reload(params, out);
-        end_result(out);
-        break;
-      }
-      default: {
-        // Compute endpoints go through admission control.
-        const AdmissionTicket ticket(gate_, deadline);
-        if (ticket.outcome() == AdmissionGate::Outcome::kShedQueueFull) {
-          if (obs_on) metrics.shed->add(1);
-          write_error_line(out, id, "shed",
-                           "admission queue full; retry later");
-          break;
-        }
-        if (ticket.outcome() ==
-            AdmissionGate::Outcome::kDeadlineExceeded) {
-          throw RequestError{kDeadlineExceeded,
-                             "deadline expired while queued"};
-        }
-        check_deadline(deadline);
-        const std::shared_lock<std::shared_mutex> lock(state_mutex_);
-        const Loaded& state = *state_;
-        begin_result(out, id);
-        switch (ep) {
-          case kAnalyze:
-            handle_analyze(state, params, out);
-            break;
-          case kWhatif:
-            handle_whatif(state, params, scratch, out);
-            break;
-          case kSweep:
-            handle_sweep(state, params, scratch, deadline, out);
-            break;
-          case kMinimise:
-            handle_minimise(state, params, scratch, deadline, out);
-            break;
-          case kUq:
-            handle_uq(state, params, scratch, deadline, out);
-            break;
-          case kCompare:
-            handle_compare(state, params, scratch, out);
-            break;
-          default:
-            throw RequestError{"internal", "unroutable endpoint"};
-        }
-        end_result(out);
-        break;
-      }
-    }
+    validate_request(request);
+    execute_inline(request, scratch, out);
   } catch (const RequestError& e) {
     out.resize(out_mark);
     if (obs_on) metrics.errors->add(1);
-    write_error_line(out, id, e.code, e.message);
+    write_error_line(out, request.id, e.code, e.message);
   } catch (const std::invalid_argument& e) {
     out.resize(out_mark);
     if (obs_on) metrics.errors->add(1);
-    write_error_line(out, id, kBadRequest, e.what());
+    write_error_line(out, request.id, kBadRequest, e.what());
   } catch (const std::exception& e) {
     out.resize(out_mark);
     if (obs_on) metrics.errors->add(1);
-    write_error_line(out, id, "internal", e.what());
+    write_error_line(out, request.id, "internal", e.what());
   }
-
   if (obs_on) {
     metrics.ns->record(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                             t0)
+                                                             request.t0)
             .count()));
+  }
+}
+
+void Service::handle_line(std::string_view line, RequestScratch& scratch,
+                          std::string& out) {
+  exec::Workspace& workspace = exec::thread_workspace();
+  const exec::Workspace::Scope scope(workspace);
+  Parsed request;
+  if (!parse_frame(line, scratch, out, request)) return;
+  dispatch_parsed(request, scratch, out);
+}
+
+void Service::handle_lines(std::span<const std::string_view> lines,
+                           RequestScratch& scratch,
+                           std::vector<std::string>& responses) {
+  if (responses.size() < lines.size()) responses.resize(lines.size());
+  if (executor_ == nullptr) {
+    // Batching off: exactly the PR 7 path, one line at a time.
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      responses[i].clear();
+      handle_line(lines[i], scratch, responses[i]);
+    }
+    return;
+  }
+
+  // One workspace scope spans the whole burst: every parsed request's
+  // JSON nodes must stay alive until the Group completes, because worker
+  // threads read them (blocks never relocate, and the executor's queue
+  // mutex publishes them — see exec/workspace.hpp).
+  exec::Workspace& workspace = exec::thread_workspace();
+  const exec::Workspace::Scope scope(workspace);
+  BatchExecutor::Group group;
+  const bool obs_on = obs::enabled();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string& out = responses[i];
+    out.clear();
+    Parsed request;
+    if (!parse_frame(lines[i], scratch, out, request)) continue;
+    const EndpointEntry& entry = endpoint_table()[request.ep];
+    EndpointMetrics& metrics = metrics_[request.ep];
+    const std::size_t out_mark = out.size();
+    bool submitted = false;
+    try {
+      validate_request(request);
+      if (entry.batchable) {
+        BatchExecutor::Job job;
+        job.kind = request.ep;
+        job.id = request.id;
+        job.params = request.params;
+        job.t0 = request.t0;
+        job.deadline = request.deadline;
+        job.out = &out;
+        job.group = &group;
+        if (executor_->submit(job)) {
+          submitted = true;
+        } else {
+          if (obs_on) metrics.shed->add(1);
+          write_error_line(out, request.id, "shed",
+                           "admission queue full; retry later");
+        }
+      } else {
+        // Non-batchable requests (health/metrics/reload) are in-order
+        // barriers: effects observable through them — epoch bumps,
+        // counter totals — must reflect every earlier request of this
+        // burst, exactly as the serial loop guarantees.
+        group.wait();
+        execute_inline(request, scratch, out);
+      }
+    } catch (const RequestError& e) {
+      out.resize(out_mark);
+      if (obs_on) metrics.errors->add(1);
+      write_error_line(out, request.id, e.code, e.message);
+    } catch (const std::invalid_argument& e) {
+      out.resize(out_mark);
+      if (obs_on) metrics.errors->add(1);
+      write_error_line(out, request.id, kBadRequest, e.what());
+    } catch (const std::exception& e) {
+      out.resize(out_mark);
+      if (obs_on) metrics.errors->add(1);
+      write_error_line(out, request.id, "internal", e.what());
+    }
+    // Submitted jobs record their latency when the worker finishes them.
+    if (!submitted && obs_on) {
+      metrics.ns->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               request.t0)
+              .count()));
+    }
+  }
+  group.wait();
+}
+
+// --- Batched compute (BatchExecutor worker side) -------------------------
+
+void Service::execute_batch(std::size_t kind,
+                            std::span<BatchExecutor::Job> jobs) {
+  // Worker-thread mirror of the per-connection scratch; capacities warm
+  // once per thread, keeping the steady state allocation free.
+  thread_local RequestScratch scratch;
+  exec::Workspace& workspace = exec::thread_workspace();
+  const exec::Workspace::Scope scope(workspace);
+  const std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  const Loaded& state = *state_;
+  if (kind == kWhatif) {
+    execute_whatif_batch(state, jobs, scratch);
+    return;
+  }
+  const EndpointEntry& entry = endpoint_table()[kind];
+  EndpointMetrics& metrics = metrics_[kind];
+  const bool obs_on = obs::enabled();
+  for (BatchExecutor::Job& job : jobs) {
+    Parsed request;
+    request.id = job.id;
+    request.params = job.params;
+    request.ep = kind;
+    request.t0 = job.t0;
+    request.deadline = job.deadline;
+    std::string& out = *job.out;
+    const std::size_t out_mark = out.size();
+    try {
+      check_deadline(request.deadline);
+      begin_result(out, request.id);
+      (this->*entry.handler)(&state, request, scratch, out);
+      end_result(out);
+    } catch (const RequestError& e) {
+      out.resize(out_mark);
+      if (obs_on) metrics.errors->add(1);
+      write_error_line(out, request.id, e.code, e.message);
+    } catch (const std::invalid_argument& e) {
+      out.resize(out_mark);
+      if (obs_on) metrics.errors->add(1);
+      write_error_line(out, request.id, kBadRequest, e.what());
+    } catch (const std::exception& e) {
+      out.resize(out_mark);
+      if (obs_on) metrics.errors->add(1);
+      write_error_line(out, request.id, "internal", e.what());
+    }
+    if (obs_on) {
+      metrics.ns->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               job.t0)
+              .count()));
+    }
+  }
+}
+
+void Service::execute_whatif_batch(const Loaded& state,
+                                   std::span<BatchExecutor::Job> jobs,
+                                   RequestScratch& scratch) {
+  constexpr std::size_t kNone = ~std::size_t{0};
+  const bool obs_on = obs::enabled();
+  EndpointMetrics& metrics = metrics_[kWhatif];
+  exec::Workspace& workspace = exec::thread_workspace();
+
+  // Per-job routing state. Keys and per-class factor lists are copied
+  // into the workspace because scratch.key / scratch.class_factors are
+  // reused by the next job's resolve.
+  struct Slot {
+    std::span<const double> key;
+    WhatifNumbers numbers;
+    std::size_t miss = kNone;    // index into the unique-miss spec array
+    std::size_t dup_of = kNone;  // earlier slot with the same key
+    bool ok = false;
+    bool cached = false;
+  };
+  const std::span<Slot> slots = workspace.alloc<Slot>(jobs.size());
+  const std::span<core::ScenarioSpec> specs =
+      workspace.alloc<core::ScenarioSpec>(jobs.size());
+  const std::span<core::ScenarioNumbers> computed =
+      workspace.alloc<core::ScenarioNumbers>(jobs.size());
+
+  const bool cache_on = whatif_cache_.enabled();
+  std::size_t miss_count = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    BatchExecutor::Job& job = jobs[i];
+    Slot& slot = slots[i];
+    slot = Slot{};
+    std::string& out = *job.out;
+    const std::size_t out_mark = out.size();
+    try {
+      check_deadline(job.deadline);
+      const JsonValue& spec_json =
+          job.params != nullptr ? *job.params : kEmptyParams;
+      const WhatifRequest parsed = resolve_whatif(state, spec_json, scratch);
+      const std::span<double> key =
+          workspace.alloc<double>(scratch.key.size());
+      std::copy(scratch.key.begin(), scratch.key.end(), key.begin());
+      slot.key = key;
+      if (const std::optional<WhatifNumbers> hit = whatif_cache_.find(
+              std::span<const double>(slot.key))) {
+        slot.numbers = *hit;
+        slot.cached = true;
+        if (obs_on) metrics.cache_hit->add(1);
+      } else {
+        // Within-batch dedupe — but only when the cache is enabled. With
+        // the cache off the serial path recomputes and answers
+        // "cached":false for every request, and byte identity requires
+        // the coalesced path to do the same.
+        std::size_t dup = kNone;
+        if (cache_on) {
+          for (std::size_t j = 0; j < i && dup == kNone; ++j) {
+            if (slots[j].ok && slots[j].miss != kNone &&
+                slots[j].key.size() == slot.key.size() &&
+                std::equal(slot.key.begin(), slot.key.end(),
+                           slots[j].key.begin())) {
+              dup = j;
+            }
+          }
+        }
+        if (dup != kNone) {
+          slot.dup_of = dup;
+          slot.cached = true;
+          if (obs_on) metrics.cache_hit->add(1);
+        } else {
+          slot.miss = miss_count;
+          core::ScenarioSpec& spec = specs[miss_count];
+          spec = core::ScenarioSpec{};
+          spec.profile = parsed.use_field ? &state.field : nullptr;
+          spec.reader_failure_factor = parsed.reader_factor;
+          spec.machine_failure_factor = parsed.machine_factor;
+          if (!scratch.class_factors.empty()) {
+            const std::span<core::ClassFactor> factors =
+                workspace.alloc<core::ClassFactor>(
+                    scratch.class_factors.size());
+            for (std::size_t f = 0; f < factors.size(); ++f) {
+              factors[f] = {scratch.class_factors[f].first,
+                            scratch.class_factors[f].second};
+            }
+            spec.per_class_machine_factors = factors;
+          }
+          ++miss_count;
+          if (obs_on) metrics.cache_miss->add(1);
+        }
+      }
+      slot.ok = true;
+    } catch (const RequestError& e) {
+      out.resize(out_mark);
+      if (obs_on) metrics.errors->add(1);
+      write_error_line(out, job.id, e.code, e.message);
+    } catch (const std::invalid_argument& e) {
+      out.resize(out_mark);
+      if (obs_on) metrics.errors->add(1);
+      write_error_line(out, job.id, kBadRequest, e.what());
+    } catch (const std::exception& e) {
+      out.resize(out_mark);
+      if (obs_on) metrics.errors->add(1);
+      write_error_line(out, job.id, "internal", e.what());
+    }
+    if (!slot.ok && obs_on) {
+      metrics.ns->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               job.t0)
+              .count()));
+    }
+  }
+
+  // One SoA evaluation over every unique miss in the batch. Specs were
+  // validated during resolve, so a throw here is defensive: fail the
+  // whole miss set rather than publish half-written numbers.
+  if (miss_count > 0) {
+    try {
+      state.extrapolator.evaluate_batch(specs.first(miss_count),
+                                        computed.first(miss_count));
+    } catch (const std::exception& e) {
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        Slot& slot = slots[i];
+        if (!slot.ok || (slot.miss == kNone && slot.dup_of == kNone)) {
+          continue;
+        }
+        slot.ok = false;
+        if (obs_on) metrics.errors->add(1);
+        write_error_line(*jobs[i].out, jobs[i].id, "internal", e.what());
+      }
+      miss_count = 0;
+    }
+  }
+
+  // Publish in request order: a miss renders then inserts, a duplicate
+  // reads the earlier slot (already published — dup_of < i).
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    Slot& slot = slots[i];
+    if (!slot.ok) continue;
+    if (slot.miss != kNone) {
+      const core::ScenarioNumbers& numbers = computed[slot.miss];
+      slot.numbers = WhatifNumbers{numbers.system_failure,
+                                   numbers.machine_failure,
+                                   numbers.failure_floor,
+                                   numbers.decomposition.floor,
+                                   numbers.decomposition.mean_field,
+                                   numbers.decomposition.covariance};
+      whatif_cache_.insert(std::span<const double>(slot.key), slot.numbers);
+    } else if (slot.dup_of != kNone) {
+      slot.numbers = slots[slot.dup_of].numbers;
+    }
+    std::string& out = *jobs[i].out;
+    begin_result(out, jobs[i].id);
+    append_whatif_body(out, slot.numbers, slot.cached);
+    end_result(out);
+    if (obs_on) {
+      metrics.ns->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               jobs[i].t0)
+              .count()));
+    }
   }
 }
 
 // --- Endpoint handlers --------------------------------------------------
 
-void Service::handle_analyze(const Loaded& state, const JsonValue*,
-                             std::string& out) const {
+void Service::handle_analyze(const Loaded* state_ptr, const Parsed&,
+                             RequestScratch&, std::string& out) {
+  const Loaded& state = *state_ptr;
   const core::FailureDecomposition decomposition =
       state.model.decompose(state.field);
   out += "\"classes\":";
@@ -509,11 +820,9 @@ void Service::handle_analyze(const Loaded& state, const JsonValue*,
   out += "}}";
 }
 
-Service::WhatifNumbers Service::compute_whatif(const Loaded& state,
+Service::WhatifRequest Service::resolve_whatif(const Loaded& state,
                                                const JsonValue& spec,
-                                               RequestScratch& scratch,
-                                               bool& cached) const {
-  const bool obs_on = obs::enabled();
+                                               RequestScratch& scratch) const {
   const double reader_factor = number_param(spec, "reader_factor", 1.0);
   const double machine_factor = number_param(spec, "machine_factor", 1.0);
   if (reader_factor < 0.0 || machine_factor < 0.0) {
@@ -558,6 +867,15 @@ Service::WhatifNumbers Service::compute_whatif(const Loaded& state,
     scratch.key.push_back(static_cast<double>(index));
     scratch.key.push_back(factor);
   }
+  return WhatifRequest{reader_factor, machine_factor, use_field};
+}
+
+Service::WhatifNumbers Service::compute_whatif(const Loaded& state,
+                                               const JsonValue& spec,
+                                               RequestScratch& scratch,
+                                               bool& cached) const {
+  const bool obs_on = obs::enabled();
+  const WhatifRequest request = resolve_whatif(state, spec, scratch);
 
   if (const std::optional<WhatifNumbers> hit =
           whatif_cache_.find(std::span<const double>(scratch.key))) {
@@ -569,11 +887,11 @@ Service::WhatifNumbers Service::compute_whatif(const Loaded& state,
   if (obs_on) metrics_[kWhatif].cache_miss->add(1);
 
   core::Scenario scenario;
-  scenario.reader_failure_factor = reader_factor;
-  scenario.machine_failure_factor = machine_factor;
+  scenario.reader_failure_factor = request.reader_factor;
+  scenario.machine_failure_factor = request.machine_factor;
   scenario.per_class_machine_factors.assign(scratch.class_factors.begin(),
                                             scratch.class_factors.end());
-  if (use_field) scenario.profile = state.field;
+  if (request.use_field) scenario.profile = state.field;
   const core::ScenarioResult result = state.extrapolator.evaluate(scenario);
   const WhatifNumbers numbers{result.system_failure,
                               result.machine_failure,
@@ -585,11 +903,8 @@ Service::WhatifNumbers Service::compute_whatif(const Loaded& state,
   return numbers;
 }
 
-void Service::handle_whatif(const Loaded& state, const JsonValue* params,
-                            RequestScratch& scratch, std::string& out) const {
-  bool cached = false;
-  const WhatifNumbers numbers = compute_whatif(
-      state, params != nullptr ? *params : kEmptyParams, scratch, cached);
+void Service::append_whatif_body(std::string& out,
+                                 const WhatifNumbers& numbers, bool cached) {
   out += "\"system_failure\":";
   append_json_number(out, numbers.system_failure);
   out += ",\"machine_failure\":";
@@ -606,12 +921,22 @@ void Service::handle_whatif(const Loaded& state, const JsonValue* params,
   out += cached ? "true" : "false";
 }
 
-void Service::handle_sweep(const Loaded& state, const JsonValue* params,
-                           RequestScratch& scratch,
-                           Clock::time_point deadline,
-                           std::string& out) const {
+void Service::handle_whatif(const Loaded* state, const Parsed& request,
+                            RequestScratch& scratch, std::string& out) {
+  bool cached = false;
+  const WhatifNumbers numbers = compute_whatif(
+      *state, request.params != nullptr ? *request.params : kEmptyParams,
+      scratch, cached);
+  append_whatif_body(out, numbers, cached);
+}
+
+void Service::handle_sweep(const Loaded* state_ptr, const Parsed& request,
+                           RequestScratch& scratch, std::string& out) {
+  const Loaded& state = *state_ptr;
+  const Clock::time_point deadline = request.deadline;
   const bool obs_on = obs::enabled();
-  const JsonValue& p = params != nullptr ? *params : kEmptyParams;
+  const JsonValue& p =
+      request.params != nullptr ? *request.params : kEmptyParams;
   const std::size_t steps = static_cast<std::size_t>(
       uint_param(p, "steps", 256, 2, options_.max_sweep_steps));
   const std::size_t points = static_cast<std::size_t>(
@@ -675,12 +1000,13 @@ void Service::handle_sweep(const Loaded& state, const JsonValue* params,
   out += cached ? "true" : "false";
 }
 
-void Service::handle_minimise(const Loaded& state, const JsonValue* params,
-                              RequestScratch& scratch,
-                              Clock::time_point deadline,
-                              std::string& out) const {
+void Service::handle_minimise(const Loaded* state_ptr, const Parsed& request,
+                              RequestScratch& scratch, std::string& out) {
+  const Loaded& state = *state_ptr;
+  const Clock::time_point deadline = request.deadline;
   const bool obs_on = obs::enabled();
-  const JsonValue& p = params != nullptr ? *params : kEmptyParams;
+  const JsonValue& p =
+      request.params != nullptr ? *request.params : kEmptyParams;
   const double cost_fn = number_param(p, "cost_fn", 500.0);
   const double cost_fp = number_param(p, "cost_fp", 20.0);
   if (cost_fn < 0.0 || cost_fp < 0.0) {
@@ -736,11 +1062,13 @@ void Service::handle_minimise(const Loaded& state, const JsonValue* params,
   out += cached ? "true" : "false";
 }
 
-void Service::handle_uq(const Loaded& state, const JsonValue* params,
-                        RequestScratch& scratch, Clock::time_point deadline,
-                        std::string& out) const {
+void Service::handle_uq(const Loaded* state_ptr, const Parsed& request,
+                        RequestScratch& scratch, std::string& out) {
+  const Loaded& state = *state_ptr;
+  const Clock::time_point deadline = request.deadline;
   const bool obs_on = obs::enabled();
-  const JsonValue& p = params != nullptr ? *params : kEmptyParams;
+  const JsonValue& p =
+      request.params != nullptr ? *request.params : kEmptyParams;
   const std::size_t draws = static_cast<std::size_t>(
       uint_param(p, "draws", 2000, 16, options_.max_uq_draws));
   const double credibility = number_param(p, "credibility", 0.95);
@@ -791,8 +1119,10 @@ void Service::handle_uq(const Loaded& state, const JsonValue* params,
   out += cached ? "true" : "false";
 }
 
-void Service::handle_compare(const Loaded& state, const JsonValue* params,
-                             RequestScratch& scratch, std::string& out) const {
+void Service::handle_compare(const Loaded* state_ptr, const Parsed& request,
+                             RequestScratch& scratch, std::string& out) {
+  const Loaded& state = *state_ptr;
+  const JsonValue* params = request.params;
   if (params == nullptr) {
     throw RequestError{kBadRequest, "params.scenarios is required"};
   }
@@ -865,13 +1195,14 @@ void Service::handle_compare(const Loaded& state, const JsonValue* params,
   out += ']';
 }
 
-void Service::handle_health(const Loaded& state, std::string& out) const {
+void Service::handle_health(const Loaded* state, const Parsed&,
+                            RequestScratch&, std::string& out) {
   out += "\"status\":\"";
   out += draining() ? "draining" : "ok";
   out += "\",\"epoch\":";
   append_json_uint(out, epoch());
   out += ",\"classes\":";
-  append_json_uint(out, state.model.class_count());
+  append_json_uint(out, state->model.class_count());
   out += ",\"uptime_ms\":";
   append_json_uint(out, static_cast<std::uint64_t>(
                             std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -883,7 +1214,8 @@ void Service::handle_health(const Loaded& state, std::string& out) const {
   append_json_uint(out, gate_.queued());
 }
 
-void Service::handle_metrics(std::string& out) const {
+void Service::handle_metrics(const Loaded*, const Parsed&, RequestScratch&,
+                             std::string& out) {
   const obs::Snapshot snapshot = obs::registry_snapshot();
   out += "\"enabled\":";
   out += obs::enabled() ? "true" : "false";
@@ -915,12 +1247,18 @@ void Service::handle_metrics(std::string& out) const {
     append_json_uint(out, h.p90);
     out += ",\"p99\":";
     append_json_uint(out, h.p99);
+    // Derived report-side from the raw buckets the snapshot carries; the
+    // histogram itself never stores a p99.9.
+    out += ",\"p999\":";
+    append_json_uint(out, obs::snapshot_quantile(h, 0.999));
     out += '}';
   }
   out += '}';
 }
 
-void Service::handle_reload(const JsonValue* params, std::string& out) {
+void Service::handle_reload(const Loaded*, const Parsed& request,
+                            RequestScratch&, std::string& out) {
+  const JsonValue* params = request.params;
   if (params == nullptr) {
     throw RequestError{kBadRequest,
                        "params.model/.trial/.field are required"};

@@ -1,0 +1,552 @@
+// Cross-request micro-batching tests (PR 8, DESIGN.md §14): the
+// BatchExecutor's coalescing / deadline / shed / drain contracts, and the
+// Service-level guarantees the executor exists for — every coalesced
+// response byte-identical to its uncoalesced form, pipelined
+// multi-connection order preserved, deadlines honoured while batched,
+// non-batchable requests acting as in-order barriers, and a
+// zero-allocation steady state on the batched whatif miss path.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "alloc_count.hpp"
+#include "core/paper_example.hpp"
+#include "obs/obs.hpp"
+#include "serve/batch_executor.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define HMDIV_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HMDIV_TSAN 1
+#endif
+#endif
+#ifndef HMDIV_TSAN
+#define HMDIV_TSAN 0
+#endif
+
+namespace hmdiv {
+namespace {
+
+using namespace std::chrono_literals;
+using serve::BatchExecutor;
+
+class ObsGuard {
+ public:
+  explicit ObsGuard(bool enabled) : previous_(obs::enabled()) {
+    obs::set_enabled(enabled);
+  }
+  ~ObsGuard() { obs::set_enabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+serve::Service make_service(serve::ServiceOptions options = {}) {
+  return serve::Service(core::paper::example_model(),
+                        core::paper::trial_profile(),
+                        core::paper::field_profile(), options);
+}
+
+bool has_error_code(const std::string& response, const std::string& code) {
+  return response.find("\"ok\":false") != std::string::npos &&
+         response.find("\"code\":\"" + code + "\"") != std::string::npos;
+}
+
+/// Runs `lines` through a solo (batch_max = 1) service one at a time —
+/// the PR 7 reference responses for byte-identity comparisons.
+std::vector<std::string> solo_responses(serve::ServiceOptions options,
+                                        const std::vector<std::string>& lines) {
+  options.batch_max = 1;
+  auto service = make_service(options);
+  serve::RequestScratch scratch;
+  std::vector<std::string> out(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    service.handle_line(lines[i], scratch, out[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> batched_responses(
+    serve::Service& service, const std::vector<std::string>& lines) {
+  std::vector<std::string_view> views(lines.begin(), lines.end());
+  serve::RequestScratch scratch;
+  std::vector<std::string> out;
+  service.handle_lines(views, scratch, out);
+  out.resize(lines.size());
+  return out;
+}
+
+// --- BatchExecutor: coalescing mechanics ----------------------------------
+
+TEST(BatchExecutorTest, CoalescesQueuedJobsUpToBatchMax) {
+  std::vector<std::size_t> batch_sizes;
+  std::mutex sizes_mutex;
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<bool> first_call{true};
+
+  BatchExecutor::Options options;
+  options.kinds = 1;
+  options.batch_max = 4;
+  options.batch_wait_us = 0;
+  options.workers = 1;
+  options.max_queued = 16;
+  BatchExecutor executor(
+      options, [&](std::size_t, std::span<BatchExecutor::Job> jobs) {
+        // The first batch (the sentinel job) parks the worker so the next
+        // four jobs are all queued before it looks again.
+        if (first_call.exchange(false)) {
+          released.wait();
+          return;
+        }
+        const std::lock_guard<std::mutex> lock(sizes_mutex);
+        batch_sizes.push_back(jobs.size());
+      });
+
+  BatchExecutor::Group group;
+  BatchExecutor::Job job;
+  job.kind = 0;
+  job.t0 = BatchExecutor::Clock::now();
+  job.deadline = job.t0 + 10s;
+  job.group = &group;
+  ASSERT_TRUE(executor.submit(job));  // sentinel: blocks the worker
+  // Give the worker a moment to take the sentinel off the queue, then
+  // pile up one full batch behind it.
+  while (executor.queued() != 0) std::this_thread::sleep_for(1ms);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(executor.submit(job));
+  release.set_value();
+  group.wait();
+
+  const std::lock_guard<std::mutex> lock(sizes_mutex);
+  ASSERT_EQ(batch_sizes.size(), 1u)
+      << "four queued jobs of one kind must drain as one batch";
+  EXPECT_EQ(batch_sizes[0], 4u);
+}
+
+TEST(BatchExecutorTest, FormationWaitNeverOutlivesTheEarliestDeadline) {
+  BatchExecutor::Options options;
+  options.kinds = 1;
+  options.batch_max = 8;
+  options.batch_wait_us = 5'000'000;  // 5 s: would dominate without the bound
+  options.workers = 1;
+  std::atomic<std::size_t> computed{0};
+  BatchExecutor executor(options,
+                         [&](std::size_t, std::span<BatchExecutor::Job> jobs) {
+                           computed += jobs.size();
+                         });
+
+  BatchExecutor::Group group;
+  BatchExecutor::Job job;
+  job.kind = 0;
+  job.t0 = BatchExecutor::Clock::now();
+  job.deadline = job.t0 + 50ms;
+  job.group = &group;
+  const auto submit_at = BatchExecutor::Clock::now();
+  ASSERT_TRUE(executor.submit(job));
+  group.wait();
+  const auto waited = BatchExecutor::Clock::now() - submit_at;
+  EXPECT_EQ(computed.load(), 1u);
+  EXPECT_LT(waited, 2s)
+      << "a lone job must compute at its deadline, not after batch_wait";
+}
+
+TEST(BatchExecutorTest, SubmitShedsWhenMaxQueuedReached) {
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<bool> first_call{true};
+
+  BatchExecutor::Options options;
+  options.kinds = 1;
+  options.batch_max = 1;
+  options.batch_wait_us = 0;
+  options.workers = 1;
+  options.max_queued = 2;
+  BatchExecutor executor(
+      options, [&](std::size_t, std::span<BatchExecutor::Job>) {
+        if (first_call.exchange(false)) {
+          started.set_value();
+          released.wait();
+        }
+      });
+
+  BatchExecutor::Group group;
+  BatchExecutor::Job job;
+  job.kind = 0;
+  job.t0 = BatchExecutor::Clock::now();
+  job.deadline = job.t0 + 10s;
+  job.group = &group;
+  ASSERT_TRUE(executor.submit(job));  // occupies the worker
+  started.get_future().wait();
+  ASSERT_TRUE(executor.submit(job));  // queued (1/2)
+  ASSERT_TRUE(executor.submit(job));  // queued (2/2)
+  EXPECT_FALSE(executor.submit(job)) << "beyond max_queued must shed";
+  release.set_value();
+  group.wait();
+}
+
+TEST(BatchExecutorTest, StopDrainsQueuedJobsAndRefusesNewOnes) {
+  std::promise<void> started;
+  std::promise<void> release;
+  std::shared_future<void> released(release.get_future());
+  std::atomic<bool> first_call{true};
+  std::atomic<std::size_t> computed{0};
+
+  BatchExecutor::Options options;
+  options.kinds = 2;
+  options.batch_max = 4;
+  options.batch_wait_us = 50'000;
+  options.workers = 1;
+  options.max_queued = 16;
+  BatchExecutor executor(
+      options, [&](std::size_t, std::span<BatchExecutor::Job> jobs) {
+        if (first_call.exchange(false)) {
+          started.set_value();
+          released.wait();
+        }
+        computed += jobs.size();
+      });
+
+  BatchExecutor::Group group;
+  BatchExecutor::Job job;
+  job.kind = 0;
+  job.t0 = BatchExecutor::Clock::now();
+  job.deadline = job.t0 + 10s;
+  job.group = &group;
+  ASSERT_TRUE(executor.submit(job));  // occupies the worker
+  started.get_future().wait();
+  job.kind = 1;
+  ASSERT_TRUE(executor.submit(job));
+  ASSERT_TRUE(executor.submit(job));
+  release.set_value();
+  executor.stop();  // must complete the two queued kind-1 jobs
+  EXPECT_EQ(computed.load(), 3u);
+  EXPECT_FALSE(executor.submit(job)) << "submit after stop must refuse";
+  group.wait();
+}
+
+// --- Service: coalesced responses are byte-identical to solo --------------
+
+TEST(ServeBatchTest, CoalescedWhatifGroupIsByteIdenticalToSolo) {
+  // One worker keeps batch completion deterministic with the caches on
+  // (concurrent batches would race the shared cache's hit/miss flags).
+  serve::ServiceOptions options;
+  options.batch_max = 8;
+  options.batch_workers = 1;
+  options.batch_wait_us = 1000;
+  const std::vector<std::string> lines = {
+      "{\"op\":\"whatif\",\"id\":1,\"params\":{\"reader_factor\":1.5}}",
+      "{\"op\":\"whatif\",\"id\":2,\"params\":{\"machine_factor\":0.5}}",
+      // Duplicate of id 1: solo sees a cache hit; the coalesced group
+      // must render the same "cached":true.
+      "{\"op\":\"whatif\",\"id\":3,\"params\":{\"reader_factor\":1.5}}",
+      "{\"op\":\"whatif\",\"id\":4,\"params\":{\"per_class\":"
+      "{\"easy\":0.25},\"profile\":\"field\"}}",
+      // Invalid factor: identical error line expected.
+      "{\"op\":\"whatif\",\"id\":5,\"params\":{\"reader_factor\":-1}}",
+      // Unknown class name: bad_request rendered from inside the batch.
+      "{\"op\":\"whatif\",\"id\":6,\"params\":{\"per_class\":"
+      "{\"bogus\":0.5}}}",
+      "{\"op\":\"whatif\",\"id\":7,\"params\":{\"reader_factor\":1.5,"
+      "\"machine_factor\":0.75}}",
+  };
+
+  auto batched = make_service(options);
+  ASSERT_TRUE(batched.batching());
+  const std::vector<std::string> got = batched_responses(batched, lines);
+  const std::vector<std::string> want = solo_responses(options, lines);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "line " << i << ": " << lines[i];
+  }
+  EXPECT_TRUE(has_error_code(got[4], "bad_request"));
+  EXPECT_TRUE(has_error_code(got[5], "bad_request"));
+}
+
+TEST(ServeBatchTest, EveryBatchableEndpointIsByteIdenticalCoalesced) {
+  serve::ServiceOptions options;
+  options.batch_max = 16;
+  options.batch_workers = 1;
+  options.batch_wait_us = 1000;
+  const std::vector<std::string> lines = {
+      "{\"op\":\"analyze\",\"id\":1}",
+      "{\"op\":\"whatif\",\"id\":2,\"params\":{\"reader_factor\":2.0}}",
+      "{\"op\":\"sweep\",\"id\":3,\"params\":{\"steps\":32,\"points\":5,"
+      "\"lo\":-2,\"hi\":2}}",
+      "{\"op\":\"minimise\",\"id\":4,\"params\":{\"cost_fn\":100,"
+      "\"cost_fp\":10,\"steps\":64}}",
+      "{\"op\":\"uq\",\"id\":5,\"params\":{\"draws\":64,\"seed\":11,"
+      "\"credibility\":0.9}}",
+      "{\"op\":\"compare\",\"id\":6,\"params\":{\"scenarios\":["
+      "{\"name\":\"a\",\"reader_factor\":0.5},"
+      "{\"name\":\"b\",\"machine_factor\":0.5}]}}",
+      // Repeats: cache-hit flags must agree with the solo sequence.
+      "{\"op\":\"uq\",\"id\":7,\"params\":{\"draws\":64,\"seed\":11,"
+      "\"credibility\":0.9}}",
+      "{\"op\":\"whatif\",\"id\":8,\"params\":{\"reader_factor\":2.0}}",
+  };
+
+  auto batched = make_service(options);
+  const std::vector<std::string> got = batched_responses(batched, lines);
+  const std::vector<std::string> want = solo_responses(options, lines);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "line " << i << ": " << lines[i];
+    EXPECT_NE(got[i].find("\"ok\":true"), std::string::npos) << got[i];
+  }
+}
+
+TEST(ServeBatchTest, PipelinedConnectionsGetOrderedByteIdenticalResponses) {
+  // Multiple workers and multiple real connections: the stress case for
+  // routing responses back to the right slot. Caches off on both sides —
+  // with concurrent batches the shared cache's hit flags are timing-
+  // dependent, which would break byte comparison (and in production is
+  // an observability difference, not a results difference).
+  serve::ServiceOptions options;
+  options.batch_max = 4;
+  options.batch_workers = 2;
+  options.batch_wait_us = 200;
+  options.whatif_cache_capacity = 0;
+  options.sweep_cache_capacity = 0;
+  options.minimise_cache_capacity = 0;
+  options.uq_cache_capacity = 0;
+
+  constexpr std::size_t kConnections = 3;
+  constexpr std::size_t kPerConnection = 12;
+  std::vector<std::vector<std::string>> conn_lines(kConnections);
+  for (std::size_t c = 0; c < kConnections; ++c) {
+    for (std::size_t k = 0; k < kPerConnection; ++k) {
+      const std::size_t id = c * 100 + k;
+      std::string line;
+      if (k % 3 == 2) {
+        line = "{\"op\":\"uq\",\"id\":" + std::to_string(id) +
+               ",\"params\":{\"draws\":32,\"seed\":" + std::to_string(id) +
+               "}}";
+      } else {
+        line = "{\"op\":\"whatif\",\"id\":" + std::to_string(id) +
+               ",\"params\":{\"reader_factor\":" +
+               std::to_string(0.5 + 0.1 * static_cast<double>(k)) + "}}";
+      }
+      conn_lines[c].push_back(std::move(line));
+    }
+  }
+
+  auto service = make_service(options);
+  serve::Server server(service, {});
+  server.start();
+
+  std::vector<std::vector<std::string>> got(kConnections);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kConnections; ++c) {
+    clients.emplace_back([&, c] {
+      const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      ASSERT_GE(fd, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(server.port());
+      ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+      ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof addr),
+                0);
+      std::string batch;
+      for (const auto& line : conn_lines[c]) batch += line + "\n";
+      std::size_t sent = 0;
+      while (sent < batch.size()) {
+        const ssize_t rc = ::send(fd, batch.data() + sent,
+                                  batch.size() - sent, MSG_NOSIGNAL);
+        ASSERT_GT(rc, 0);
+        sent += static_cast<std::size_t>(rc);
+      }
+      std::string buffer;
+      char chunk[8192];
+      while (std::count(buffer.begin(), buffer.end(), '\n') <
+             static_cast<std::ptrdiff_t>(kPerConnection)) {
+        const ssize_t rc = ::read(fd, chunk, sizeof chunk);
+        if (rc < 0 && errno == EINTR) continue;
+        ASSERT_GT(rc, 0);
+        buffer.append(chunk, static_cast<std::size_t>(rc));
+      }
+      std::size_t from = 0;
+      for (;;) {
+        const std::size_t nl = buffer.find('\n', from);
+        if (nl == std::string::npos) break;
+        got[c].push_back(buffer.substr(from, nl - from + 1));
+        from = nl + 1;
+      }
+      ::close(fd);
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.shutdown();
+
+  for (std::size_t c = 0; c < kConnections; ++c) {
+    const std::vector<std::string> want =
+        solo_responses(options, conn_lines[c]);
+    ASSERT_EQ(got[c].size(), want.size()) << "connection " << c;
+    for (std::size_t k = 0; k < want.size(); ++k) {
+      EXPECT_EQ(got[c][k], want[k])
+          << "connection " << c << " line " << k << ": "
+          << conn_lines[c][k];
+    }
+  }
+}
+
+// --- Service: deadlines, barriers, degradation ----------------------------
+
+TEST(ServeBatchTest, DeadlineExpiredWhileBatchedIsAStructuredError) {
+  serve::ServiceOptions options;
+  options.batch_max = 8;
+  options.batch_workers = 1;
+  options.batch_wait_us = 200'000;  // 200 ms formation window
+  auto service = make_service(options);
+
+  // A lone request with a 1 ms deadline: the formation wait is bounded by
+  // the deadline, and the handler then reports the expiry — well before
+  // the 200 ms window.
+  const std::vector<std::string> lines = {
+      "{\"op\":\"uq\",\"id\":1,\"deadline_ms\":1,"
+      "\"params\":{\"draws\":64,\"seed\":3}}",
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  auto service_lines = batched_responses(service, lines);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_EQ(service_lines.size(), 1u);
+  EXPECT_TRUE(has_error_code(service_lines[0], "deadline_exceeded"))
+      << service_lines[0];
+  EXPECT_LT(elapsed, 150ms)
+      << "the formation wait must be cut short by the deadline";
+}
+
+TEST(ServeBatchTest, NonBatchableRequestIsAnInOrderBarrier) {
+  const ObsGuard obs_on(true);
+  serve::ServiceOptions options;
+  options.batch_max = 8;
+  options.batch_workers = 1;
+  options.batch_wait_us = 1000;
+  auto service = make_service(options);
+
+  std::uint64_t whatif_before = 0;
+  for (const auto& h : obs::registry_snapshot().histograms) {
+    if (h.name == "serve.whatif.ns") whatif_before = h.count;
+  }
+
+  // Three batchable requests then `metrics`: the metrics response must
+  // already observe all three completions (the barrier), not race them.
+  const std::vector<std::string> lines = {
+      "{\"op\":\"whatif\",\"id\":1,\"params\":{\"reader_factor\":1.1}}",
+      "{\"op\":\"whatif\",\"id\":2,\"params\":{\"reader_factor\":1.2}}",
+      "{\"op\":\"whatif\",\"id\":3,\"params\":{\"reader_factor\":1.3}}",
+      "{\"op\":\"metrics\",\"id\":4}",
+  };
+  const std::vector<std::string> got = batched_responses(service, lines);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_NE(got[i].find("\"ok\":true"), std::string::npos) << got[i];
+  }
+  const std::string& metrics = got[3];
+  const std::size_t at = metrics.find("\"serve.whatif.ns\"");
+  ASSERT_NE(at, std::string::npos) << metrics;
+  const std::string count_token = "\"count\":";
+  const std::size_t count_at = metrics.find(count_token, at);
+  ASSERT_NE(count_at, std::string::npos) << metrics;
+  const std::uint64_t count = std::strtoull(
+      metrics.c_str() + count_at + count_token.size(), nullptr, 10);
+  EXPECT_EQ(count, whatif_before + 3)
+      << "metrics must observe every earlier request of its group";
+}
+
+TEST(ServeBatchTest, BatchMaxOneDegradesToTheInlinePath) {
+  const ObsGuard obs_on(true);
+  std::uint64_t batches_before = 0;
+  for (const auto& c : obs::registry_snapshot().counters) {
+    if (c.name == "serve.batch.batches") batches_before = c.value;
+  }
+
+  serve::ServiceOptions options;
+  options.batch_max = 1;
+  auto service = make_service(options);
+  EXPECT_FALSE(service.batching());
+
+  const std::vector<std::string> lines = {
+      "{\"op\":\"whatif\",\"id\":1,\"params\":{\"reader_factor\":1.5}}",
+      "{\"op\":\"health\",\"id\":2}",
+  };
+  const std::vector<std::string> got = batched_responses(service, lines);
+  EXPECT_NE(got[0].find("\"ok\":true"), std::string::npos) << got[0];
+  EXPECT_NE(got[1].find("\"ok\":true"), std::string::npos) << got[1];
+
+  std::uint64_t batches_after = 0;
+  for (const auto& c : obs::registry_snapshot().counters) {
+    if (c.name == "serve.batch.batches") batches_after = c.value;
+  }
+  EXPECT_EQ(batches_after, batches_before)
+      << "batch_max=1 must never start the executor";
+}
+
+// --- zero-allocation batched miss path ------------------------------------
+
+TEST(ServeBatchTest, BatchedWhatifMissPathAllocatesNothingSteadyState) {
+#if HMDIV_TSAN
+  GTEST_SKIP() << "allocation counting is not meaningful under TSan";
+#endif
+  // Cache off: every whatif is a miss and flows through the batched
+  // kernel (a disabled EvalCache neither probes nor inserts, so the whole
+  // submit -> coalesce -> evaluate_batch -> respond cycle must run out of
+  // warm buffers). Obs off so metric recording is out of scope.
+  const ObsGuard obs_off(false);
+  serve::ServiceOptions options;
+  options.batch_max = 4;
+  options.batch_workers = 1;
+  options.batch_wait_us = 100;
+  options.whatif_cache_capacity = 0;
+  auto service = make_service(options);
+
+  const std::vector<std::string> lines = {
+      "{\"op\":\"whatif\",\"id\":1,\"params\":{\"reader_factor\":1.25}}",
+      "{\"op\":\"whatif\",\"id\":2,\"params\":{\"machine_factor\":0.75}}",
+      "{\"op\":\"whatif\",\"id\":3,\"params\":{\"reader_factor\":0.5,"
+      "\"machine_factor\":1.5}}",
+  };
+  std::vector<std::string_view> views(lines.begin(), lines.end());
+  serve::RequestScratch scratch;
+  std::vector<std::string> responses;
+
+  // Warm up: grows the response strings, the executor queues, the worker's
+  // thread-local scratch and the workspace arenas to steady-state size.
+  for (int i = 0; i < 3; ++i) {
+    service.handle_lines(views, scratch, responses);
+    for (std::size_t k = 0; k < lines.size(); ++k) {
+      ASSERT_NE(responses[k].find("\"ok\":true"), std::string::npos)
+          << responses[k];
+      ASSERT_NE(responses[k].find("\"cached\":false"), std::string::npos)
+          << responses[k];
+    }
+  }
+
+  const std::uint64_t before = test::allocation_count();
+  for (int i = 0; i < 10; ++i) {
+    service.handle_lines(views, scratch, responses);
+  }
+  const std::uint64_t after = test::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "the batched whatif miss path must not allocate once warm";
+}
+
+}  // namespace
+}  // namespace hmdiv

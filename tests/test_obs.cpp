@@ -96,6 +96,36 @@ TEST(ObsHistogram, ConcurrentRecordsAreExactOnCountAndSum) {
   EXPECT_EQ(h.max(), 1023U);
 }
 
+TEST(ObsHistogram, SnapshotQuantileMatchesLiveQuantile) {
+  // snapshot_quantile is the report-side twin of Histogram::quantile
+  // (used by the serve metrics endpoint for p99.9); over the same bucket
+  // counts the two must agree exactly.
+  obs::Histogram h("h");
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  h.record(1'000'000);  // a tail value so p99.9 and p50 differ
+  obs::HistogramSnapshot snap;
+  snap.count = h.count();
+  snap.max = h.max();
+  for (std::size_t b = 0; b < obs::Histogram::kBuckets; ++b) {
+    snap.buckets.push_back(h.bucket(b));
+  }
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(obs::snapshot_quantile(snap, q), h.quantile(q)) << "q=" << q;
+  }
+  EXPECT_GT(obs::snapshot_quantile(snap, 0.999),
+            obs::snapshot_quantile(snap, 0.5));
+}
+
+TEST(ObsHistogram, SnapshotQuantileEdgeCases) {
+  const obs::HistogramSnapshot empty;
+  EXPECT_EQ(obs::snapshot_quantile(empty, 0.5), 0U);
+  // A snapshot without bucket counts (e.g. hand-built) falls back to max.
+  obs::HistogramSnapshot bare;
+  bare.count = 5;
+  bare.max = 1234;
+  EXPECT_EQ(obs::snapshot_quantile(bare, 0.99), 1234U);
+}
+
 TEST(ObsScopedTimer, DirectHistogramFormAlwaysRecords) {
   obs::Histogram h("h");
   {

@@ -333,6 +333,25 @@ TEST(ServeServiceTest, MetricsExposePerEndpointCounters) {
   EXPECT_NE(out.find("serve.whatif.ns"), std::string::npos) << out;
 }
 
+TEST(ServeServiceTest, MetricsRenderTailQuantilesAndMax) {
+  const ObsGuard obs_on(true);
+  auto service = make_service();
+  respond(service, "{\"op\":\"whatif\",\"params\":{\"reader_factor\":1.5}}");
+  const std::string out = respond(service, "{\"op\":\"metrics\"}");
+  // Every histogram entry carries the tail fields (p99.9 report-side via
+  // snapshot_quantile, max straight from the snapshot).
+  const std::size_t at = out.find("\"serve.whatif.ns\"");
+  ASSERT_NE(at, std::string::npos) << out;
+  const std::size_t entry_end = out.find('}', at);
+  const std::string entry = out.substr(at, entry_end - at);
+  EXPECT_NE(entry.find("\"p99\":"), std::string::npos) << entry;
+  EXPECT_NE(entry.find("\"p999\":"), std::string::npos) << entry;
+  EXPECT_NE(entry.find("\"max\":"), std::string::npos) << entry;
+  // At least one recording happened, so neither tail field may be zero.
+  EXPECT_GT(number_field(entry + "}", "p999"), 0.0) << entry;
+  EXPECT_GT(number_field(entry + "}", "max"), 0.0) << entry;
+}
+
 // --- zero-allocation hit path ---------------------------------------------
 
 TEST(ServeServiceTest, WhatifCacheHitAllocatesNothing) {
