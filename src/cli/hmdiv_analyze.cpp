@@ -13,7 +13,9 @@
 // --profile additionally runs a Monte-Carlo validation workload (trial
 // simulation, bootstrap interval, operating-threshold sweep) on the exec
 // engine and dumps the observability registry as a table; --profile-csv
-// FILE writes the same snapshot as CSV.
+// FILE writes the same snapshot as CSV. --workers HOST:PORT,... fans the
+// profiling workload out over remote hmdiv_serve daemons instead of local
+// worker processes (DESIGN.md §15); results stay bit-identical.
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
@@ -23,6 +25,7 @@
 #include <span>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cli/parse_util.hpp"
@@ -34,6 +37,7 @@
 #include "core/tradeoff_shard.hpp"
 #include "core/uncertainty.hpp"
 #include "core/uncertainty_shard.hpp"
+#include "exec/cluster.hpp"
 #include "exec/config.hpp"
 #include "exec/shard.hpp"
 #include "obs/obs.hpp"
@@ -56,6 +60,7 @@ using namespace hmdiv;
       << "usage: hmdiv_analyze --model FILE --trial FILE --field FILE\n"
          "                     [--improve CLASS=FACTOR]... [--text]\n"
          "                     [--no-advice] [--threads N] [--shards N]\n"
+         "                     [--workers HOST:PORT,...]\n"
          "                     [--profile] [--profile-csv FILE]\n"
          "                     [--grid-steps N] [--samples N]\n"
          "       hmdiv_analyze --example [--text]\n"
@@ -66,6 +71,11 @@ using namespace hmdiv;
          "--shards N fans the profiling workload out over N worker\n"
          "processes of --threads threads each (default: 1, or\n"
          "HMDIV_SHARDS). Results are bit-identical for any shard count.\n"
+         "--workers HOST:PORT,... fans the profiling workload out over\n"
+         "remote hmdiv_serve daemons via their shard endpoint instead of\n"
+         "local worker processes; composes with --shards (shard count)\n"
+         "and --threads (per-task budget on each worker). Results remain\n"
+         "bit-identical to the in-process run.\n"
          "--profile runs a Monte-Carlo validation workload (simulated\n"
          "trial, bootstrap interval, threshold sweep) and prints the\n"
          "observability registry; --profile-csv FILE writes it as CSV.\n"
@@ -132,14 +142,25 @@ Improvement parse_improvement(const std::string& spec) {
 /// The trial, posterior, sweep and minimisation phases route through the
 /// shard engine: with --shards N (or HMDIV_SHARDS) they fan out over N
 /// worker processes; at 1 shard they run in-process, bit-identically.
+/// With --workers they fan out over remote hmdiv_serve daemons instead,
+/// through one warm ClusterRunner connection pool shared by all four
+/// phases (DESIGN.md §15) — same partition, same merge, same bits.
 void run_profiling_workload(const core::SequentialModel& model,
                             const core::DemandProfile& trial,
                             const core::DemandProfile& field, bool markdown,
-                            std::size_t grid_steps, std::size_t samples) {
+                            std::size_t grid_steps, std::size_t samples,
+                            const std::vector<std::string>& workers) {
   exec::Config config = exec::default_config();
   if (config.resolved_threads() < 2) config = exec::Config{2};
   exec::ShardOptions sopts;
   sopts.threads = config.threads;
+  std::optional<exec::ClusterRunner> cluster;
+  if (!workers.empty()) {
+    exec::ClusterOptions copts;
+    copts.workers = workers;
+    copts.threads = config.threads;
+    cluster.emplace(std::move(copts));
+  }
 
   // Trial phase: simulate the model under the trial profile and
   // cross-check the Eq.-(8) prediction against the observed rate.
@@ -147,7 +168,10 @@ void run_profiling_workload(const core::SequentialModel& model,
   sim::TabularWorld world(model, trial);
   sim::TrialRunner runner(world, kCases);
   const sim::TrialData data =
-      sim::run_trial_sharded(world, kCases, /*seed=*/20030625, sopts);
+      cluster ? sim::run_trial_clustered(world, kCases, /*seed=*/20030625,
+                                         *cluster)
+              : sim::run_trial_sharded(world, kCases, /*seed=*/20030625,
+                                       sopts);
   const double observed = data.observed_failure_rate();
   const double predicted = model.system_failure_probability(trial);
 
@@ -184,8 +208,10 @@ void run_profiling_workload(const core::SequentialModel& model,
   const core::PosteriorModelSampler sampler(model.class_names(), counts);
   stats::Rng posterior_rng(11);
   const auto posterior =
-      core::predict_sharded(sampler, field, posterior_rng, samples, 0.95,
-                            sopts);
+      cluster ? core::predict_clustered(sampler, field, posterior_rng,
+                                        samples, 0.95, *cluster)
+              : core::predict_sharded(sampler, field, posterior_rng, samples,
+                                      0.95, sopts);
 
   // Sweep phase: the binormal machine implied by each class's PMf at
   // threshold 0 (mu = -probit(PMf)), swept across operating thresholds,
@@ -211,10 +237,16 @@ void run_profiling_workload(const core::SequentialModel& model,
     thresholds[i] = -4.0 + 8.0 * static_cast<double>(i) /
                                static_cast<double>(thresholds.size() - 1);
   }
-  const auto curve = core::sweep_sharded(analyzer, thresholds, sopts);
-  const auto best = core::minimise_cost_sharded(analyzer, /*cost_fn=*/500.0,
-                                                /*cost_fp=*/20.0, -4.0, 4.0,
-                                                grid_steps, sopts);
+  const auto curve = cluster
+                         ? core::sweep_clustered(analyzer, thresholds, *cluster)
+                         : core::sweep_sharded(analyzer, thresholds, sopts);
+  const auto best =
+      cluster ? core::minimise_cost_clustered(analyzer, /*cost_fn=*/500.0,
+                                              /*cost_fp=*/20.0, -4.0, 4.0,
+                                              grid_steps, *cluster)
+              : core::minimise_cost_sharded(analyzer, /*cost_fn=*/500.0,
+                                            /*cost_fp=*/20.0, -4.0, 4.0,
+                                            grid_steps, sopts);
 
   std::cout << (markdown ? "## Profiling workload (Monte-Carlo validation)\n\n"
                          : "== Profiling workload (Monte-Carlo validation) "
@@ -252,6 +284,7 @@ int main(int argc, char** argv) {
   bool profile = false;
   std::size_t grid_steps = 20'000;
   std::size_t samples = 500;
+  std::vector<std::string> workers;
   std::optional<std::string> profile_csv_path;
   core::ReportOptions options;
 
@@ -286,6 +319,27 @@ int main(int argc, char** argv) {
       exec::set_default_shard_count(
           static_cast<unsigned>(cli::parse_bounded_ulong(
               "hmdiv_analyze", "--shards", next(), 1, exec::kMaxShards)));
+    } else if (arg == "--workers") {
+      // Comma-separated worker list; every element must parse as
+      // HOST:PORT (or [IPV6]:PORT) and name a connectable port — port 0
+      // is bind-only, so an element carrying it is a mistake here.
+      const std::string list = next();
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        const std::string element = list.substr(start, comma - start);
+        const cli::HostPort parsed =
+            cli::parse_host_port("hmdiv_analyze", "--workers", element);
+        if (parsed.port == 0) {
+          std::cerr << "hmdiv_analyze: --workers needs a connectable "
+                       "port, got '"
+                    << element << "'\n";
+          std::exit(2);
+        }
+        workers.push_back(element);
+        start = comma + 1;
+      }
     } else if (arg == "--grid-steps") {
       // < 2 cannot form a grid; > 5'000'000 is a typo, not a workload.
       grid_steps = static_cast<std::size_t>(cli::parse_bounded_ulong(
@@ -349,7 +403,7 @@ int main(int argc, char** argv) {
 
     if (profile) {
       run_profiling_workload(model, trial, field, options.markdown,
-                             grid_steps, samples);
+                             grid_steps, samples, workers);
       const obs::Snapshot snapshot = obs::registry_snapshot();
       std::cout << (options.markdown ? "## Profile (obs registry)\n\n"
                                      : "== Profile (obs registry) ==\n\n")

@@ -2,7 +2,7 @@
 //
 // Usage:
 //   hmdiv_serve --model MODEL_FILE --trial PROFILE_FILE --field PROFILE_FILE
-//               [--port N] [--address A] [--max-queue N]
+//               [--bind HOST:PORT] [--port N] [--address A] [--max-queue N]
 //               [--max-concurrent N] [--max-conns N] [--threads N]
 //               [--deadline-ms N] [--whatif-cache N] [--sweep-cache N]
 //               [--batch-max N] [--batch-wait-us N] [--compute-threads N]
@@ -11,7 +11,8 @@
 //
 // Protocol: newline-delimited JSON (one request object per line; see
 // DESIGN.md §13). Endpoints: analyze, whatif, sweep, minimise, uq,
-// compare, health, metrics, reload.
+// compare, health, metrics, reload, shard (the last upgrades the
+// connection to the binary cluster-worker protocol, DESIGN.md §15).
 //
 // The daemon prints exactly one "listening on <address>:<port>" line to
 // stdout once the socket is bound (--port 0 binds an ephemeral port and
@@ -24,14 +25,18 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "cli/parse_util.hpp"
 #include "core/model_io.hpp"
 #include "core/paper_example.hpp"
+#include "core/tradeoff_shard.hpp"
+#include "core/uncertainty_shard.hpp"
 #include "exec/config.hpp"
 #include "obs/obs.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "sim/trial_shard.hpp"
 
 namespace {
 
@@ -40,7 +45,8 @@ using namespace hmdiv;
 [[noreturn]] void usage(int exit_code) {
   std::cerr
       << "usage: hmdiv_serve --model FILE --trial FILE --field FILE\n"
-         "                   [--port N] [--address A] [--max-queue N]\n"
+         "                   [--bind HOST:PORT] [--port N] [--address A]\n"
+         "                   [--max-queue N]\n"
          "                   [--max-concurrent N] [--max-conns N]\n"
          "                   [--threads N] [--deadline-ms N]\n"
          "                   [--whatif-cache N] [--sweep-cache N]\n"
@@ -51,9 +57,10 @@ using namespace hmdiv;
          "Serves the analysis endpoints (analyze, whatif, sweep, minimise,\n"
          "uq, compare, health, metrics, reload) over a newline-delimited\n"
          "JSON TCP protocol.\n"
-         "--port N binds TCP port N (default 0 = ephemeral; the bound\n"
-         "port is printed on startup). --address A binds A (default\n"
-         "127.0.0.1).\n"
+         "--bind HOST:PORT (or [IPV6]:PORT) sets the listen address and\n"
+         "port together; --port N and --address A set them separately\n"
+         "(defaults 0 = ephemeral and 127.0.0.1; the bound port is\n"
+         "printed on startup).\n"
          "--max-concurrent N caps requests executing at once (default:\n"
          "hardware threads); --max-queue N bounds the admission queue\n"
          "beyond which requests are shed with a structured error\n"
@@ -120,6 +127,11 @@ int main(int argc, char** argv) {
           "hmdiv_serve", "--port", next(i), 0, 65535));
     } else if (arg == "--address") {
       server_options.bind_address = next(i);
+    } else if (arg == "--bind") {
+      cli::HostPort bind =
+          cli::parse_host_port("hmdiv_serve", "--bind", next(i));
+      server_options.bind_address = std::move(bind.host);
+      server_options.port = bind.port;
     } else if (arg == "--max-queue") {
       service_options.max_queue = cli::parse_bounded_ulong(
           "hmdiv_serve", "--max-queue", next(i), 0, 1'000'000);
@@ -168,6 +180,13 @@ int main(int argc, char** argv) {
   }
 
   obs::set_enabled(obs_enabled);
+
+  // Anchor the shard-workload translation units (static registrations in
+  // static libraries are dead-stripped unless something in the executable
+  // references them) so the "shard" endpoint can serve every workload.
+  sim::ensure_trial_shard_registered();
+  core::ensure_tradeoff_shard_registered();
+  core::ensure_uncertainty_shard_registered();
 
   std::optional<serve::Service> service;
   try {

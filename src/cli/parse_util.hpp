@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
 
 namespace hmdiv::cli {
 
@@ -21,6 +23,13 @@ namespace hmdiv::cli {
 ///   <program>: <flag> expects an integer in [<lo>, <hi>], got '<value>'
 /// to stderr and exits 2 — malformed input must never silently
 /// misconfigure a run (or a long-lived server).
+/// A parsed "host:port" endpoint. `host` keeps the textual form handed to
+/// getaddrinfo later (IPv6 literals without the brackets).
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
 [[nodiscard]] inline unsigned long parse_bounded_ulong(
     const char* program, const char* flag, const std::string& value,
     unsigned long lo, unsigned long hi) {
@@ -40,6 +49,58 @@ namespace hmdiv::cli {
     std::exit(2);
   }
   return parsed;
+}
+
+/// Parses `value` as "HOST:PORT" or "[IPV6]:PORT" (the bracketed form is
+/// required for IPv6 literals — a bare one is ambiguous with the port
+/// separator). Port 0 is accepted: it means "ephemeral" in bind contexts
+/// (callers that need a connectable port reject 0 themselves, naming the
+/// element). On any violation prints
+///   <program>: <flag> expects HOST:PORT or [IPV6]:PORT, got '<value>'
+/// to stderr and exits 2 — the same fail-fast contract as
+/// parse_bounded_ulong, shared by hmdiv_serve --bind and hmdiv_analyze
+/// --workers so the two tools can never drift on what an address is.
+[[nodiscard]] inline HostPort parse_host_port(const char* program,
+                                              const char* flag,
+                                              const std::string& value) {
+  const auto reject = [&]() -> HostPort {
+    std::cerr << program << ": " << flag
+              << " expects HOST:PORT or [IPV6]:PORT, got '" << value << "'\n";
+    std::exit(2);
+  };
+  std::string host;
+  std::string port_text;
+  if (!value.empty() && value.front() == '[') {
+    const std::size_t close = value.find(']');
+    if (close == std::string::npos || close == 1 ||
+        close + 1 >= value.size() || value[close + 1] != ':') {
+      return reject();
+    }
+    host = value.substr(1, close - 1);
+    port_text = value.substr(close + 2);
+  } else {
+    const std::size_t colon = value.find(':');
+    // A second colon means an unbracketed IPv6 literal (or garbage);
+    // require the bracketed form so "::1:8080" can't parse as host "::1".
+    if (colon == std::string::npos || colon == 0 ||
+        value.find(':', colon + 1) != std::string::npos) {
+      return reject();
+    }
+    host = value.substr(0, colon);
+    port_text = value.substr(colon + 1);
+  }
+  const bool digits_only =
+      !port_text.empty() &&
+      port_text.find_first_not_of("0123456789") == std::string::npos;
+  if (!digits_only) return reject();
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (end != port_text.c_str() + port_text.size() || errno == ERANGE ||
+      port > 65535) {
+    return reject();
+  }
+  return HostPort{std::move(host), static_cast<std::uint16_t>(port)};
 }
 
 }  // namespace hmdiv::cli

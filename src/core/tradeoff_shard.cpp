@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "exec/cluster.hpp"
 #include "obs/obs.hpp"
 
 namespace hmdiv::core {
@@ -166,24 +167,23 @@ const exec::ShardWorkloadRegistration kSweepRegistration{
 const exec::ShardWorkloadRegistration kMinimiseRegistration{
     kMinimiseShardWorkload, &handle_minimise_shard};
 
-}  // namespace
+// --- Transport-independent blob builders and merges -----------------------
+// Shared by the process-sharded and clustered paths; both transports
+// return payloads in ascending shard order, so the merges below make the
+// result independent of how the shards ran.
 
-std::vector<SystemOperatingPoint> sweep_sharded(
-    const TradeoffAnalyzer& analyzer, const std::vector<double>& thresholds,
-    const exec::ShardOptions& options) {
-  const exec::ShardRunner runner(options);
-  if (runner.resolved_shards() == 1 || thresholds.empty()) {
-    return analyzer.sweep(thresholds,
-                          options.threads ? exec::Config{options.threads}
-                                          : exec::default_config());
-  }
-  HMDIV_OBS_SCOPED_TIMER("core.tradeoff.shard_sweep_ns");
+std::vector<std::uint8_t> encode_sweep_blob(
+    const TradeoffAnalyzer& analyzer, const std::vector<double>& thresholds) {
   Writer blob;
   encode_analyzer(blob, analyzer);
   blob.doubles(thresholds);
-  const auto payloads = runner.run(kSweepShardWorkload, blob.data());
+  return blob.take();
+}
+
+std::vector<SystemOperatingPoint> merge_sweep_payloads(
+    std::size_t expected, const std::vector<std::vector<std::uint8_t>>& payloads) {
   std::vector<SystemOperatingPoint> points;
-  points.reserve(thresholds.size());
+  points.reserve(expected);
   for (const auto& payload : payloads) {
     Reader r(payload);
     const std::uint64_t n = r.u64();
@@ -192,26 +192,17 @@ std::vector<SystemOperatingPoint> sweep_sharded(
       throw exec::wire::ProtocolError("core.sweep result: trailing bytes");
     }
   }
-  if (points.size() != thresholds.size()) {
+  if (points.size() != expected) {
     throw exec::wire::ProtocolError(
         "core.sweep: merged point count mismatch");
   }
   return points;
 }
 
-SystemOperatingPoint minimise_cost_sharded(const TradeoffAnalyzer& analyzer,
-                                           double cost_fn, double cost_fp,
-                                           double lo, double hi,
-                                           std::size_t steps,
-                                           const exec::ShardOptions& options) {
-  const exec::ShardRunner runner(options);
-  if (runner.resolved_shards() == 1) {
-    return analyzer.minimise_cost(cost_fn, cost_fp, lo, hi, steps,
-                                  options.threads
-                                      ? exec::Config{options.threads}
-                                      : exec::default_config());
-  }
-  HMDIV_OBS_SCOPED_TIMER("core.tradeoff.shard_minimise_ns");
+std::vector<std::uint8_t> encode_minimise_blob(const TradeoffAnalyzer& analyzer,
+                                               double cost_fn, double cost_fp,
+                                               double lo, double hi,
+                                               std::size_t steps) {
   Writer blob;
   encode_analyzer(blob, analyzer);
   blob.f64(cost_fn);
@@ -219,7 +210,11 @@ SystemOperatingPoint minimise_cost_sharded(const TradeoffAnalyzer& analyzer,
   blob.f64(lo);
   blob.f64(hi);
   blob.u64(steps);
-  const auto payloads = runner.run(kMinimiseShardWorkload, blob.data());
+  return blob.take();
+}
+
+SystemOperatingPoint merge_minimise_payloads(
+    const std::vector<std::vector<std::uint8_t>>& payloads) {
   // Ascending shard order = ascending grid order, so the strict-< fold
   // resolves exact cost ties to the earliest grid point — the same rule
   // minimise_cost applies across its chunks.
@@ -240,5 +235,63 @@ SystemOperatingPoint minimise_cost_sharded(const TradeoffAnalyzer& analyzer,
   }
   return best.point;
 }
+
+}  // namespace
+
+std::vector<SystemOperatingPoint> sweep_sharded(
+    const TradeoffAnalyzer& analyzer, const std::vector<double>& thresholds,
+    const exec::ShardOptions& options) {
+  const exec::ShardRunner runner(options);
+  if (runner.resolved_shards() == 1 || thresholds.empty()) {
+    return analyzer.sweep(thresholds,
+                          options.threads ? exec::Config{options.threads}
+                                          : exec::default_config());
+  }
+  HMDIV_OBS_SCOPED_TIMER("core.tradeoff.shard_sweep_ns");
+  const std::vector<std::uint8_t> blob = encode_sweep_blob(analyzer, thresholds);
+  return merge_sweep_payloads(thresholds.size(),
+                              runner.run(kSweepShardWorkload, blob));
+}
+
+SystemOperatingPoint minimise_cost_sharded(const TradeoffAnalyzer& analyzer,
+                                           double cost_fn, double cost_fp,
+                                           double lo, double hi,
+                                           std::size_t steps,
+                                           const exec::ShardOptions& options) {
+  const exec::ShardRunner runner(options);
+  if (runner.resolved_shards() == 1) {
+    return analyzer.minimise_cost(cost_fn, cost_fp, lo, hi, steps,
+                                  options.threads
+                                      ? exec::Config{options.threads}
+                                      : exec::default_config());
+  }
+  HMDIV_OBS_SCOPED_TIMER("core.tradeoff.shard_minimise_ns");
+  const std::vector<std::uint8_t> blob =
+      encode_minimise_blob(analyzer, cost_fn, cost_fp, lo, hi, steps);
+  return merge_minimise_payloads(runner.run(kMinimiseShardWorkload, blob));
+}
+
+std::vector<SystemOperatingPoint> sweep_clustered(
+    const TradeoffAnalyzer& analyzer, const std::vector<double>& thresholds,
+    exec::ClusterRunner& cluster) {
+  if (thresholds.empty()) return {};
+  HMDIV_OBS_SCOPED_TIMER("core.tradeoff.cluster_sweep_ns");
+  const std::vector<std::uint8_t> blob = encode_sweep_blob(analyzer, thresholds);
+  return merge_sweep_payloads(thresholds.size(),
+                              cluster.run(kSweepShardWorkload, blob));
+}
+
+SystemOperatingPoint minimise_cost_clustered(const TradeoffAnalyzer& analyzer,
+                                             double cost_fn, double cost_fp,
+                                             double lo, double hi,
+                                             std::size_t steps,
+                                             exec::ClusterRunner& cluster) {
+  HMDIV_OBS_SCOPED_TIMER("core.tradeoff.cluster_minimise_ns");
+  const std::vector<std::uint8_t> blob =
+      encode_minimise_blob(analyzer, cost_fn, cost_fp, lo, hi, steps);
+  return merge_minimise_payloads(cluster.run(kMinimiseShardWorkload, blob));
+}
+
+void ensure_tradeoff_shard_registered() {}
 
 }  // namespace hmdiv::core

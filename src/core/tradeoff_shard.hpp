@@ -21,6 +21,10 @@
 #include "core/tradeoff.hpp"
 #include "exec/shard.hpp"
 
+namespace hmdiv::exec {
+class ClusterRunner;
+}  // namespace hmdiv::exec
+
 namespace hmdiv::core {
 
 /// Shard-workload names the trade-off analyses register under.
@@ -42,5 +46,26 @@ inline constexpr std::string_view kMinimiseShardWorkload = "core.minimise";
     const TradeoffAnalyzer& analyzer, double cost_fn, double cost_fp,
     double lo, double hi, std::size_t steps,
     const exec::ShardOptions& options = {});
+
+/// sweep across remote hmdiv_serve workers via `cluster` (DESIGN.md §15).
+/// Identical blob, shard_range partition and ascending-shard merge as
+/// sweep_sharded, so the points are bit-identical to analyzer.sweep at any
+/// worker × shard composition. Throws exec::ClusterError when no healthy
+/// worker can finish a shard.
+[[nodiscard]] std::vector<SystemOperatingPoint> sweep_clustered(
+    const TradeoffAnalyzer& analyzer, const std::vector<double>& thresholds,
+    exec::ClusterRunner& cluster);
+
+/// minimise_cost across remote workers with the same earliest-grid-point
+/// tie fold as minimise_cost_sharded. Bit-identical to the in-process scan.
+[[nodiscard]] SystemOperatingPoint minimise_cost_clustered(
+    const TradeoffAnalyzer& analyzer, double cost_fn, double cost_fp,
+    double lo, double hi, std::size_t steps, exec::ClusterRunner& cluster);
+
+/// No-op anchor: calling it from an executable forces this translation
+/// unit (and its static ShardWorkloadRegistrations) to link in, so daemons
+/// built against the static libraries can serve "core.sweep" and
+/// "core.minimise" shard tasks.
+void ensure_tradeoff_shard_registered();
 
 }  // namespace hmdiv::core

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "exec/cluster.hpp"
 #include "obs/obs.hpp"
 
 namespace hmdiv::core {
@@ -102,6 +103,26 @@ std::vector<std::uint8_t> handle_uq_shard(const exec::wire::ShardTask& task) {
 const exec::ShardWorkloadRegistration kRegistration{
     kUncertaintyShardWorkload, &handle_uq_shard};
 
+/// Ascending-shard merge shared by the process-sharded and clustered
+/// paths: concatenate each shard's chunk-aligned draw slice into `out`.
+void merge_uq_payloads(const std::vector<std::vector<std::uint8_t>>& payloads,
+                       std::span<double> out) {
+  std::size_t offset = 0;
+  for (const auto& payload : payloads) {
+    Reader r(payload);
+    const std::vector<double> draws = r.doubles();
+    if (!r.exhausted() || draws.size() > out.size() - offset) {
+      throw exec::wire::ProtocolError("core.uq.sample result: bad payload");
+    }
+    std::copy(draws.begin(), draws.end(), out.begin() + offset);
+    offset += draws.size();
+  }
+  if (offset != out.size()) {
+    throw exec::wire::ProtocolError(
+        "core.uq.sample: merged draw count mismatch");
+  }
+}
+
 }  // namespace
 
 void sample_failure_probabilities_sharded(
@@ -126,22 +147,40 @@ void sample_failure_probabilities_sharded(
   const std::uint64_t base = rng.next_u64();
   const std::vector<std::uint8_t> blob =
       encode_blob(sampler, profile, out.size(), base);
-  const auto payloads = runner.run(kUncertaintyShardWorkload, blob);
-  std::size_t offset = 0;
-  for (const auto& payload : payloads) {
-    Reader r(payload);
-    const std::vector<double> draws = r.doubles();
-    if (!r.exhausted() || draws.size() > out.size() - offset) {
-      throw exec::wire::ProtocolError("core.uq.sample result: bad payload");
-    }
-    std::copy(draws.begin(), draws.end(), out.begin() + offset);
-    offset += draws.size();
-  }
-  if (offset != out.size()) {
-    throw exec::wire::ProtocolError(
-        "core.uq.sample: merged draw count mismatch");
-  }
+  merge_uq_payloads(runner.run(kUncertaintyShardWorkload, blob), out);
 }
+
+void sample_failure_probabilities_clustered(
+    const PosteriorModelSampler& sampler, const DemandProfile& profile,
+    stats::Rng& rng, std::span<double> out, exec::ClusterRunner& cluster) {
+  if (out.empty()) {
+    throw std::invalid_argument(
+        "sample_failure_probabilities_clustered: empty output");
+  }
+  HMDIV_OBS_SCOPED_TIMER("core.uq.cluster_sample_ns");
+  // One step off the caller's rng — exactly what the in-process engine
+  // consumes — so caller-visible rng state stays identical.
+  const std::uint64_t base = rng.next_u64();
+  const std::vector<std::uint8_t> blob =
+      encode_blob(sampler, profile, out.size(), base);
+  merge_uq_payloads(cluster.run(kUncertaintyShardWorkload, blob), out);
+}
+
+UncertainPrediction predict_clustered(const PosteriorModelSampler& sampler,
+                                      const DemandProfile& profile,
+                                      stats::Rng& rng, std::size_t draws,
+                                      double credibility,
+                                      exec::ClusterRunner& cluster) {
+  if (draws == 0) {
+    throw std::invalid_argument("predict_clustered: draws == 0");
+  }
+  std::vector<double> values(draws);
+  sample_failure_probabilities_clustered(sampler, profile, rng, values,
+                                         cluster);
+  return PosteriorModelSampler::summarise(values, credibility);
+}
+
+void ensure_uncertainty_shard_registered() {}
 
 UncertainPrediction predict_sharded(const PosteriorModelSampler& sampler,
                                     const DemandProfile& profile,

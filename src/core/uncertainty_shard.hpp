@@ -16,6 +16,10 @@
 #include "core/uncertainty.hpp"
 #include "exec/shard.hpp"
 
+namespace hmdiv::exec {
+class ClusterRunner;
+}  // namespace hmdiv::exec
+
 namespace hmdiv::core {
 
 /// Shard-workload name posterior sampling registers under.
@@ -38,5 +42,29 @@ void sample_failure_probabilities_sharded(
     const PosteriorModelSampler& sampler, const DemandProfile& profile,
     stats::Rng& rng, std::size_t draws = 4000, double credibility = 0.95,
     const exec::ShardOptions& options = {});
+
+/// Posterior predictive sampling across remote hmdiv_serve workers via
+/// `cluster` (DESIGN.md §15). Identical blob, chunk partition and
+/// ascending-shard merge as the process-sharded path; `rng` advances by
+/// exactly one step and `out` fills bit-identically to the in-process call
+/// at any worker × shard composition. Throws exec::ClusterError when no
+/// healthy worker can finish a shard.
+void sample_failure_probabilities_clustered(
+    const PosteriorModelSampler& sampler, const DemandProfile& profile,
+    stats::Rng& rng, std::span<double> out, exec::ClusterRunner& cluster);
+
+/// predict() on the clustered sampling stage: sample across remote
+/// workers, then summarise in the parent. Bit-identical to the in-process
+/// predict().
+[[nodiscard]] UncertainPrediction predict_clustered(
+    const PosteriorModelSampler& sampler, const DemandProfile& profile,
+    stats::Rng& rng, std::size_t draws, double credibility,
+    exec::ClusterRunner& cluster);
+
+/// No-op anchor: calling it from an executable forces this translation
+/// unit (and its static ShardWorkloadRegistration) to link in, so daemons
+/// built against the static libraries can serve "core.uq.sample" shard
+/// tasks.
+void ensure_uncertainty_shard_registered();
 
 }  // namespace hmdiv::core

@@ -1,0 +1,528 @@
+#include "exec/cluster.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "exec/cluster_protocol.hpp"
+#include "exec/config.hpp"
+#include "exec/shard.hpp"
+#include "exec/shard_protocol.hpp"
+#include "obs/obs.hpp"
+
+namespace hmdiv::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// --- Process-global worker stats (metrics endpoint) -----------------------
+
+std::mutex& stats_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::vector<ClusterWorkerStats>& stats_store() {
+  static std::vector<ClusterWorkerStats> store;
+  return store;
+}
+
+// --- Socket helpers -------------------------------------------------------
+
+int remaining_ms(Clock::time_point deadline) noexcept {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 60'000) return 60'000;
+  return static_cast<int>(left.count());
+}
+
+/// Splits "host:port" / "[v6]:port" into its pieces; false when the shape
+/// is wrong (the CLI validates earlier, this is the defensive re-check).
+bool split_address(const std::string& address, std::string& host,
+                   std::string& port) {
+  if (!address.empty() && address.front() == '[') {
+    const std::size_t close = address.find(']');
+    if (close == std::string::npos || close + 1 >= address.size() ||
+        address[close + 1] != ':') {
+      return false;
+    }
+    host = address.substr(1, close - 1);
+    port = address.substr(close + 2);
+  } else {
+    const std::size_t colon = address.rfind(':');
+    if (colon == std::string::npos || address.find(':') != colon) {
+      return false;
+    }
+    host = address.substr(0, colon);
+    port = address.substr(colon + 1);
+  }
+  return !host.empty() && !port.empty();
+}
+
+/// Non-blocking connect with a poll()ed timeout; returns a connected
+/// non-blocking fd (TCP_NODELAY set) or -1 with `error` filled.
+int connect_worker(const std::string& host, const std::string& port,
+                   std::chrono::milliseconds timeout, std::string& error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* list = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &list);
+  if (rc != 0) {
+    error = std::string("resolve failed: ") + ::gai_strerror(rc);
+    return -1;
+  }
+  int fd = -1;
+  int last_errno = ECONNREFUSED;
+  for (addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family,
+                  ai->ai_socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    if (errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready =
+          ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+      int so_error = ETIMEDOUT;
+      if (ready == 1) {
+        socklen_t len = sizeof so_error;
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+          so_error = errno;
+        }
+      }
+      if (so_error == 0) break;
+      last_errno = so_error;
+    } else {
+      last_errno = errno;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(list);
+  if (fd < 0) {
+    error = std::string("connect failed: ") + std::strerror(last_errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+/// Sends all of `bytes` on a non-blocking fd, polling under `deadline`.
+bool send_within(int fd, std::string_view bytes,
+                 Clock::time_point deadline) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+        errno != EINTR) {
+      return false;
+    }
+    const int left = remaining_ms(deadline);
+    if (left <= 0) return false;
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, left) < 0 && errno != EINTR) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- Per-worker connection state ------------------------------------------
+
+struct ClusterRunner::Conn {
+  std::string host;
+  std::string port;
+  int fd = -1;
+  bool healthy = true;  ///< this run; reset at run start
+  bool busy = false;
+  std::uint32_t shard = 0;
+  std::vector<std::uint8_t> send_buf;
+  std::size_t sent = 0;
+  wire::FrameParser parser;
+  std::vector<wire::Frame> frames;
+  Clock::time_point started{};
+  Clock::time_point deadline{};
+  ClusterWorkerStats stats;
+
+  void close_fd() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+    busy = false;
+    parser = wire::FrameParser{};
+    frames.clear();
+  }
+};
+
+ClusterRunner::ClusterRunner(ClusterOptions options)
+    : options_(std::move(options)) {
+  conns_.reserve(options_.workers.size());
+  for (const std::string& address : options_.workers) {
+    Conn conn;
+    conn.stats.address = address;
+    if (!split_address(address, conn.host, conn.port)) {
+      conn.healthy = false;
+      conn.stats.last_error = "malformed worker address";
+    }
+    conns_.push_back(std::move(conn));
+  }
+}
+
+ClusterRunner::~ClusterRunner() {
+  for (Conn& conn : conns_) conn.close_fd();
+}
+
+unsigned ClusterRunner::resolved_shards() const noexcept {
+  unsigned shards = options_.shards;
+  if (shards == 0) {
+    const unsigned configured = default_shard_count();
+    shards = configured > 1 ? configured
+                            : static_cast<unsigned>(conns_.size());
+  }
+  if (shards == 0) shards = 1;
+  return shards > kMaxShards ? kMaxShards : shards;
+}
+
+std::vector<ClusterWorkerStats> ClusterRunner::worker_stats() const {
+  std::vector<ClusterWorkerStats> out;
+  out.reserve(conns_.size());
+  for (const Conn& conn : conns_) out.push_back(conn.stats);
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> ClusterRunner::run(
+    std::string_view workload, std::span<const std::uint8_t> blob) {
+  if (conns_.empty()) {
+    throw ClusterError("cluster: no workers configured");
+  }
+  const unsigned shards = resolved_shards();
+  HMDIV_OBS_SCOPED_TIMER("exec.cluster.run_ns");
+  HMDIV_OBS_COUNT("exec.cluster.runs", 1);
+  const bool ship_obs = obs::enabled();
+  const unsigned threads =
+      options_.threads ? options_.threads : default_config().threads;
+
+  std::vector<std::vector<std::uint8_t>> results(shards);
+  std::vector<bool> done(shards, false);
+  std::vector<std::size_t> last_conn(shards, conns_.size());
+  std::deque<std::uint32_t> pending;
+  for (std::uint32_t s = 0; s < shards; ++s) pending.push_back(s);
+  std::size_t completed = 0;
+  std::string last_failure = "no worker reachable";
+
+  // Health is per-run (a worker that failed last run gets a fresh connect
+  // attempt); warm fds and cumulative stats persist across runs.
+  for (Conn& conn : conns_) {
+    conn.healthy = !conn.host.empty();
+  }
+
+  const auto build_task = [&](std::uint32_t s) {
+    wire::ShardTask task;
+    task.workload = std::string(workload);
+    task.shard_index = s;
+    task.shard_count = shards;
+    task.threads = threads;
+    task.obs_enabled = ship_obs;
+    task.blob.assign(blob.begin(), blob.end());
+    std::vector<std::uint8_t> out;
+    wire::append_frame(out, wire::FrameType::task,
+                       wire::serialize_task(task));
+    return out;
+  };
+
+  // Connect + NDJSON upgrade handshake (blocking, bounded): one request
+  // line out, one `"ok":true` response line back; bytes after the newline
+  // already belong to the frame stream.
+  const auto open_conn = [&](Conn& conn) -> bool {
+    std::string error;
+    conn.fd = connect_worker(conn.host, conn.port, options_.connect_timeout,
+                             error);
+    if (conn.fd < 0) {
+      conn.healthy = false;
+      conn.stats.last_error = error;
+      last_failure = conn.stats.address + ": " + error;
+      return false;
+    }
+    const auto handshake_deadline = Clock::now() + options_.connect_timeout;
+    const auto fail = [&](const std::string& why) {
+      conn.close_fd();
+      conn.healthy = false;
+      conn.stats.last_error = why;
+      last_failure = conn.stats.address + ": " + why;
+      return false;
+    };
+    if (!send_within(conn.fd, kShardUpgradeLine, handshake_deadline)) {
+      return fail("upgrade send failed");
+    }
+    std::string line;
+    char buffer[512];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd, buffer, sizeof buffer, 0);
+      if (n > 0) {
+        line.append(buffer, static_cast<std::size_t>(n));
+        const std::size_t newline = line.find('\n');
+        if (newline != std::string::npos) {
+          if (line.find("\"ok\":true") == std::string::npos ||
+              line.find("\"ok\":true") > newline) {
+            return fail("upgrade rejected: " + line.substr(0, newline));
+          }
+          // Trailing bytes are already frames (none with a well-behaved
+          // worker, but the parser owns them either way).
+          const std::size_t extra = line.size() - newline - 1;
+          if (extra > 0) {
+            conn.parser.feed(std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(line.data()) +
+                    newline + 1,
+                extra));
+          }
+          return true;
+        }
+        if (line.size() > 4096) return fail("oversized upgrade response");
+        continue;
+      }
+      if (n == 0) return fail("closed during upgrade");
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        return fail(std::string("upgrade read failed: ") +
+                    std::strerror(errno));
+      }
+      const int left = remaining_ms(handshake_deadline);
+      if (left <= 0) return fail("upgrade timed out");
+      pollfd pfd{conn.fd, POLLIN, 0};
+      if (::poll(&pfd, 1, left) < 0 && errno != EINTR) {
+        return fail("upgrade poll failed");
+      }
+    }
+  };
+
+  // Drops a worker mid-task: the frame stream cannot be resynced, so the
+  // connection closes, the worker sits out the rest of the run, and the
+  // task goes back to the front of the queue for a healthy worker.
+  const auto fail_task = [&](Conn& conn, const std::string& why) {
+    conn.stats.retries += 1;
+    conn.stats.last_error = why;
+    last_failure = conn.stats.address + ": " + why;
+    HMDIV_OBS_COUNT("exec.cluster.retries", 1);
+    if (conn.busy) pending.push_front(conn.shard);
+    conn.close_fd();
+    conn.healthy = false;
+  };
+
+  const auto dispatch_to = [&](std::size_t index) {
+    Conn& conn = conns_[index];
+    if (conn.busy || !conn.healthy || pending.empty()) return;
+    if (conn.fd < 0 && !open_conn(conn)) return;
+    const std::uint32_t s = pending.front();
+    pending.pop_front();
+    if (last_conn[s] < conns_.size() && last_conn[s] != index) {
+      HMDIV_OBS_COUNT("exec.cluster.reassigned", 1);
+    }
+    last_conn[s] = index;
+    conn.busy = true;
+    conn.shard = s;
+    conn.send_buf = build_task(s);
+    conn.sent = 0;
+    conn.frames.clear();
+    conn.started = Clock::now();
+    conn.deadline = conn.started + options_.task_deadline;
+  };
+
+  const auto complete_task = [&](Conn& conn) {
+    std::vector<std::uint8_t> payload;
+    for (wire::Frame& frame : conn.frames) {
+      if (frame.type == wire::FrameType::result) {
+        payload = std::move(frame.payload);
+      } else if (frame.type == wire::FrameType::obs) {
+        try {
+          obs::Registry::global().merge(
+              obs::parse_snapshot(frame.payload));
+        } catch (const std::exception& e) {
+          throw ClusterError("cluster: " + conn.stats.address +
+                             ": bad obs frame: " + e.what());
+        }
+      }
+    }
+    conn.frames.clear();
+    results[conn.shard] = std::move(payload);
+    done[conn.shard] = true;
+    completed += 1;
+    conn.busy = false;
+    conn.stats.tasks += 1;
+    HMDIV_OBS_COUNT("exec.cluster.tasks", 1);
+    if (obs::enabled()) {
+      obs::Registry::global()
+          .histogram("exec.cluster.rpc_ns")
+          .record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - conn.started)
+                  .count()));
+    }
+  };
+
+  std::uint8_t buffer[1 << 16];
+  try {
+    while (completed < shards) {
+      for (std::size_t i = 0; i < conns_.size(); ++i) dispatch_to(i);
+
+      std::vector<pollfd> fds;
+      std::vector<std::size_t> owner;
+      int timeout = 60'000;
+      for (std::size_t i = 0; i < conns_.size(); ++i) {
+        Conn& conn = conns_[i];
+        if (!conn.busy) continue;
+        short events = POLLIN;
+        if (conn.sent < conn.send_buf.size()) events |= POLLOUT;
+        fds.push_back(pollfd{conn.fd, events, 0});
+        owner.push_back(i);
+        timeout = std::min(timeout, remaining_ms(conn.deadline));
+      }
+      if (fds.empty()) {
+        throw ClusterError(
+            "cluster: no healthy workers remain (" +
+            std::to_string(shards - completed) +
+            " shards unfinished; last failure: " + last_failure + ")");
+      }
+
+      const int ready = ::poll(fds.data(), fds.size(), timeout);
+      if (ready < 0 && errno != EINTR) {
+        throw ClusterError(std::string("cluster: poll failed: ") +
+                           std::strerror(errno));
+      }
+
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        Conn& conn = conns_[owner[i]];
+        if (!conn.busy) continue;
+        const short revents = fds[i].revents;
+
+        if ((revents & POLLOUT) != 0 &&
+            conn.sent < conn.send_buf.size()) {
+          const ssize_t n =
+              ::send(conn.fd, conn.send_buf.data() + conn.sent,
+                     conn.send_buf.size() - conn.sent, MSG_NOSIGNAL);
+          if (n < 0) {
+            if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                errno != EINTR) {
+              fail_task(conn, std::string("task send failed: ") +
+                                  std::strerror(errno));
+              continue;
+            }
+          } else {
+            conn.sent += static_cast<std::size_t>(n);
+            conn.stats.bytes_out += static_cast<std::uint64_t>(n);
+            HMDIV_OBS_COUNT("exec.cluster.bytes_out", n);
+          }
+        }
+
+        if ((revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) != 0) {
+          const ssize_t n = ::recv(conn.fd, buffer, sizeof buffer, 0);
+          if (n < 0) {
+            if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                errno != EINTR) {
+              fail_task(conn, std::string("reply read failed: ") +
+                                  std::strerror(errno));
+              continue;
+            }
+          } else if (n == 0) {
+            fail_task(conn, "connection closed by worker");
+            continue;
+          } else {
+            conn.stats.bytes_in += static_cast<std::uint64_t>(n);
+            HMDIV_OBS_COUNT("exec.cluster.bytes_in", n);
+            try {
+              conn.parser.feed({buffer, static_cast<std::size_t>(n)});
+              while (auto frame = conn.parser.next()) {
+                conn.frames.push_back(std::move(*frame));
+              }
+            } catch (const wire::ProtocolError& e) {
+              fail_task(conn, std::string("protocol error: ") + e.what());
+              continue;
+            }
+            bool have_result = false;
+            for (const wire::Frame& frame : conn.frames) {
+              if (frame.type == wire::FrameType::error) {
+                // A structured error is deterministic — every worker
+                // would fail the same way, so reassignment cannot help.
+                std::string message = "worker error";
+                try {
+                  wire::Reader reader(frame.payload);
+                  message = reader.str();
+                } catch (const wire::ProtocolError&) {
+                }
+                conn.stats.last_error = message;
+                throw ClusterError("cluster: " + conn.stats.address +
+                                   ": " + message);
+              }
+              have_result =
+                  have_result || frame.type == wire::FrameType::result;
+            }
+            const bool have_obs =
+                !ship_obs ||
+                [&] {
+                  for (const wire::Frame& frame : conn.frames) {
+                    if (frame.type == wire::FrameType::obs) return true;
+                  }
+                  return false;
+                }();
+            if (have_result && have_obs) {
+              complete_task(conn);
+              continue;
+            }
+          }
+        }
+
+        if (conn.busy && Clock::now() >= conn.deadline) {
+          fail_task(conn, "task deadline expired");
+        }
+      }
+    }
+  } catch (...) {
+    HMDIV_OBS_COUNT("exec.cluster.failures", 1);
+    // Mid-task streams cannot be resynced; drop them so a later run
+    // starts from a clean connection.
+    for (Conn& conn : conns_) {
+      if (conn.busy) conn.close_fd();
+    }
+    detail::set_cluster_worker_stats(worker_stats());
+    throw;
+  }
+
+  detail::set_cluster_worker_stats(worker_stats());
+  return results;
+}
+
+std::vector<ClusterWorkerStats> cluster_worker_stats() {
+  const std::lock_guard<std::mutex> lock(stats_mutex());
+  return stats_store();
+}
+
+namespace detail {
+
+void set_cluster_worker_stats(std::vector<ClusterWorkerStats> stats) {
+  const std::lock_guard<std::mutex> lock(stats_mutex());
+  stats_store() = std::move(stats);
+}
+
+}  // namespace detail
+
+}  // namespace hmdiv::exec

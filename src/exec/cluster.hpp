@@ -1,0 +1,115 @@
+// Multi-host distributed execution: a TCP shard coordinator (DESIGN.md
+// §15).
+//
+// ClusterRunner is the third rung of the execution ladder: threads
+// (exec/parallel.hpp) → processes (exec/shard.hpp) → hosts. It fans the
+// same substream-partitioned shard tasks the fork/exec engine runs —
+// sim.trial batch ranges, core.sweep / core.minimise grid subspans,
+// core.uq.sample draw chunks — across remote `hmdiv_serve` workers over
+// TCP, reusing the HMDF frame format and the wire::shard_range partition
+// unchanged. Because a shard's payload is a pure function of (blob,
+// shard_index, shard_count), and the merge is in ascending shard order,
+// output over N hosts is bit-identical to N local shards and to the
+// in-process run — the same determinism contract, lifted to the network.
+//
+// Transport: one warm TCP connection per worker (kept across run() calls,
+// so a profiling pipeline pays the connect + NDJSON upgrade handshake
+// once), one outstanding task per connection, a single poll() loop
+// overlapping task dispatch with result drain across the fleet. A worker
+// that fails — connect refusal, reset, EOF, malformed frames, or a blown
+// per-task deadline — is dropped for the rest of the run and its task is
+// re-issued to a healthy worker (safe by the purity argument above);
+// structured error frames, by contrast, are deterministic workload
+// failures and abort the run. Worker obs snapshots (per-task deltas) fold
+// into this process's registry exactly as the pipe engine's do.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hmdiv::exec {
+
+/// Fan-out policy for a cluster of remote workers.
+struct ClusterOptions {
+  /// Worker endpoints ("host:port" or "[v6]:port"), e.g. from --workers.
+  std::vector<std::string> workers;
+  /// Shards to partition each run into; 0 resolves to the --shards /
+  /// HMDIV_SHARDS default when that is set (> 1), else one shard per
+  /// worker. More shards than workers is fine (tasks queue).
+  unsigned shards = 0;
+  /// Thread budget per task on the worker; 0 means this process's default
+  /// thread count (mirrors ShardOptions::threads).
+  unsigned threads = 0;
+  /// Per-task wall-clock budget. On expiry the worker is dropped and the
+  /// task re-issued elsewhere.
+  std::chrono::milliseconds task_deadline{120'000};
+  /// Budget for connect + upgrade handshake per worker.
+  std::chrono::milliseconds connect_timeout{5'000};
+};
+
+/// Per-worker tallies, cumulative across a runner's lifetime. The serve
+/// `metrics` endpoint renders the most recent runner's array (see
+/// cluster_worker_stats()).
+struct ClusterWorkerStats {
+  std::string address;        ///< endpoint as configured
+  std::uint64_t tasks = 0;    ///< tasks completed here
+  std::uint64_t bytes_out = 0;  ///< task bytes shipped to it
+  std::uint64_t bytes_in = 0;   ///< reply bytes drained from it
+  std::uint64_t retries = 0;  ///< tasks abandoned here and re-issued
+  std::string last_error;     ///< most recent transport failure, if any
+};
+
+/// A cluster run that could not complete: every worker failed, a task ran
+/// out of workers to retry on, or a worker shipped a structured error
+/// frame (a deterministic workload failure no reassignment can fix).
+class ClusterError : public std::runtime_error {
+ public:
+  explicit ClusterError(std::string message)
+      : std::runtime_error(std::move(message)) {}
+};
+
+/// Coordinator. Not thread-safe; one runner per pipeline.
+class ClusterRunner {
+ public:
+  explicit ClusterRunner(ClusterOptions options);
+  ~ClusterRunner();
+  ClusterRunner(const ClusterRunner&) = delete;
+  ClusterRunner& operator=(const ClusterRunner&) = delete;
+
+  /// Shard count per run (options.shards resolved as documented there).
+  [[nodiscard]] unsigned resolved_shards() const noexcept;
+
+  /// Runs `workload` across the fleet and returns the raw per-shard
+  /// result payloads in ascending shard order — the same contract as
+  /// ShardRunner::run, so workload wrappers merge both identically.
+  /// Throws ClusterError when the run cannot complete.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> run(
+      std::string_view workload, std::span<const std::uint8_t> blob);
+
+  /// Per-worker tallies so far (index-aligned with options.workers).
+  [[nodiscard]] std::vector<ClusterWorkerStats> worker_stats() const;
+
+ private:
+  struct Conn;
+
+  ClusterOptions options_;
+  std::vector<Conn> conns_;
+};
+
+/// Latest per-worker stats published by any ClusterRunner in this process
+/// (updated after every run). The serve `metrics` endpoint renders these
+/// as its `workers` array; empty when no cluster run has happened.
+[[nodiscard]] std::vector<ClusterWorkerStats> cluster_worker_stats();
+
+namespace detail {
+/// Publishes `stats` as the process-global cluster worker array (runner
+/// epilogue and tests).
+void set_cluster_worker_stats(std::vector<ClusterWorkerStats> stats);
+}  // namespace detail
+
+}  // namespace hmdiv::exec

@@ -55,12 +55,6 @@ std::map<std::string, ShardHandler, std::less<>>& handler_registry() {
   return registry;
 }
 
-ShardHandler find_handler(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(registry_mutex());
-  const auto it = handler_registry().find(name);
-  return it == handler_registry().end() ? nullptr : it->second;
-}
-
 // --- Low-level I/O helpers ------------------------------------------------
 
 /// Blocks SIGPIPE for the calling thread so a write to a dead worker's
@@ -119,36 +113,43 @@ int remaining_ms(Clock::time_point deadline) noexcept {
   return static_cast<int>(left.count());
 }
 
+}  // namespace
+
 // --- Worker-side fault injection (test hook) ------------------------------
 // HMDIV_SHARD_FAULT="<mode>:<shard>" makes the worker for `shard`
 // misbehave right before shipping its result: "sigkill" (SIGKILL itself
 // mid-write), "shortwrite" (drop the final bytes of the stream and exit
 // cleanly), "hang" (never write, sleep past any deadline), "exit" (exit 7
-// without writing). Only the fault-injection tests set this.
+// without writing), and — over the serve transport only — "connreset"
+// (RST the connection instead of replying) and "slowdrain" (stall
+// mid-reply past any per-task deadline). Only fault-injection tests set
+// this.
 
-struct Fault {
-  enum class Mode { none, sigkill, shortwrite, hang, exit_code } mode =
-      Mode::none;
-};
-
-Fault worker_fault(std::uint32_t shard_index) noexcept {
+ShardFaultMode shard_fault_mode(std::uint32_t shard_index) noexcept {
   const char* raw = std::getenv("HMDIV_SHARD_FAULT");
-  if (raw == nullptr || *raw == '\0') return {};
+  if (raw == nullptr || *raw == '\0') return ShardFaultMode::none;
   const char* colon = std::strchr(raw, ':');
-  if (colon == nullptr) return {};
+  if (colon == nullptr) return ShardFaultMode::none;
   char* end = nullptr;
   const unsigned long target = std::strtoul(colon + 1, &end, 10);
-  if (end == colon + 1 || *end != '\0' || target != shard_index) return {};
+  if (end == colon + 1 || *end != '\0' || target != shard_index) {
+    return ShardFaultMode::none;
+  }
   const std::string mode(raw, static_cast<std::size_t>(colon - raw));
-  Fault fault;
-  if (mode == "sigkill") fault.mode = Fault::Mode::sigkill;
-  if (mode == "shortwrite") fault.mode = Fault::Mode::shortwrite;
-  if (mode == "hang") fault.mode = Fault::Mode::hang;
-  if (mode == "exit") fault.mode = Fault::Mode::exit_code;
-  return fault;
+  if (mode == "sigkill") return ShardFaultMode::sigkill;
+  if (mode == "shortwrite") return ShardFaultMode::shortwrite;
+  if (mode == "hang") return ShardFaultMode::hang;
+  if (mode == "exit") return ShardFaultMode::exit_code;
+  if (mode == "connreset") return ShardFaultMode::connreset;
+  if (mode == "slowdrain") return ShardFaultMode::slowdrain;
+  return ShardFaultMode::none;
 }
 
-}  // namespace
+ShardHandler find_shard_workload(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = handler_registry().find(name);
+  return it == handler_registry().end() ? nullptr : it->second;
+}
 
 namespace detail {
 
@@ -308,7 +309,7 @@ int shard_worker_main() {
 
   std::vector<std::uint8_t> payload;
   try {
-    const ShardHandler handler = find_handler(task.workload);
+    const ShardHandler handler = find_shard_workload(task.workload);
     if (handler == nullptr) {
       write_error_frame("shard worker: unknown workload '" + task.workload +
                         "'");
@@ -329,10 +330,12 @@ int shard_worker_main() {
                        obs::serialize_snapshot(obs::registry_snapshot()));
   }
 
-  switch (worker_fault(task.shard_index).mode) {
-    case Fault::Mode::none:
+  switch (shard_fault_mode(task.shard_index)) {
+    case ShardFaultMode::none:
+    case ShardFaultMode::connreset:   // serve-transport faults: no-ops on
+    case ShardFaultMode::slowdrain:   // the pipe transport
       break;
-    case Fault::Mode::sigkill:
+    case ShardFaultMode::sigkill:
       // Die mid-stream: half the bytes make it out, then SIGKILL — the
       // parent must see a signal death plus a truncated frame, not hang.
       static_cast<void>(write_all(
@@ -340,7 +343,7 @@ int shard_worker_main() {
           std::span<const std::uint8_t>(out.data(), out.size() / 2)));
       ::raise(SIGKILL);
       break;
-    case Fault::Mode::shortwrite:
+    case ShardFaultMode::shortwrite:
       // Clean exit but a short stream: parent must flag truncation.
       static_cast<void>(write_all(
           STDOUT_FILENO,
@@ -348,10 +351,10 @@ int shard_worker_main() {
               out.data(), out.size() - std::min<std::size_t>(16,
                                                              out.size()))));
       return 0;
-    case Fault::Mode::hang:
+    case ShardFaultMode::hang:
       std::this_thread::sleep_for(std::chrono::hours(1));
       break;
-    case Fault::Mode::exit_code:
+    case ShardFaultMode::exit_code:
       return 7;
   }
 

@@ -134,6 +134,31 @@ struct ShardWorkloadRegistration {
   }
 };
 
+/// Looks up a registered workload; nullptr when the name is unknown. The
+/// worker entry point and the serve daemon's `shard` endpoint both dispatch
+/// through this.
+[[nodiscard]] ShardHandler find_shard_workload(std::string_view name);
+
+/// Worker-side fault injection (test hook), parsed from
+/// HMDIV_SHARD_FAULT="<mode>:<shard>". Pipe workers honour sigkill /
+/// shortwrite / hang / exit_code; the serve shard endpoint honours
+/// connreset (RST the connection instead of replying) and slowdrain
+/// (stall mid-reply past any per-task deadline). Modes a transport does
+/// not implement are ignored there.
+enum class ShardFaultMode {
+  none,
+  sigkill,
+  shortwrite,
+  hang,
+  exit_code,
+  connreset,
+  slowdrain,
+};
+
+/// Fault mode for the worker executing `shard_index`; ShardFaultMode::none
+/// unless HMDIV_SHARD_FAULT names this exact shard.
+[[nodiscard]] ShardFaultMode shard_fault_mode(std::uint32_t shard_index) noexcept;
+
 /// The hidden CLI flag that turns any hmdiv binary into a shard worker.
 inline constexpr std::string_view kShardWorkerFlag = "--shard-worker";
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
+#include <string_view>
 
 namespace hmdiv::obs {
 
@@ -172,6 +174,54 @@ void Registry::reset() {
 }
 
 Snapshot registry_snapshot() { return Registry::global().snapshot(); }
+
+Snapshot snapshot_delta(const Snapshot& before, const Snapshot& after) {
+  Snapshot out;
+  std::map<std::string_view, std::uint64_t> prev_counters;
+  for (const CounterSnapshot& c : before.counters) {
+    prev_counters[c.name] = c.value;
+  }
+  for (const CounterSnapshot& c : after.counters) {
+    const auto it = prev_counters.find(c.name);
+    const std::uint64_t base = it == prev_counters.end() ? 0 : it->second;
+    // Counters are monotone per metric, but concurrent writers can make a
+    // racy `before` read overshoot; saturate rather than wrap.
+    const std::uint64_t delta = c.value >= base ? c.value - base : 0;
+    if (delta != 0) out.counters.push_back(CounterSnapshot{c.name, delta});
+  }
+  std::map<std::string_view, const HistogramSnapshot*> prev_histograms;
+  for (const HistogramSnapshot& h : before.histograms) {
+    prev_histograms[h.name] = &h;
+  }
+  for (const HistogramSnapshot& h : after.histograms) {
+    const auto it = prev_histograms.find(h.name);
+    if (it == prev_histograms.end()) {
+      if (h.count != 0) out.histograms.push_back(h);
+      continue;
+    }
+    const HistogramSnapshot& base = *it->second;
+    HistogramSnapshot delta;
+    delta.name = h.name;
+    delta.count = h.count >= base.count ? h.count - base.count : 0;
+    if (delta.count == 0) continue;
+    delta.sum = h.sum >= base.sum ? h.sum - base.sum : 0;
+    // min/max are cumulative (see header): they cannot be subtracted.
+    delta.min = h.min;
+    delta.max = h.max;
+    delta.buckets.resize(h.buckets.size());
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      const std::uint64_t prior =
+          b < base.buckets.size() ? base.buckets[b] : 0;
+      delta.buckets[b] =
+          h.buckets[b] >= prior ? h.buckets[b] - prior : 0;
+    }
+    delta.p50 = snapshot_quantile(delta, 0.50);
+    delta.p90 = snapshot_quantile(delta, 0.90);
+    delta.p99 = snapshot_quantile(delta, 0.99);
+    out.histograms.push_back(std::move(delta));
+  }
+  return out;
+}
 
 // --- Snapshot wire format -------------------------------------------------
 // obs sits below exec in the layer order, so the encoding is implemented

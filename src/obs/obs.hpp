@@ -237,6 +237,18 @@ class Registry {
 /// Snapshot of the global registry — the API tests and report dumpers use.
 [[nodiscard]] Snapshot registry_snapshot();
 
+/// The activity recorded between two snapshots of the *same* registry:
+/// per metric, `after − before`. Counters and histogram count/sum/buckets
+/// subtract exactly (so merging the delta elsewhere adds precisely the
+/// period's recordings); a histogram's min/max cannot be un-merged, so the
+/// delta carries the cumulative values — an approximation that only
+/// widens the envelope, never the counts. Metrics absent from `before`
+/// pass through whole; zero-valued deltas are dropped. This is how a
+/// long-running serve worker ships per-task obs to a cluster coordinator
+/// without re-counting its whole uptime on every task.
+[[nodiscard]] Snapshot snapshot_delta(const Snapshot& before,
+                                      const Snapshot& after);
+
 /// Stable binary serialization of a snapshot (little-endian, length-
 /// prefixed strings) — the payload of the shard protocol's obs frames.
 /// parse_snapshot(serialize_snapshot(s)) reproduces `s` field-for-field;

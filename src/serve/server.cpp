@@ -11,10 +11,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <string_view>
+#include <thread>
 
+#include "exec/cluster_protocol.hpp"
+#include "exec/shard.hpp"
 #include "obs/obs.hpp"
 
 namespace hmdiv::serve {
@@ -167,6 +171,11 @@ void Server::accept_loop() {
     send_timeout.tv_sec = options_.send_timeout_seconds;
     ::setsockopt(conn_fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
                  sizeof send_timeout);
+    if (options_.send_buffer_bytes > 0) {
+      ::setsockopt(conn_fd, SOL_SOCKET, SO_SNDBUF,
+                   &options_.send_buffer_bytes,
+                   sizeof options_.send_buffer_bytes);
+    }
 
     const std::lock_guard<std::mutex> lock(connections_mutex_);
     if (reap_connections_locked() >= options_.max_connections) {
@@ -198,8 +207,16 @@ bool Server::send_all(int fd, const char* data, std::size_t size) {
       continue;
     }
     if (rc < 0 && errno == EINTR) continue;
-    // EAGAIN here means the send timeout elapsed: the peer stopped
-    // reading. Treat it (and any other error) as a dead connection.
+    // EAGAIN here means the send timeout elapsed with zero progress for a
+    // full window: the peer stopped reading. The remainder of the burst
+    // cannot be delivered, so the connection closes — but never silently:
+    // the counter names the cause. (Partial progress is not a timeout;
+    // each short send above restarts the SO_SNDTIMEO window.)
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      HMDIV_OBS_COUNT("serve.conn.send_timeout", 1);
+    } else {
+      HMDIV_OBS_COUNT("serve.conn.send_error", 1);
+    }
     return false;
   }
   return true;
@@ -217,6 +234,17 @@ bool Server::send_all_vec(int fd, std::vector<iovec>& iov) {
     const ssize_t rc = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (rc <= 0) {
       if (rc < 0 && errno == EINTR) continue;
+      // Same contract as send_all: a timed-out sendmsg mid-iovec used to
+      // drop the rest of the burst with no trace; the close is now
+      // attributed. iov still holds exactly the unsent tail (partial
+      // sends advanced it), so a resume-from-offset policy could retry —
+      // a peer making zero progress for a full window is dead, though,
+      // so closing is the right call.
+      if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        HMDIV_OBS_COUNT("serve.conn.send_timeout", 1);
+      } else {
+        HMDIV_OBS_COUNT("serve.conn.send_error", 1);
+      }
       return false;
     }
     // Advance past fully-sent entries; trim a partially-sent one.
@@ -335,6 +363,15 @@ void Server::connection_loop(Connection& connection) {
     }
     if (!peer_ok) break;
     if (!resyncable) break;
+    if (scratch.shard_upgrade) {
+      // The upgrade response is flushed; everything still buffered (and
+      // every byte hereafter) is HMDF frames. The shard loop owns the
+      // connection until the stream ends, then the socket closes —
+      // NDJSON never resumes on an upgraded connection.
+      shard_loop(connection,
+                 std::string_view(in.data() + consumed, in.size() - consumed));
+      break;
+    }
   }
 
   // Drain: requests sent before shutdown still get answers. Bytes the
@@ -363,6 +400,89 @@ void Server::connection_loop(Connection& connection) {
   ::shutdown(connection.fd, SHUT_RDWR);
   close_quietly(connection.fd);
   connection.done.store(true, std::memory_order_release);
+}
+
+void Server::shard_loop(Connection& connection, std::string_view initial) {
+  HMDIV_OBS_COUNT("serve.shard.upgrades", 1);
+  exec::ShardSession session;
+  char buffer[64 * 1024];
+
+  // Ships one task's reply frames; false ends the stream. The injectable
+  // faults live here — at the transport, where the coordinator's
+  // retry-reassign path must absorb them — not in the compute.
+  const auto ship = [&](const exec::ShardSession::Reply& reply) -> bool {
+    switch (exec::shard_fault_mode(reply.shard_index)) {
+      case exec::ShardFaultMode::connreset: {
+        // SO_LINGER{on, 0} turns close() into a RST — what a crashed
+        // worker host looks like from the coordinator's side.
+        HMDIV_OBS_COUNT("serve.shard.fault_connreset", 1);
+        linger hard{};
+        hard.l_onoff = 1;
+        hard.l_linger = 0;
+        ::setsockopt(connection.fd, SOL_SOCKET, SO_LINGER, &hard,
+                     sizeof hard);
+        return false;
+      }
+      case exec::ShardFaultMode::slowdrain: {
+        // Half the reply, then a stall past any sane per-task deadline
+        // (sliced so shutdown is not held hostage), then the rest. The
+        // coordinator must give up mid-drain and reassign.
+        HMDIV_OBS_COUNT("serve.shard.fault_slowdrain", 1);
+        const std::size_t half = reply.bytes.size() / 2;
+        if (!send_all(connection.fd,
+                      reinterpret_cast<const char*>(reply.bytes.data()),
+                      half)) {
+          return false;
+        }
+        for (int slice = 0; slice < 30; ++slice) {
+          if (stopping_.load(std::memory_order_acquire)) return false;
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        return send_all(connection.fd,
+                        reinterpret_cast<const char*>(reply.bytes.data()) +
+                            half,
+                        reply.bytes.size() - half) &&
+               !reply.close;
+      }
+      default:
+        break;
+    }
+    if (!reply.bytes.empty() &&
+        !send_all(connection.fd,
+                  reinterpret_cast<const char*>(reply.bytes.data()),
+                  reply.bytes.size())) {
+      return false;
+    }
+    return !reply.close;
+  };
+
+  const auto consume = [&](const std::uint8_t* data,
+                           std::size_t size) -> bool {
+    for (const exec::ShardSession::Reply& reply :
+         session.consume({data, size})) {
+      if (!ship(reply)) return false;
+    }
+    return true;
+  };
+
+  if (!initial.empty() &&
+      !consume(reinterpret_cast<const std::uint8_t*>(initial.data()),
+               initial.size())) {
+    return;
+  }
+  for (;;) {
+    pollfd fds[2] = {{connection.fd, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    if (poll_retry(fds, 2, -1) < 0) return;
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    const ssize_t got = ::read(connection.fd, buffer, sizeof buffer);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) return;  // coordinator closed (normal end of a run)
+    if (!consume(reinterpret_cast<const std::uint8_t*>(buffer),
+                 static_cast<std::size_t>(got))) {
+      return;
+    }
+  }
 }
 
 }  // namespace hmdiv::serve

@@ -31,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -50,8 +51,11 @@ struct ServerOptions {
   std::size_t max_line_bytes = 1 << 20;
   int listen_backlog = 128;
   /// Bound on one blocking send; a peer that stops reading for longer is
-  /// treated as gone.
+  /// treated as gone (counted as serve.conn.send_timeout and closed).
   int send_timeout_seconds = 10;
+  /// SO_SNDBUF for accepted connections; 0 leaves the kernel default.
+  /// Tests shrink it so the send-timeout path triggers with small bursts.
+  int send_buffer_bytes = 0;
 };
 
 class Server {
@@ -88,6 +92,12 @@ class Server {
 
   void accept_loop();
   void connection_loop(Connection& connection);
+  /// Binary shard mode (DESIGN.md §15): entered when a burst's dispatch
+  /// set RequestScratch::shard_upgrade. `initial` is whatever the peer
+  /// pipelined behind the upgrade line — already frame bytes. Returns
+  /// when the stream ends (EOF, send failure, protocol error, shutdown);
+  /// the caller closes the socket.
+  void shard_loop(Connection& connection, std::string_view initial);
   /// Joins finished connection threads; returns the number still live.
   std::size_t reap_connections_locked();
   [[nodiscard]] bool send_all(int fd, const char* data, std::size_t size);

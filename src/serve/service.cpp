@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/model_io.hpp"
+#include "exec/cluster.hpp"
 #include "exec/config.hpp"
 #include "exec/workspace.hpp"
 #include "stats/rng.hpp"
@@ -170,6 +171,7 @@ Service::endpoint_table() {
       {"health", &Service::handle_health, false, false, true, false},
       {"metrics", &Service::handle_metrics, false, false, false, false},
       {"reload", &Service::handle_reload, false, false, false, false},
+      {"shard", &Service::handle_shard, false, false, false, false},
   }};
   return kTable;
 }
@@ -1254,6 +1256,30 @@ void Service::handle_metrics(const Loaded*, const Parsed&, RequestScratch&,
     out += '}';
   }
   out += '}';
+  // Per-worker cluster stats (DESIGN.md §15): empty until this process
+  // has coordinated a cluster run. Addresses are operator-supplied
+  // strings, so they go through the escaper like any other input.
+  const std::vector<exec::ClusterWorkerStats> workers =
+      exec::cluster_worker_stats();
+  out += ",\"workers\":[";
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    const exec::ClusterWorkerStats& w = workers[i];
+    if (i != 0) out += ',';
+    out += "{\"address\":\"";
+    append_json_escaped(out, w.address);
+    out += "\",\"tasks\":";
+    append_json_uint(out, w.tasks);
+    out += ",\"bytes_out\":";
+    append_json_uint(out, w.bytes_out);
+    out += ",\"bytes_in\":";
+    append_json_uint(out, w.bytes_in);
+    out += ",\"retries\":";
+    append_json_uint(out, w.retries);
+    out += ",\"last_error\":\"";
+    append_json_escaped(out, w.last_error);
+    out += "\"}";
+  }
+  out += ']';
 }
 
 void Service::handle_reload(const Loaded*, const Parsed& request,
@@ -1285,6 +1311,17 @@ void Service::handle_reload(const Loaded*, const Parsed& request,
   append_json_uint(out, epoch());
   out += ",\"classes\":";
   append_json_uint(out, state_->model.class_count());
+}
+
+void Service::handle_shard(const Loaded*, const Parsed&,
+                           RequestScratch& scratch, std::string& out) {
+  // The upgrade handshake (DESIGN.md §15): acknowledge, then flag the
+  // connection so the socket server flips it into binary shard mode once
+  // this burst's responses have flushed. Everything after this response
+  // line is HMDF frames, handled by exec::ShardSession — not by this
+  // dispatcher.
+  scratch.shard_upgrade = true;
+  out += "\"shard\":\"ready\",\"protocol\":\"hmdf1\"";
 }
 
 }  // namespace hmdiv::serve

@@ -106,6 +106,11 @@ struct RequestScratch {
   JsonParser parser;
   std::vector<double> key;
   std::vector<std::pair<std::size_t, double>> class_factors;
+  /// Set by the `shard` endpoint: after this burst's responses flush, the
+  /// connection leaves NDJSON and becomes a binary HMDF frame stream
+  /// (DESIGN.md §15). Only the socket server acts on it; direct
+  /// handle_line callers can ignore it.
+  bool shard_upgrade = false;
 };
 
 class Service {
@@ -172,6 +177,7 @@ class Service {
     kHealth,
     kMetrics,
     kReload,
+    kShard,
     kEndpointCount,
   };
 
@@ -316,6 +322,8 @@ class Service {
                       RequestScratch& scratch, std::string& out);
   void handle_reload(const Loaded* state, const Parsed& request,
                      RequestScratch& scratch, std::string& out);
+  void handle_shard(const Loaded* state, const Parsed& request,
+                    RequestScratch& scratch, std::string& out);
 
   /// Shared whatif machinery (whatif + compare): resolves a scenario spec,
   /// probes the cache, computes on miss. `cached` reports the hit/miss.

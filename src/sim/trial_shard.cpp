@@ -5,6 +5,7 @@
 
 #include "core/demand_profile.hpp"
 #include "core/sequential_model.hpp"
+#include "exec/cluster.hpp"
 #include "obs/obs.hpp"
 
 namespace hmdiv::sim {
@@ -122,6 +123,25 @@ std::vector<std::uint8_t> handle_trial_shard(
 const exec::ShardWorkloadRegistration kRegistration{kTrialShardWorkload,
                                                     &handle_trial_shard};
 
+/// Ascending-shard merge shared by the process-sharded and clustered
+/// paths; both transports return payloads in shard order, so the merged
+/// record stream is transport-independent.
+TrialData merge_trial_payloads(
+    const TabularWorld& world, std::uint64_t case_count,
+    const std::vector<std::vector<std::uint8_t>>& payloads) {
+  TrialData data;
+  data.class_names = world.class_names();
+  data.records.reserve(static_cast<std::size_t>(case_count));
+  for (const auto& payload : payloads) {
+    decode_records_into(payload, data.records, data.class_names.size());
+  }
+  if (data.records.size() != case_count) {
+    throw exec::wire::ProtocolError(
+        "sim.trial: merged record count mismatch");
+  }
+  return data;
+}
+
 }  // namespace
 
 TrialData run_trial_sharded(const TabularWorld& world,
@@ -137,18 +157,19 @@ TrialData run_trial_sharded(const TabularWorld& world,
   }
   HMDIV_OBS_SCOPED_TIMER("sim.trial.shard_ns");
   const std::vector<std::uint8_t> blob = encode_blob(world, case_count, seed);
-  const auto payloads = runner.run(kTrialShardWorkload, blob);
-  TrialData data;
-  data.class_names = world.class_names();
-  data.records.reserve(static_cast<std::size_t>(case_count));
-  for (const auto& payload : payloads) {
-    decode_records_into(payload, data.records, data.class_names.size());
-  }
-  if (data.records.size() != case_count) {
-    throw exec::wire::ProtocolError(
-        "sim.trial: merged record count mismatch");
-  }
-  return data;
+  return merge_trial_payloads(world, case_count,
+                              runner.run(kTrialShardWorkload, blob));
 }
+
+TrialData run_trial_clustered(const TabularWorld& world,
+                              std::uint64_t case_count, std::uint64_t seed,
+                              exec::ClusterRunner& cluster) {
+  HMDIV_OBS_SCOPED_TIMER("sim.trial.cluster_ns");
+  const std::vector<std::uint8_t> blob = encode_blob(world, case_count, seed);
+  return merge_trial_payloads(world, case_count,
+                              cluster.run(kTrialShardWorkload, blob));
+}
+
+void ensure_trial_shard_registered() {}
 
 }  // namespace hmdiv::sim

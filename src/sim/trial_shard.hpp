@@ -15,6 +15,10 @@
 #include "sim/tabular_world.hpp"
 #include "sim/trial.hpp"
 
+namespace hmdiv::exec {
+class ClusterRunner;
+}  // namespace hmdiv::exec
+
 namespace hmdiv::sim {
 
 /// Shard-workload name trial runs are registered under.
@@ -28,5 +32,20 @@ inline constexpr std::string_view kTrialShardWorkload = "sim.trial";
 [[nodiscard]] TrialData run_trial_sharded(
     const TabularWorld& world, std::uint64_t case_count, std::uint64_t seed,
     const exec::ShardOptions& options = {});
+
+/// Same trial, fanned across remote hmdiv_serve workers via `cluster`
+/// (DESIGN.md §15). Identical blob, shard_range partition and ascending-
+/// shard merge as run_trial_sharded, so the output is bit-identical to the
+/// in-process run at any worker × shard composition. Throws
+/// exec::ClusterError when no healthy worker can finish a shard.
+[[nodiscard]] TrialData run_trial_clustered(const TabularWorld& world,
+                                            std::uint64_t case_count,
+                                            std::uint64_t seed,
+                                            exec::ClusterRunner& cluster);
+
+/// No-op anchor: calling it from an executable forces this translation
+/// unit (and its static ShardWorkloadRegistration) to link in, so daemons
+/// built against the static libraries can serve "sim.trial" shard tasks.
+void ensure_trial_shard_registered();
 
 }  // namespace hmdiv::sim

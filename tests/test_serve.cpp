@@ -668,6 +668,66 @@ TEST(ServeServerTest, RestartAfterShutdownWorks) {
   server.shutdown();
 }
 
+TEST(ServeServerTest, SendTimeoutToStuckPeerClosesAndCounts) {
+  // A peer that stops reading must not wedge its connection thread past
+  // the send timeout: the blocked send returns EAGAIN, the server counts
+  // serve.conn.send_timeout and closes. Small SO_SNDBUF (server) and
+  // SO_RCVBUF (client) make the kernel buffers overflow with a modest
+  // burst; pipelined metrics responses (~kilobytes each) fill them fast.
+  ObsGuard obs_on(true);
+  const auto counter_value = [] {
+    for (const auto& c : obs::registry_snapshot().counters) {
+      if (c.name == "serve.conn.send_timeout") return c.value;
+    }
+    return std::uint64_t{0};
+  };
+  const std::uint64_t before = counter_value();
+
+  auto service = make_service();
+  serve::ServerOptions options;
+  options.send_timeout_seconds = 1;
+  options.send_buffer_bytes = 4096;
+  serve::Server server(service, options);
+  server.start();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  const int tiny = 1024;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof tiny), 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+
+  std::string burst;
+  for (int i = 0; i < 200; ++i) {
+    burst += "{\"op\":\"metrics\",\"id\":" + std::to_string(i) + "}\n";
+  }
+  ASSERT_TRUE(send_str(fd, burst));
+  // ...and never read. The server's first blocked send times out after
+  // ~1 s; poll the counter rather than sleeping a fixed worst case.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (counter_value() == before &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GT(counter_value(), before);
+
+  // The server abandoned the connection: draining it now ends in EOF (or
+  // a reset) well before the peer could ever have received every reply.
+  char sink[4096];
+  ssize_t got;
+  do {
+    got = ::recv(fd, sink, sizeof sink, 0);
+  } while (got > 0 || (got < 0 && errno == EINTR));
+  EXPECT_LE(got, 0);
+  ::close(fd);
+  server.shutdown();
+}
+
 // --- the real binary under SIGTERM ----------------------------------------
 
 TEST(ServeServerTest, SigtermDrainsSpawnedDaemon) {
