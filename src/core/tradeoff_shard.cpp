@@ -118,8 +118,8 @@ std::vector<std::uint8_t> handle_sweep_shard(
   if (!r.exhausted()) {
     throw exec::wire::ProtocolError("core.sweep blob: trailing bytes");
   }
-  const exec::wire::ShardRange range = exec::wire::shard_range(
-      thresholds.size(), task.shard_index, task.shard_count);
+  const exec::wire::ShardRange range =
+      exec::wire::task_range(thresholds.size(), task);
   std::vector<SystemOperatingPoint> points(
       static_cast<std::size_t>(range.size()));
   analyzer.sweep_into(
@@ -149,8 +149,7 @@ std::vector<std::uint8_t> handle_minimise_shard(
   if (!r.exhausted()) {
     throw exec::wire::ProtocolError("core.minimise blob: trailing bytes");
   }
-  const exec::wire::ShardRange range = exec::wire::shard_range(
-      steps, task.shard_index, task.shard_count);
+  const exec::wire::ShardRange range = exec::wire::task_range(steps, task);
   const CostedOperatingPoint best = analyzer.minimise_cost_range(
       cost_fn, cost_fp, lo, hi, static_cast<std::size_t>(steps),
       static_cast<std::size_t>(range.begin),
@@ -277,8 +276,9 @@ std::vector<SystemOperatingPoint> sweep_clustered(
   if (thresholds.empty()) return {};
   HMDIV_OBS_SCOPED_TIMER("core.tradeoff.cluster_sweep_ns");
   const std::vector<std::uint8_t> blob = encode_sweep_blob(analyzer, thresholds);
-  return merge_sweep_payloads(thresholds.size(),
-                              cluster.run(kSweepShardWorkload, blob));
+  return merge_sweep_payloads(
+      thresholds.size(),
+      cluster.run(kSweepShardWorkload, blob, thresholds.size()));
 }
 
 SystemOperatingPoint minimise_cost_clustered(const TradeoffAnalyzer& analyzer,
@@ -289,7 +289,8 @@ SystemOperatingPoint minimise_cost_clustered(const TradeoffAnalyzer& analyzer,
   HMDIV_OBS_SCOPED_TIMER("core.tradeoff.cluster_minimise_ns");
   const std::vector<std::uint8_t> blob =
       encode_minimise_blob(analyzer, cost_fn, cost_fp, lo, hi, steps);
-  return merge_minimise_payloads(cluster.run(kMinimiseShardWorkload, blob));
+  return merge_minimise_payloads(
+      cluster.run(kMinimiseShardWorkload, blob, steps));
 }
 
 void ensure_tradeoff_shard_registered() {}

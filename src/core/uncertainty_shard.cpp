@@ -81,9 +81,8 @@ UqShardConfig decode_blob(std::span<const std::uint8_t> blob) {
 std::vector<std::uint8_t> handle_uq_shard(const exec::wire::ShardTask& task) {
   const UqShardConfig config = decode_blob(task.blob);
   const std::size_t total = static_cast<std::size_t>(config.total_draws);
-  const exec::wire::ShardRange range = exec::wire::shard_range(
-      PosteriorModelSampler::draw_chunk_count(total), task.shard_index,
-      task.shard_count);
+  const exec::wire::ShardRange range = exec::wire::task_range(
+      PosteriorModelSampler::draw_chunk_count(total), task);
   const std::size_t begin = static_cast<std::size_t>(range.begin) *
                             PosteriorModelSampler::kDrawChunk;
   const std::size_t end =
@@ -163,7 +162,10 @@ void sample_failure_probabilities_clustered(
   const std::uint64_t base = rng.next_u64();
   const std::vector<std::uint8_t> blob =
       encode_blob(sampler, profile, out.size(), base);
-  merge_uq_payloads(cluster.run(kUncertaintyShardWorkload, blob), out);
+  merge_uq_payloads(
+      cluster.run(kUncertaintyShardWorkload, blob,
+                  PosteriorModelSampler::draw_chunk_count(out.size())),
+      out);
 }
 
 UncertainPrediction predict_clustered(const PosteriorModelSampler& sampler,

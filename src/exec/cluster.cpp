@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -48,6 +49,13 @@ int remaining_ms(Clock::time_point deadline) noexcept {
   return static_cast<int>(left.count());
 }
 
+std::uint64_t elapsed_ns(Clock::time_point from, Clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
 /// Splits "host:port" / "[v6]:port" into its pieces; false when the shape
 /// is wrong (the CLI validates earlier, this is the defensive re-check).
 bool split_address(const std::string& address, std::string& host,
@@ -71,108 +79,78 @@ bool split_address(const std::string& address, std::string& host,
   return !host.empty() && !port.empty();
 }
 
-/// Non-blocking connect with a poll()ed timeout; returns a connected
-/// non-blocking fd (TCP_NODELAY set) or -1 with `error` filled.
-int connect_worker(const std::string& host, const std::string& port,
-                   std::chrono::milliseconds timeout, std::string& error) {
-  addrinfo hints{};
-  hints.ai_family = AF_UNSPEC;
-  hints.ai_socktype = SOCK_STREAM;
-  hints.ai_flags = AI_NUMERICSERV;
-  addrinfo* list = nullptr;
-  const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &list);
-  if (rc != 0) {
-    error = std::string("resolve failed: ") + ::gai_strerror(rc);
-    return -1;
-  }
-  int fd = -1;
-  int last_errno = ECONNREFUSED;
-  for (addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
-    fd = ::socket(ai->ai_family,
-                  ai->ai_socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                  ai->ai_protocol);
-    if (fd < 0) {
-      last_errno = errno;
-      continue;
-    }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    if (errno == EINPROGRESS) {
-      pollfd pfd{fd, POLLOUT, 0};
-      const int ready =
-          ::poll(&pfd, 1, static_cast<int>(timeout.count()));
-      int so_error = ETIMEDOUT;
-      if (ready == 1) {
-        socklen_t len = sizeof so_error;
-        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
-          so_error = errno;
-        }
-      }
-      if (so_error == 0) break;
-      last_errno = so_error;
-    } else {
-      last_errno = errno;
-    }
-    ::close(fd);
-    fd = -1;
-  }
-  ::freeaddrinfo(list);
-  if (fd < 0) {
-    error = std::string("connect failed: ") + std::strerror(last_errno);
-    return -1;
-  }
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return fd;
-}
-
-/// Sends all of `bytes` on a non-blocking fd, polling under `deadline`.
-bool send_within(int fd, std::string_view bytes,
-                 Clock::time_point deadline) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
-                             MSG_NOSIGNAL);
-    if (n > 0) {
-      off += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
-        errno != EINTR) {
-      return false;
-    }
-    const int left = remaining_ms(deadline);
-    if (left <= 0) return false;
-    pollfd pfd{fd, POLLOUT, 0};
-    if (::poll(&pfd, 1, left) < 0 && errno != EINTR) return false;
-  }
-  return true;
-}
-
 }  // namespace
 
 // --- Per-worker connection state ------------------------------------------
 
 struct ClusterRunner::Conn {
+  enum class State { closed, connecting, upgrading, ready };
+
   std::string host;
   std::string port;
   int fd = -1;
+  State state = State::closed;
   bool healthy = true;  ///< this run; reset at run start
-  bool busy = false;
-  std::uint32_t shard = 0;
+  Clock::time_point conn_deadline{};  ///< connect/upgrade budget
+
+  // Upgrade handshake progress (non-blocking, driven by the poll loop).
+  std::size_t upgrade_sent = 0;
+  std::string upgrade_line;
+
+  // Pipelined task window, FIFO: the worker replies to tasks in dispatch
+  // order, each reply terminated by a done frame naming its task id.
+  struct Inflight {
+    std::uint32_t id = 0;  ///< span-start micro-shard == task id
+    std::uint32_t span = 1;
+    Clock::time_point dispatched{};
+  };
+  std::deque<Inflight> inflight;
+  Clock::time_point head_deadline{};
   std::vector<std::uint8_t> send_buf;
   std::size_t sent = 0;
   wire::FrameParser parser;
-  std::vector<wire::Frame> frames;
-  Clock::time_point started{};
-  Clock::time_point deadline{};
+
+  // Reply accumulation for the head task. Buffered until its done frame
+  // so a connection that dies mid-task never half-applies a task's obs
+  // delta (the retried task re-ships it).
+  std::vector<std::uint8_t> cur_payload;
+  bool have_payload = false;
+  std::vector<std::vector<std::uint8_t>> cur_obs;
+
+  /// True once this connection shipped the run's blob inline; follow-up
+  /// tasks set blob_cached and ride the worker session's cache.
+  bool blob_sent = false;
+
+  // Adaptive sizing: EWMA of per-micro-shard service time. Persists
+  // across runs on a warm connection (worker speed is a property of the
+  // host, not the workload partition).
+  double ewma_ns_per_shard = 0;  ///< 0 = no sample yet
+  Clock::time_point last_complete{};
+  std::uint64_t dispatched_micro = 0;  ///< micro-shards sent this run
+
+  // Re-admission: one probe per run after the backoff.
+  bool readmit_armed = false;
+  bool probing = false;  ///< the in-progress connect is the re-probe
+  bool readmitted_this_run = false;
+  Clock::time_point readmit_at{};
+
   ClusterWorkerStats stats;
 
   void close_fd() {
     if (fd >= 0) ::close(fd);
     fd = -1;
-    busy = false;
+    state = State::closed;
+    inflight.clear();
+    send_buf.clear();
+    sent = 0;
     parser = wire::FrameParser{};
-    frames.clear();
+    cur_payload.clear();
+    have_payload = false;
+    cur_obs.clear();
+    blob_sent = false;
+    probing = false;
+    upgrade_sent = 0;
+    upgrade_line.clear();
   }
 };
 
@@ -182,6 +160,7 @@ ClusterRunner::ClusterRunner(ClusterOptions options)
   for (const std::string& address : options_.workers) {
     Conn conn;
     conn.stats.address = address;
+    conn.stats.window = std::max(1u, options_.window);
     if (!split_address(address, conn.host, conn.port)) {
       conn.healthy = false;
       conn.stats.last_error = "malformed worker address";
@@ -213,195 +192,481 @@ std::vector<ClusterWorkerStats> ClusterRunner::worker_stats() const {
 }
 
 std::vector<std::vector<std::uint8_t>> ClusterRunner::run(
-    std::string_view workload, std::span<const std::uint8_t> blob) {
+    std::string_view workload, std::span<const std::uint8_t> blob,
+    std::uint64_t items_hint) {
   if (conns_.empty()) {
     throw ClusterError("cluster: no workers configured");
   }
-  const unsigned shards = resolved_shards();
+  const unsigned window = std::max(1u, options_.window);
+  unsigned shards = resolved_shards();
+  if (options_.shards == 0 && default_shard_count() <= 1 && items_hint > 0) {
+    // Adaptive micro-shard count: enough small tasks that every worker's
+    // window refills several times (so the EWMA sizing has room to act),
+    // bounded by the workload's item count and the protocol ceiling.
+    // Deliberately independent of the window depth: the micro-shard is
+    // the unit of latency, so at a fixed grain a deeper window strictly
+    // reduces the number of serialized round-trip generations per worker
+    // (count/window of them) — which is the whole point of pipelining.
+    const auto workers64 = static_cast<std::uint64_t>(conns_.size());
+    const std::uint64_t target = workers64 * 32;
+    shards = static_cast<unsigned>(std::min<std::uint64_t>(
+        std::min<std::uint64_t>(items_hint, target), kMaxShards));
+    if (shards == 0) shards = 1;
+  }
   HMDIV_OBS_SCOPED_TIMER("exec.cluster.run_ns");
   HMDIV_OBS_COUNT("exec.cluster.runs", 1);
   const bool ship_obs = obs::enabled();
   const unsigned threads =
       options_.threads ? options_.threads : default_config().threads;
 
-  std::vector<std::vector<std::uint8_t>> results(shards);
-  std::vector<bool> done(shards, false);
+  // Pending work in micro-shard units: dispatch slices task-sized spans
+  // off the front, a sidelined worker's in-flight spans requeue at the
+  // front (oldest first), so coverage of [0, shards) is exact on every
+  // path.
+  struct Span {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+  std::deque<Span> pending;
+  pending.push_back(Span{0, shards});
+  std::uint64_t pending_micro = shards;
+  unsigned completed = 0;
+
+  // Results keyed by span start; payload_span remembers each task's width
+  // so the epilogue can walk the final partition in ascending order.
+  std::vector<std::vector<std::uint8_t>> payloads(shards);
+  std::vector<std::uint32_t> payload_span(shards, 0);
   std::vector<std::size_t> last_conn(shards, conns_.size());
-  std::deque<std::uint32_t> pending;
-  for (std::uint32_t s = 0; s < shards; ++s) pending.push_back(s);
-  std::size_t completed = 0;
   std::string last_failure = "no worker reachable";
 
-  // Health is per-run (a worker that failed last run gets a fresh connect
-  // attempt); warm fds and cumulative stats persist across runs.
+  // Health, blob shipping, and re-admission are per-run; warm fds,
+  // cumulative stats, and the speed EWMA persist across runs.
   for (Conn& conn : conns_) {
     conn.healthy = !conn.host.empty();
+    conn.blob_sent = false;
+    conn.readmit_armed = false;
+    conn.probing = false;
+    conn.readmitted_this_run = false;
+    conn.dispatched_micro = 0;
+    conn.stats.inflight = 0;
   }
 
-  const auto build_task = [&](std::uint32_t s) {
-    wire::ShardTask task;
-    task.workload = std::string(workload);
-    task.shard_index = s;
-    task.shard_count = shards;
-    task.threads = threads;
-    task.obs_enabled = ship_obs;
-    task.blob.assign(blob.begin(), blob.end());
-    std::vector<std::uint8_t> out;
-    wire::append_frame(out, wire::FrameType::task,
-                       wire::serialize_task(task));
-    return out;
-  };
-
-  // Connect + NDJSON upgrade handshake (blocking, bounded): one request
-  // line out, one `"ok":true` response line back; bytes after the newline
-  // already belong to the frame stream.
-  const auto open_conn = [&](Conn& conn) -> bool {
-    std::string error;
-    conn.fd = connect_worker(conn.host, conn.port, options_.connect_timeout,
-                             error);
-    if (conn.fd < 0) {
-      conn.healthy = false;
-      conn.stats.last_error = error;
-      last_failure = conn.stats.address + ": " + error;
-      return false;
-    }
-    const auto handshake_deadline = Clock::now() + options_.connect_timeout;
-    const auto fail = [&](const std::string& why) {
-      conn.close_fd();
-      conn.healthy = false;
-      conn.stats.last_error = why;
-      last_failure = conn.stats.address + ": " + why;
-      return false;
-    };
-    if (!send_within(conn.fd, kShardUpgradeLine, handshake_deadline)) {
-      return fail("upgrade send failed");
-    }
-    std::string line;
-    char buffer[512];
-    for (;;) {
-      const ssize_t n = ::recv(conn.fd, buffer, sizeof buffer, 0);
-      if (n > 0) {
-        line.append(buffer, static_cast<std::size_t>(n));
-        const std::size_t newline = line.find('\n');
-        if (newline != std::string::npos) {
-          if (line.find("\"ok\":true") == std::string::npos ||
-              line.find("\"ok\":true") > newline) {
-            return fail("upgrade rejected: " + line.substr(0, newline));
-          }
-          // Trailing bytes are already frames (none with a well-behaved
-          // worker, but the parser owns them either way).
-          const std::size_t extra = line.size() - newline - 1;
-          if (extra > 0) {
-            conn.parser.feed(std::span<const std::uint8_t>(
-                reinterpret_cast<const std::uint8_t*>(line.data()) +
-                    newline + 1,
-                extra));
-          }
-          return true;
-        }
-        if (line.size() > 4096) return fail("oversized upgrade response");
-        continue;
-      }
-      if (n == 0) return fail("closed during upgrade");
-      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-        return fail(std::string("upgrade read failed: ") +
-                    std::strerror(errno));
-      }
-      const int left = remaining_ms(handshake_deadline);
-      if (left <= 0) return fail("upgrade timed out");
-      pollfd pfd{conn.fd, POLLIN, 0};
-      if (::poll(&pfd, 1, left) < 0 && errno != EINTR) {
-        return fail("upgrade poll failed");
-      }
-    }
-  };
-
-  // Drops a worker mid-task: the frame stream cannot be resynced, so the
-  // connection closes, the worker sits out the rest of the run, and the
-  // task goes back to the front of the queue for a healthy worker.
-  const auto fail_task = [&](Conn& conn, const std::string& why) {
-    conn.stats.retries += 1;
+  // Drops a worker: the frame stream cannot be resynced, so the fd
+  // closes, every in-flight span goes back to the front of the queue in
+  // dispatch order, and — once per run — a re-probe is scheduled after
+  // the backoff.
+  const auto sideline = [&](Conn& conn, const std::string& why) {
     conn.stats.last_error = why;
     last_failure = conn.stats.address + ": " + why;
-    HMDIV_OBS_COUNT("exec.cluster.retries", 1);
-    if (conn.busy) pending.push_front(conn.shard);
-    conn.close_fd();
-    conn.healthy = false;
-  };
-
-  const auto dispatch_to = [&](std::size_t index) {
-    Conn& conn = conns_[index];
-    if (conn.busy || !conn.healthy || pending.empty()) return;
-    if (conn.fd < 0 && !open_conn(conn)) return;
-    const std::uint32_t s = pending.front();
-    pending.pop_front();
-    if (last_conn[s] < conns_.size() && last_conn[s] != index) {
-      HMDIV_OBS_COUNT("exec.cluster.reassigned", 1);
-    }
-    last_conn[s] = index;
-    conn.busy = true;
-    conn.shard = s;
-    conn.send_buf = build_task(s);
-    conn.sent = 0;
-    conn.frames.clear();
-    conn.started = Clock::now();
-    conn.deadline = conn.started + options_.task_deadline;
-  };
-
-  const auto complete_task = [&](Conn& conn) {
-    std::vector<std::uint8_t> payload;
-    for (wire::Frame& frame : conn.frames) {
-      if (frame.type == wire::FrameType::result) {
-        payload = std::move(frame.payload);
-      } else if (frame.type == wire::FrameType::obs) {
-        try {
-          obs::Registry::global().merge(
-              obs::parse_snapshot(frame.payload));
-        } catch (const std::exception& e) {
-          throw ClusterError("cluster: " + conn.stats.address +
-                             ": bad obs frame: " + e.what());
-        }
+    if (!conn.inflight.empty()) {
+      conn.stats.retries += conn.inflight.size();
+      HMDIV_OBS_COUNT("exec.cluster.retries", conn.inflight.size());
+      for (auto it = conn.inflight.rbegin(); it != conn.inflight.rend();
+           ++it) {
+        pending.push_front(Span{it->id, it->id + it->span});
+        pending_micro += it->span;
       }
     }
-    conn.frames.clear();
-    results[conn.shard] = std::move(payload);
-    done[conn.shard] = true;
-    completed += 1;
-    conn.busy = false;
+    conn.close_fd();
+    conn.healthy = false;
+    conn.stats.inflight = 0;
+    if (options_.readmit_after.count() > 0 && !conn.readmitted_this_run) {
+      conn.readmit_armed = true;
+      conn.readmit_at = Clock::now() + options_.readmit_after;
+    }
+  };
+
+  const auto enter_upgrade = [&](Conn& conn) {
+    conn.state = Conn::State::upgrading;
+    conn.upgrade_sent = 0;
+    conn.upgrade_line.clear();
+    conn.conn_deadline = Clock::now() + options_.connect_timeout;
+    const int one = 1;
+    ::setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  };
+
+  // Kicks off a non-blocking connect; the poll loop finishes it. All
+  // startup connects launch together, so startup cost is the slowest
+  // worker's handshake, not the sum.
+  const auto start_connect = [&](Conn& conn) {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_NUMERICSERV;
+    addrinfo* list = nullptr;
+    const int rc =
+        ::getaddrinfo(conn.host.c_str(), conn.port.c_str(), &hints, &list);
+    if (rc != 0) {
+      sideline(conn, std::string("resolve failed: ") + ::gai_strerror(rc));
+      return;
+    }
+    int fd = -1;
+    int last_errno = ECONNREFUSED;
+    bool in_progress = false;
+    for (addrinfo* ai = list; ai != nullptr; ai = ai->ai_next) {
+      fd = ::socket(ai->ai_family,
+                    ai->ai_socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                    ai->ai_protocol);
+      if (fd < 0) {
+        last_errno = errno;
+        continue;
+      }
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      if (errno == EINPROGRESS) {
+        in_progress = true;
+        break;
+      }
+      last_errno = errno;
+      ::close(fd);
+      fd = -1;
+    }
+    ::freeaddrinfo(list);
+    if (fd < 0) {
+      sideline(conn, std::string("connect failed: ") +
+                         std::strerror(last_errno));
+      return;
+    }
+    conn.fd = fd;
+    if (in_progress) {
+      conn.state = Conn::State::connecting;
+      conn.conn_deadline = Clock::now() + options_.connect_timeout;
+    } else {
+      enter_upgrade(conn);
+    }
+  };
+
+  const auto finish_upgrade = [&](Conn& conn, std::size_t newline) {
+    const std::size_t ok = conn.upgrade_line.find("\"ok\":true");
+    if (ok == std::string::npos || ok > newline) {
+      sideline(conn,
+               "upgrade rejected: " + conn.upgrade_line.substr(0, newline));
+      return;
+    }
+    // Trailing bytes already belong to the frame stream (none with a
+    // well-behaved worker, but the parser owns them either way).
+    const std::size_t extra = conn.upgrade_line.size() - newline - 1;
+    if (extra > 0) {
+      conn.parser.feed(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(conn.upgrade_line.data()) +
+              newline + 1,
+          extra));
+    }
+    conn.upgrade_line.clear();
+    conn.state = Conn::State::ready;
+    if (conn.probing) {
+      conn.probing = false;
+      conn.stats.readmitted += 1;
+      HMDIV_OBS_COUNT("exec.cluster.readmitted", 1);
+    }
+  };
+
+  // Adaptive task size: aim for window-many refills of everyone's window
+  // over the remaining work, scaled by this worker's observed speed
+  // relative to the fleet mean so fast workers pull bigger spans.
+  const auto task_size_for = [&](const Conn& conn) -> std::uint32_t {
+    std::uint64_t active = 0;
+    double speed_sum = 0;
+    std::uint64_t sampled = 0;
+    for (const Conn& c : conns_) {
+      if (!c.healthy || c.state == Conn::State::closed) continue;
+      active += 1;
+      if (c.ewma_ns_per_shard > 0) {
+        speed_sum += 1.0 / c.ewma_ns_per_shard;
+        sampled += 1;
+      }
+    }
+    if (active == 0) active = 1;
+    double ratio = 1.0;
+    if (conn.ewma_ns_per_shard > 0 && sampled > 0) {
+      const double mean_speed = speed_sum / static_cast<double>(sampled);
+      ratio = std::clamp((1.0 / conn.ewma_ns_per_shard) / mean_speed, 0.25,
+                         4.0);
+    }
+    const double denom = static_cast<double>(active * window);
+    auto n = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(pending_micro) * ratio / denom));
+    // Never let a span swallow a worker's whole remaining share: a fully
+    // grown task still leaves ~16 dispatches per active worker, so the
+    // window keeps refilling (RTT stays hidden behind queued tasks), a
+    // sidelined worker requeues small spans instead of one fat one, and
+    // the tail is never gated by a single oversized task.
+    const std::uint64_t cap = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(shards) / (active * 16));
+    n = std::clamp<std::uint64_t>(n, 1, cap);
+    return static_cast<std::uint32_t>(n);
+  };
+
+  const auto dispatch_one = [&](std::size_t index) {
+    Conn& conn = conns_[index];
+    const std::uint32_t want = task_size_for(conn);
+    Span& front = pending.front();
+    const std::uint32_t take = std::min(want, front.end - front.begin);
+    const std::uint32_t start = front.begin;
+    front.begin += take;
+    if (front.begin == front.end) pending.pop_front();
+    pending_micro -= take;
+    for (std::uint32_t s = start; s < start + take; ++s) {
+      if (last_conn[s] < conns_.size() && last_conn[s] != index) {
+        HMDIV_OBS_COUNT("exec.cluster.reassigned", 1);
+        break;
+      }
+    }
+    for (std::uint32_t s = start; s < start + take; ++s) {
+      last_conn[s] = index;
+    }
+    wire::ShardTask task;
+    task.workload = std::string(workload);
+    task.shard_index = start;
+    task.shard_count = shards;
+    task.span = take;
+    task.threads = threads;
+    task.obs_enabled = ship_obs;
+    task.blob_cached = conn.blob_sent;
+    if (!conn.blob_sent) {
+      task.blob.assign(blob.begin(), blob.end());
+      conn.blob_sent = true;
+    }
+    wire::append_frame(conn.send_buf, wire::FrameType::task,
+                       wire::serialize_task(task));
+    const auto now = Clock::now();
+    conn.inflight.push_back(Conn::Inflight{start, take, now});
+    conn.dispatched_micro += take;
+    if (conn.inflight.size() == 1) {
+      conn.head_deadline = now + options_.task_deadline;
+    }
+    conn.stats.inflight = static_cast<std::uint32_t>(conn.inflight.size());
+    conn.stats.task_size = take;
+    if (obs::enabled()) {
+      auto& registry = obs::Registry::global();
+      registry.histogram("exec.cluster.inflight")
+          .record(conn.inflight.size());
+      registry.histogram("exec.cluster.queue_depth").record(pending_micro);
+      registry.histogram("exec.cluster.task_size").record(take);
+    }
+  };
+
+  // While any connect/upgrade is still pending, cap each ready worker's
+  // cumulative dispatch at its fair share of micro-shards so the first
+  // worker up cannot drain the whole queue before the rest join; once
+  // the fleet has settled the cap lifts and windows fill freely.
+  bool startup_fairness = true;
+  const auto fill_windows = [&]() {
+    std::uint64_t active = 0;
+    for (const Conn& conn : conns_) {
+      if (conn.healthy && conn.state != Conn::State::closed) active += 1;
+    }
+    const std::uint64_t fair_share =
+        active == 0 ? shards : (shards + active - 1) / active;
+    for (;;) {
+      if (pending.empty()) return;
+      std::size_t best = conns_.size();
+      for (std::size_t i = 0; i < conns_.size(); ++i) {
+        const Conn& conn = conns_[i];
+        if (!conn.healthy || conn.state != Conn::State::ready) continue;
+        if (conn.inflight.size() >= window) continue;
+        if (startup_fairness && conn.dispatched_micro >= fair_share) {
+          continue;
+        }
+        // Shallowest window first; on ties the worker that has pulled
+        // the least so far, so fresh joiners get work immediately.
+        if (best == conns_.size() ||
+            conn.inflight.size() < conns_[best].inflight.size() ||
+            (conn.inflight.size() == conns_[best].inflight.size() &&
+             conn.dispatched_micro < conns_[best].dispatched_micro)) {
+          best = i;
+        }
+      }
+      if (best == conns_.size()) return;
+      dispatch_one(best);
+    }
+  };
+
+  const auto complete_head = [&](Conn& conn) {
+    const Conn::Inflight head = conn.inflight.front();
+    conn.inflight.pop_front();
+    conn.stats.inflight = static_cast<std::uint32_t>(conn.inflight.size());
+    for (std::vector<std::uint8_t>& snapshot : conn.cur_obs) {
+      try {
+        obs::Registry::global().merge(obs::parse_snapshot(snapshot));
+      } catch (const std::exception& e) {
+        throw ClusterError("cluster: " + conn.stats.address +
+                           ": bad obs frame: " + e.what());
+      }
+    }
+    conn.cur_obs.clear();
+    payloads[head.id] = std::move(conn.cur_payload);
+    conn.cur_payload = std::vector<std::uint8_t>{};
+    conn.have_payload = false;
+    payload_span[head.id] = head.span;
+    completed += head.span;
     conn.stats.tasks += 1;
     HMDIV_OBS_COUNT("exec.cluster.tasks", 1);
+    const auto now = Clock::now();
     if (obs::enabled()) {
       obs::Registry::global()
           .histogram("exec.cluster.rpc_ns")
-          .record(static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  Clock::now() - conn.started)
-                  .count()));
+          .record(elapsed_ns(head.dispatched, now));
     }
+    // Service time excludes time the task spent queued behind its
+    // window-mates, so the EWMA measures worker speed, not pipeline depth.
+    const auto service_start = conn.last_complete > head.dispatched
+                                   ? conn.last_complete
+                                   : head.dispatched;
+    const double per_shard =
+        static_cast<double>(elapsed_ns(service_start, now)) /
+        static_cast<double>(head.span);
+    conn.ewma_ns_per_shard = conn.ewma_ns_per_shard == 0
+                                 ? per_shard
+                                 : 0.3 * per_shard +
+                                       0.7 * conn.ewma_ns_per_shard;
+    conn.last_complete = now;
+    if (!conn.inflight.empty()) {
+      conn.head_deadline = now + options_.task_deadline;
+    }
+  };
+
+  // Drains every parsed frame; false when the connection was sidelined.
+  // Throws ClusterError on structured worker errors (deterministic
+  // failures reassignment cannot fix) — the caller lets those abort.
+  const auto process_frames = [&](Conn& conn) -> bool {
+    while (auto frame = conn.parser.next()) {
+      switch (frame->type) {
+        case wire::FrameType::result:
+          if (conn.inflight.empty() || conn.have_payload) {
+            sideline(conn, "unexpected result frame");
+            return false;
+          }
+          conn.cur_payload = std::move(frame->payload);
+          conn.have_payload = true;
+          break;
+        case wire::FrameType::obs:
+          if (conn.inflight.empty()) {
+            sideline(conn, "unexpected obs frame");
+            return false;
+          }
+          conn.cur_obs.push_back(std::move(frame->payload));
+          break;
+        case wire::FrameType::error: {
+          std::string message = "worker error";
+          try {
+            wire::Reader reader(frame->payload);
+            message = reader.str();
+          } catch (const wire::ProtocolError&) {
+          }
+          conn.stats.last_error = message;
+          throw ClusterError("cluster: " + conn.stats.address + ": " +
+                             message);
+        }
+        case wire::FrameType::done: {
+          std::uint32_t id = 0;
+          try {
+            id = wire::parse_done(frame->payload);
+          } catch (const wire::ProtocolError& e) {
+            sideline(conn, std::string("bad done frame: ") + e.what());
+            return false;
+          }
+          if (conn.inflight.empty() || id != conn.inflight.front().id ||
+              !conn.have_payload) {
+            sideline(conn, "done frame out of order (task " +
+                               std::to_string(id) + ")");
+            return false;
+          }
+          complete_head(conn);
+          break;
+        }
+        case wire::FrameType::task:
+          sideline(conn, "unexpected task frame from worker");
+          return false;
+      }
+    }
+    return true;
   };
 
   std::uint8_t buffer[1 << 16];
   try {
+    for (Conn& conn : conns_) {
+      if (conn.healthy && conn.state == Conn::State::closed) {
+        start_connect(conn);
+      }
+    }
+
     while (completed < shards) {
-      for (std::size_t i = 0; i < conns_.size(); ++i) dispatch_to(i);
+      for (Conn& conn : conns_) {
+        if (conn.readmit_armed && Clock::now() >= conn.readmit_at) {
+          conn.readmit_armed = false;
+          conn.readmitted_this_run = true;
+          conn.probing = true;
+          conn.healthy = true;
+          start_connect(conn);
+        }
+      }
+
+      if (startup_fairness) {
+        bool pending_conn = false;
+        for (const Conn& conn : conns_) {
+          if (conn.state == Conn::State::connecting ||
+              conn.state == Conn::State::upgrading) {
+            pending_conn = true;
+            break;
+          }
+        }
+        if (!pending_conn) startup_fairness = false;
+      }
+
+      fill_windows();
 
       std::vector<pollfd> fds;
       std::vector<std::size_t> owner;
       int timeout = 60'000;
+      bool readmit_pending = false;
       for (std::size_t i = 0; i < conns_.size(); ++i) {
         Conn& conn = conns_[i];
-        if (!conn.busy) continue;
-        short events = POLLIN;
-        if (conn.sent < conn.send_buf.size()) events |= POLLOUT;
+        if (conn.readmit_armed) {
+          readmit_pending = true;
+          timeout = std::min(timeout, remaining_ms(conn.readmit_at));
+        }
+        if (!conn.healthy || conn.state == Conn::State::closed) continue;
+        short events = 0;
+        switch (conn.state) {
+          case Conn::State::connecting:
+            events = POLLOUT;
+            timeout = std::min(timeout, remaining_ms(conn.conn_deadline));
+            break;
+          case Conn::State::upgrading:
+            events = POLLIN;
+            if (conn.upgrade_sent < kShardUpgradeLine.size()) {
+              events |= POLLOUT;
+            }
+            timeout = std::min(timeout, remaining_ms(conn.conn_deadline));
+            break;
+          case Conn::State::ready:
+            if (conn.inflight.empty() && conn.sent >= conn.send_buf.size()) {
+              continue;  // idle warm connection: nothing expected
+            }
+            events = POLLIN;
+            if (conn.sent < conn.send_buf.size()) events |= POLLOUT;
+            if (!conn.inflight.empty()) {
+              timeout = std::min(timeout, remaining_ms(conn.head_deadline));
+            }
+            break;
+          case Conn::State::closed:
+            continue;
+        }
         fds.push_back(pollfd{conn.fd, events, 0});
         owner.push_back(i);
-        timeout = std::min(timeout, remaining_ms(conn.deadline));
       }
       if (fds.empty()) {
+        if (readmit_pending) {
+          // Every worker is sidelined but a re-probe is scheduled: sleep
+          // out the shortest backoff instead of giving up.
+          if (timeout > 0) ::poll(nullptr, 0, timeout);
+          continue;
+        }
         throw ClusterError(
             "cluster: no healthy workers remain (" +
             std::to_string(shards - completed) +
-            " shards unfinished; last failure: " + last_failure + ")");
+            " micro-shards unfinished; last failure: " + last_failure +
+            ")");
       }
 
       const int ready = ::poll(fds.data(), fds.size(), timeout);
@@ -412,87 +677,119 @@ std::vector<std::vector<std::uint8_t>> ClusterRunner::run(
 
       for (std::size_t i = 0; i < fds.size(); ++i) {
         Conn& conn = conns_[owner[i]];
-        if (!conn.busy) continue;
+        if (!conn.healthy || conn.state == Conn::State::closed) continue;
         const short revents = fds[i].revents;
 
-        if ((revents & POLLOUT) != 0 &&
-            conn.sent < conn.send_buf.size()) {
+        if (conn.state == Conn::State::connecting) {
+          if (revents != 0) {
+            int so_error = 0;
+            socklen_t len = sizeof so_error;
+            if (::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &so_error,
+                             &len) != 0) {
+              so_error = errno;
+            }
+            if (so_error != 0) {
+              sideline(conn, std::string("connect failed: ") +
+                                 std::strerror(so_error));
+            } else {
+              enter_upgrade(conn);
+            }
+          } else if (Clock::now() >= conn.conn_deadline) {
+            sideline(conn, "connect timed out");
+          }
+          continue;
+        }
+
+        if (conn.state == Conn::State::upgrading) {
+          if ((revents & POLLOUT) != 0 &&
+              conn.upgrade_sent < kShardUpgradeLine.size()) {
+            const ssize_t n = ::send(
+                conn.fd, kShardUpgradeLine.data() + conn.upgrade_sent,
+                kShardUpgradeLine.size() - conn.upgrade_sent, MSG_NOSIGNAL);
+            if (n < 0) {
+              if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                  errno != EINTR) {
+                sideline(conn, "upgrade send failed");
+                continue;
+              }
+            } else {
+              conn.upgrade_sent += static_cast<std::size_t>(n);
+            }
+          }
+          if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+            const ssize_t n = ::recv(conn.fd, buffer, sizeof buffer, 0);
+            if (n > 0) {
+              conn.upgrade_line.append(reinterpret_cast<const char*>(buffer),
+                                       static_cast<std::size_t>(n));
+              const std::size_t newline = conn.upgrade_line.find('\n');
+              if (newline != std::string::npos) {
+                finish_upgrade(conn, newline);
+              } else if (conn.upgrade_line.size() > 4096) {
+                sideline(conn, "oversized upgrade response");
+              }
+            } else if (n == 0) {
+              sideline(conn, "closed during upgrade");
+            } else if (errno != EAGAIN && errno != EWOULDBLOCK &&
+                       errno != EINTR) {
+              sideline(conn, std::string("upgrade read failed: ") +
+                                 std::strerror(errno));
+            }
+          }
+          if (conn.state == Conn::State::upgrading &&
+              Clock::now() >= conn.conn_deadline) {
+            sideline(conn, "upgrade timed out");
+          }
+          continue;
+        }
+
+        // ready: pump pipelined task bytes out, drain reply frames in.
+        if ((revents & POLLOUT) != 0 && conn.sent < conn.send_buf.size()) {
           const ssize_t n =
               ::send(conn.fd, conn.send_buf.data() + conn.sent,
                      conn.send_buf.size() - conn.sent, MSG_NOSIGNAL);
           if (n < 0) {
-            if (errno != EAGAIN && errno != EWOULDBLOCK &&
-                errno != EINTR) {
-              fail_task(conn, std::string("task send failed: ") +
-                                  std::strerror(errno));
+            if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+              sideline(conn, std::string("task send failed: ") +
+                                 std::strerror(errno));
               continue;
             }
           } else {
             conn.sent += static_cast<std::size_t>(n);
             conn.stats.bytes_out += static_cast<std::uint64_t>(n);
             HMDIV_OBS_COUNT("exec.cluster.bytes_out", n);
+            if (conn.sent == conn.send_buf.size()) {
+              conn.send_buf.clear();
+              conn.sent = 0;
+            }
           }
         }
 
         if ((revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) != 0) {
           const ssize_t n = ::recv(conn.fd, buffer, sizeof buffer, 0);
           if (n < 0) {
-            if (errno != EAGAIN && errno != EWOULDBLOCK &&
-                errno != EINTR) {
-              fail_task(conn, std::string("reply read failed: ") +
-                                  std::strerror(errno));
+            if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+              sideline(conn, std::string("reply read failed: ") +
+                                 std::strerror(errno));
               continue;
             }
           } else if (n == 0) {
-            fail_task(conn, "connection closed by worker");
+            sideline(conn, "connection closed by worker");
             continue;
           } else {
             conn.stats.bytes_in += static_cast<std::uint64_t>(n);
             HMDIV_OBS_COUNT("exec.cluster.bytes_in", n);
+            conn.parser.feed({buffer, static_cast<std::size_t>(n)});
             try {
-              conn.parser.feed({buffer, static_cast<std::size_t>(n)});
-              while (auto frame = conn.parser.next()) {
-                conn.frames.push_back(std::move(*frame));
-              }
+              if (!process_frames(conn)) continue;
             } catch (const wire::ProtocolError& e) {
-              fail_task(conn, std::string("protocol error: ") + e.what());
-              continue;
-            }
-            bool have_result = false;
-            for (const wire::Frame& frame : conn.frames) {
-              if (frame.type == wire::FrameType::error) {
-                // A structured error is deterministic — every worker
-                // would fail the same way, so reassignment cannot help.
-                std::string message = "worker error";
-                try {
-                  wire::Reader reader(frame.payload);
-                  message = reader.str();
-                } catch (const wire::ProtocolError&) {
-                }
-                conn.stats.last_error = message;
-                throw ClusterError("cluster: " + conn.stats.address +
-                                   ": " + message);
-              }
-              have_result =
-                  have_result || frame.type == wire::FrameType::result;
-            }
-            const bool have_obs =
-                !ship_obs ||
-                [&] {
-                  for (const wire::Frame& frame : conn.frames) {
-                    if (frame.type == wire::FrameType::obs) return true;
-                  }
-                  return false;
-                }();
-            if (have_result && have_obs) {
-              complete_task(conn);
+              sideline(conn, std::string("protocol error: ") + e.what());
               continue;
             }
           }
         }
 
-        if (conn.busy && Clock::now() >= conn.deadline) {
-          fail_task(conn, "task deadline expired");
+        if (!conn.inflight.empty() && Clock::now() >= conn.head_deadline) {
+          sideline(conn, "task deadline expired");
         }
       }
     }
@@ -501,13 +798,23 @@ std::vector<std::vector<std::uint8_t>> ClusterRunner::run(
     // Mid-task streams cannot be resynced; drop them so a later run
     // starts from a clean connection.
     for (Conn& conn : conns_) {
-      if (conn.busy) conn.close_fd();
+      if (!conn.inflight.empty()) conn.close_fd();
     }
     detail::set_cluster_worker_stats(worker_stats());
     throw;
   }
 
   detail::set_cluster_worker_stats(worker_stats());
+
+  // The final partition in ascending span-start order: each completed
+  // task recorded its width, so the walk visits every payload exactly
+  // once with no overlap.
+  std::vector<std::vector<std::uint8_t>> results;
+  for (std::uint32_t s = 0; s < shards;) {
+    results.push_back(std::move(payloads[s]));
+    const std::uint32_t span = payload_span[s] == 0 ? 1 : payload_span[s];
+    s += span;
+  }
   return results;
 }
 

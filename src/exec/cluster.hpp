@@ -1,5 +1,5 @@
 // Multi-host distributed execution: a TCP shard coordinator (DESIGN.md
-// §15).
+// §15–16).
 //
 // ClusterRunner is the third rung of the execution ladder: threads
 // (exec/parallel.hpp) → processes (exec/shard.hpp) → hosts. It fans the
@@ -7,21 +7,36 @@
 // sim.trial batch ranges, core.sweep / core.minimise grid subspans,
 // core.uq.sample draw chunks — across remote `hmdiv_serve` workers over
 // TCP, reusing the HMDF frame format and the wire::shard_range partition
-// unchanged. Because a shard's payload is a pure function of (blob,
-// shard_index, shard_count), and the merge is in ascending shard order,
-// output over N hosts is bit-identical to N local shards and to the
-// in-process run — the same determinism contract, lifted to the network.
+// unchanged. Because a task's payload is a pure function of (blob,
+// shard_index, span, shard_count), and the merge is in ascending
+// span-start order, output over N hosts is bit-identical to N local
+// shards and to the in-process run — the same determinism contract,
+// lifted to the network.
+//
+// Scheduling (the latency-hiding part): instead of `shards == tasks` with
+// one outstanding task per worker, the coordinator cuts the substream
+// index space into many micro-shards and keeps up to
+// ClusterOptions::window tasks in flight per connection, matching replies
+// FIFO via per-task done frames — the next task's bytes are on the wire
+// while the worker computes the current one, so network RTT hides behind
+// compute. Task sizes adapt per worker from an EWMA of observed service
+// time, so fast workers pull bigger spans and stragglers stop gating the
+// tail. The workload config blob ships once per connection (the session
+// caches it; follow-up tasks set blob_cached).
 //
 // Transport: one warm TCP connection per worker (kept across run() calls,
 // so a profiling pipeline pays the connect + NDJSON upgrade handshake
-// once), one outstanding task per connection, a single poll() loop
-// overlapping task dispatch with result drain across the fleet. A worker
-// that fails — connect refusal, reset, EOF, malformed frames, or a blown
-// per-task deadline — is dropped for the rest of the run and its task is
-// re-issued to a healthy worker (safe by the purity argument above);
-// structured error frames, by contrast, are deterministic workload
-// failures and abort the run. Worker obs snapshots (per-task deltas) fold
-// into this process's registry exactly as the pipe engine's do.
+// once). All connects start concurrently as non-blocking sockets polled
+// together, bounding startup by the slowest worker. A worker that fails —
+// connect refusal, reset, EOF, malformed frames, a done frame out of
+// order, or a blown head-of-line deadline — is sidelined, all of its
+// in-flight spans requeue at the front of the queue (safe by the purity
+// argument above), and after ClusterOptions::readmit_after it gets one
+// re-probe per run so a transient outage does not cost the whole fleet
+// member; structured error frames, by contrast, are deterministic
+// workload failures and abort the run. Worker obs snapshots (per-task
+// deltas) fold into this process's registry exactly as the pipe engine's
+// do.
 #pragma once
 
 #include <chrono>
@@ -39,28 +54,41 @@ struct ClusterOptions {
   /// Worker endpoints ("host:port" or "[v6]:port"), e.g. from --workers.
   std::vector<std::string> workers;
   /// Shards to partition each run into; 0 resolves to the --shards /
-  /// HMDIV_SHARDS default when that is set (> 1), else one shard per
-  /// worker. More shards than workers is fine (tasks queue).
+  /// HMDIV_SHARDS default when that is set (> 1), else the run picks an
+  /// adaptive micro-shard count from the workload's item hint (many small
+  /// tasks per worker — see ClusterRunner::run), falling back to one
+  /// shard per worker. More shards than workers is fine (tasks queue).
   unsigned shards = 0;
   /// Thread budget per task on the worker; 0 means this process's default
   /// thread count (mirrors ShardOptions::threads).
   unsigned threads = 0;
-  /// Per-task wall-clock budget. On expiry the worker is dropped and the
-  /// task re-issued elsewhere.
+  /// Tasks kept in flight per connection (pipelining depth). 1 restores
+  /// the strict request/reply lockstep of PR 9.
+  unsigned window = 4;
+  /// Per-task wall-clock budget, measured at the head of each
+  /// connection's in-flight queue. On expiry the worker is dropped and
+  /// its in-flight tasks re-issued elsewhere.
   std::chrono::milliseconds task_deadline{120'000};
   /// Budget for connect + upgrade handshake per worker.
   std::chrono::milliseconds connect_timeout{5'000};
+  /// Backoff before a transport-sidelined worker gets its one re-probe
+  /// per run; 0 disables re-admission.
+  std::chrono::milliseconds readmit_after{1'000};
 };
 
-/// Per-worker tallies, cumulative across a runner's lifetime. The serve
-/// `metrics` endpoint renders the most recent runner's array (see
-/// cluster_worker_stats()).
+/// Per-worker tallies, cumulative across a runner's lifetime except where
+/// noted. The serve `metrics` endpoint renders the most recent runner's
+/// array (see cluster_worker_stats()).
 struct ClusterWorkerStats {
   std::string address;        ///< endpoint as configured
   std::uint64_t tasks = 0;    ///< tasks completed here
   std::uint64_t bytes_out = 0;  ///< task bytes shipped to it
   std::uint64_t bytes_in = 0;   ///< reply bytes drained from it
   std::uint64_t retries = 0;  ///< tasks abandoned here and re-issued
+  std::uint64_t readmitted = 0;  ///< times sidelined then re-admitted
+  std::uint32_t inflight = 0;   ///< tasks in flight right now
+  std::uint32_t window = 0;     ///< configured pipelining depth
+  std::uint32_t task_size = 0;  ///< micro-shards in the latest task
   std::string last_error;     ///< most recent transport failure, if any
 };
 
@@ -81,15 +109,23 @@ class ClusterRunner {
   ClusterRunner(const ClusterRunner&) = delete;
   ClusterRunner& operator=(const ClusterRunner&) = delete;
 
-  /// Shard count per run (options.shards resolved as documented there).
+  /// Shard count per run when explicitly configured (options.shards
+  /// resolved as documented there); runs with an items hint and no
+  /// explicit count pick their own micro-shard count.
   [[nodiscard]] unsigned resolved_shards() const noexcept;
 
-  /// Runs `workload` across the fleet and returns the raw per-shard
-  /// result payloads in ascending shard order — the same contract as
-  /// ShardRunner::run, so workload wrappers merge both identically.
-  /// Throws ClusterError when the run cannot complete.
+  /// Runs `workload` across the fleet and returns the raw result
+  /// payloads in ascending span-start order — each payload covers the
+  /// contiguous micro-shard span of one task, so workload wrappers
+  /// concatenate/fold them exactly as they do ShardRunner::run output.
+  /// `items_hint` is the workload's natural-grain item count (trial
+  /// batches, grid points, draw chunks); when the shard count is not
+  /// pinned by options/env it sizes the micro-shard partition (0 keeps
+  /// the one-shard-per-worker fallback). Throws ClusterError when the
+  /// run cannot complete.
   [[nodiscard]] std::vector<std::vector<std::uint8_t>> run(
-      std::string_view workload, std::span<const std::uint8_t> blob);
+      std::string_view workload, std::span<const std::uint8_t> blob,
+      std::uint64_t items_hint = 0);
 
   /// Per-worker tallies so far (index-aligned with options.workers).
   [[nodiscard]] std::vector<ClusterWorkerStats> worker_stats() const;

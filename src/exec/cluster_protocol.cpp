@@ -20,13 +20,13 @@ void append_error_frame(std::vector<std::uint8_t>& out,
 
 }  // namespace
 
-void execute_shard_task(const wire::ShardTask& task,
+bool execute_shard_task(const wire::ShardTask& task,
                         std::vector<std::uint8_t>& out) {
   const ShardHandler handler = find_shard_workload(task.workload);
   if (handler == nullptr) {
     append_error_frame(out, "shard endpoint: unknown workload '" +
                                 task.workload + "'");
-    return;
+    return false;
   }
   // Same process-global knobs the pipe worker applies. The thread budget
   // is perf-only (results are bit-identical at any count), so flipping it
@@ -46,7 +46,7 @@ void execute_shard_task(const wire::ShardTask& task,
     if (task.obs_enabled && !was_enabled) obs::set_enabled(false);
     append_error_frame(out, "shard endpoint: " + task.workload + ": " +
                                 e.what());
-    return;
+    return false;
   }
 
   wire::append_frame(out, wire::FrameType::result, payload);
@@ -57,6 +57,7 @@ void execute_shard_task(const wire::ShardTask& task,
                        obs::serialize_snapshot(delta));
     if (!was_enabled) obs::set_enabled(false);
   }
+  return true;
 }
 
 std::vector<ShardSession::Reply> ShardSession::consume(
@@ -86,7 +87,27 @@ std::vector<ShardSession::Reply> ShardSession::consume(
       }
       Reply reply;
       reply.shard_index = task.shard_index;
-      execute_shard_task(task, reply.bytes);
+      if (task.blob_cached) {
+        if (!have_blob_ || blob_workload_ != task.workload) {
+          // A correct coordinator ships the blob inline on the first task
+          // of every (re)connection; a miss is a protocol bug on its side,
+          // reported as a structured (deterministic) error.
+          append_error_frame(reply.bytes,
+                             "shard endpoint: no cached blob for workload '" +
+                                 task.workload + "'");
+          replies.push_back(std::move(reply));
+          continue;
+        }
+        task.blob = blob_;
+      } else {
+        blob_ = task.blob;
+        blob_workload_ = task.workload;
+        have_blob_ = true;
+      }
+      if (execute_shard_task(task, reply.bytes)) {
+        wire::append_frame(reply.bytes, wire::FrameType::done,
+                           wire::serialize_done(task.shard_index));
+      }
       replies.push_back(std::move(reply));
     }
   } catch (const wire::ProtocolError& e) {

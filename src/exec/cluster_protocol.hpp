@@ -37,20 +37,28 @@ inline constexpr std::string_view kShardUpgradeLine =
 /// frame carrying the *delta* of the global registry across the handler
 /// (obs::snapshot_delta; a long-running daemon must not re-ship its whole
 /// uptime per task). A failed or unknown workload appends an error frame
-/// instead. Applies task.threads to the process default config exactly as
-/// the pipe worker does (a perf-only knob: results are bit-identical at
-/// any thread count). Never throws.
-void execute_shard_task(const wire::ShardTask& task,
+/// instead and returns false (the caller must not follow an error with a
+/// done frame — done marks successful completion only). Applies
+/// task.threads to the process default config exactly as the pipe worker
+/// does (a perf-only knob: results are bit-identical at any thread
+/// count). Never throws.
+bool execute_shard_task(const wire::ShardTask& task,
                         std::vector<std::uint8_t>& out);
 
 /// Worker-side shard-mode stream: feed it connection bytes, ship back the
-/// replies it produces. One session per upgraded connection.
+/// replies it produces. One session per upgraded connection. Coordinators
+/// may pipeline several task frames back to back; each task's reply ends
+/// with a done frame carrying the task's id (span-start shard index), so
+/// the far end can match replies to its in-flight window FIFO. The session
+/// also caches the most recent inline blob per connection: a task with
+/// blob_cached set reuses it, so a coordinator ships a large workload
+/// config once per connection, not once per micro-task.
 class ShardSession {
  public:
   struct Reply {
-    /// Shard index of the task that produced this reply (faults key on it).
+    /// Span-start shard index of the task (faults key on it).
     std::uint32_t shard_index = 0;
-    /// Frames to ship, in order (result [+ obs], or error).
+    /// Frames to ship, in order (result [+ obs] + done, or error).
     std::vector<std::uint8_t> bytes;
     /// Unrecoverable stream (bad magic, oversized or non-task frame):
     /// ship `bytes`, then close the connection.
@@ -67,6 +75,10 @@ class ShardSession {
  private:
   wire::FrameParser parser_;
   bool dead_ = false;
+  /// Blob cache for blob_cached tasks (one per connection).
+  bool have_blob_ = false;
+  std::string blob_workload_;
+  std::vector<std::uint8_t> blob_;
 };
 
 }  // namespace hmdiv::exec

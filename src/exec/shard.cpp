@@ -125,17 +125,55 @@ int remaining_ms(Clock::time_point deadline) noexcept {
 // mid-reply past any per-task deadline). Only fault-injection tests set
 // this.
 
+namespace {
+
+/// Parses the "<ms>" tail of "delay:<shard|*>:<ms>"; true iff well-formed,
+/// with `target_matches` reporting whether the middle field names
+/// `shard_index` (or is '*').
+bool parse_delay_fault(const char* target, std::uint32_t shard_index,
+                       bool& target_matches, unsigned& delay_ms) noexcept {
+  const char* second = std::strchr(target, ':');
+  if (second == nullptr) return false;
+  if (second == target + 1 && *target == '*') {
+    target_matches = true;
+  } else {
+    char* end = nullptr;
+    const unsigned long t = std::strtoul(target, &end, 10);
+    if (end == target || end != second) return false;
+    target_matches = t == shard_index;
+  }
+  char* end = nullptr;
+  const unsigned long ms = std::strtoul(second + 1, &end, 10);
+  if (end == second + 1 || *end != '\0' || ms > 60'000) return false;
+  delay_ms = static_cast<unsigned>(ms);
+  return true;
+}
+
+}  // namespace
+
 ShardFaultMode shard_fault_mode(std::uint32_t shard_index) noexcept {
   const char* raw = std::getenv("HMDIV_SHARD_FAULT");
   if (raw == nullptr || *raw == '\0') return ShardFaultMode::none;
   const char* colon = std::strchr(raw, ':');
   if (colon == nullptr) return ShardFaultMode::none;
-  char* end = nullptr;
-  const unsigned long target = std::strtoul(colon + 1, &end, 10);
-  if (end == colon + 1 || *end != '\0' || target != shard_index) {
+  const std::string mode(raw, static_cast<std::size_t>(colon - raw));
+  if (mode == "delay") {
+    bool matches = false;
+    unsigned ms = 0;
+    if (parse_delay_fault(colon + 1, shard_index, matches, ms) && matches) {
+      return ShardFaultMode::delay;
+    }
     return ShardFaultMode::none;
   }
-  const std::string mode(raw, static_cast<std::size_t>(colon - raw));
+  bool matches = false;
+  if (colon[1] == '*' && colon[2] == '\0') {
+    matches = true;  // every task, whichever worker it lands on
+  } else {
+    char* end = nullptr;
+    const unsigned long target = std::strtoul(colon + 1, &end, 10);
+    matches = end != colon + 1 && *end == '\0' && target == shard_index;
+  }
+  if (!matches) return ShardFaultMode::none;
   if (mode == "sigkill") return ShardFaultMode::sigkill;
   if (mode == "shortwrite") return ShardFaultMode::shortwrite;
   if (mode == "hang") return ShardFaultMode::hang;
@@ -143,6 +181,15 @@ ShardFaultMode shard_fault_mode(std::uint32_t shard_index) noexcept {
   if (mode == "connreset") return ShardFaultMode::connreset;
   if (mode == "slowdrain") return ShardFaultMode::slowdrain;
   return ShardFaultMode::none;
+}
+
+unsigned shard_fault_delay_ms() noexcept {
+  const char* raw = std::getenv("HMDIV_SHARD_FAULT");
+  if (raw == nullptr || std::strncmp(raw, "delay:", 6) != 0) return 0;
+  bool matches = false;
+  unsigned ms = 0;
+  if (!parse_delay_fault(raw + 6, 0, matches, ms)) return 0;
+  return ms;
 }
 
 ShardHandler find_shard_workload(std::string_view name) {
@@ -334,6 +381,7 @@ int shard_worker_main() {
     case ShardFaultMode::none:
     case ShardFaultMode::connreset:   // serve-transport faults: no-ops on
     case ShardFaultMode::slowdrain:   // the pipe transport
+    case ShardFaultMode::delay:
       break;
     case ShardFaultMode::sigkill:
       // Die mid-stream: half the bytes make it out, then SIGKILL — the

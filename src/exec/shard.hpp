@@ -140,11 +140,17 @@ struct ShardWorkloadRegistration {
 [[nodiscard]] ShardHandler find_shard_workload(std::string_view name);
 
 /// Worker-side fault injection (test hook), parsed from
-/// HMDIV_SHARD_FAULT="<mode>:<shard>". Pipe workers honour sigkill /
+/// HMDIV_SHARD_FAULT="<mode>:<shard|*>" ('*' matches every task — the
+/// deterministic spelling when the task → worker mapping is timing-
+/// dependent, as it is under the pipelined coordinator's concurrent
+/// startup). Pipe workers honour sigkill /
 /// shortwrite / hang / exit_code; the serve shard endpoint honours
-/// connreset (RST the connection instead of replying) and slowdrain
-/// (stall mid-reply past any per-task deadline). Modes a transport does
-/// not implement are ignored there.
+/// connreset (RST the connection instead of replying), slowdrain (stall
+/// mid-reply past any per-task deadline), and delay — spelled
+/// "delay:<shard|*>:<ms>" — which sleeps `ms` before shipping each reply
+/// whose task starts at `shard` ('*' matches every task), emulating WAN
+/// round-trip latency on loopback. Modes a transport does not implement
+/// are ignored there.
 enum class ShardFaultMode {
   none,
   sigkill,
@@ -153,11 +159,16 @@ enum class ShardFaultMode {
   exit_code,
   connreset,
   slowdrain,
+  delay,
 };
 
 /// Fault mode for the worker executing `shard_index`; ShardFaultMode::none
-/// unless HMDIV_SHARD_FAULT names this exact shard.
+/// unless HMDIV_SHARD_FAULT names this exact shard (or, for delay, '*').
 [[nodiscard]] ShardFaultMode shard_fault_mode(std::uint32_t shard_index) noexcept;
+
+/// Per-reply sleep of the delay fault, in milliseconds; 0 unless
+/// HMDIV_SHARD_FAULT is a well-formed "delay:<shard|*>:<ms>".
+[[nodiscard]] unsigned shard_fault_delay_ms() noexcept;
 
 /// The hidden CLI flag that turns any hmdiv binary into a shard worker.
 inline constexpr std::string_view kShardWorkerFlag = "--shard-worker";

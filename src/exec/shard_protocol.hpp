@@ -52,6 +52,13 @@ enum class FrameType : std::uint32_t {
   obs = 3,
   /// Worker -> parent: structured failure description (string).
   error = 4,
+  /// Worker -> parent: end-of-task marker carrying the task's id (its
+  /// span-start shard index, u32). With several tasks pipelined on one
+  /// connection the coordinator matches replies FIFO; the done frame is
+  /// the sequencing point that says "every frame before me belonged to
+  /// task <id>" — and doubles as an ordering check, since the id must
+  /// equal the head of the coordinator's in-flight queue.
+  done = 5,
 };
 
 /// Append-only byte sink for payload construction.
@@ -179,21 +186,39 @@ class FrameParser {
 struct ShardTask {
   /// Name the workload handler was registered under (exec/shard.hpp).
   std::string workload;
-  /// This worker's shard index in [0, shard_count).
+  /// First micro-shard this task covers, in [0, shard_count).
   std::uint32_t shard_index = 0;
   /// Total shards the work is partitioned into.
   std::uint32_t shard_count = 1;
+  /// Consecutive micro-shards this task covers, starting at shard_index;
+  /// shard_index + span <= shard_count. Because shard_range cuts nest
+  /// (cut(k) is a pure function of k), the union of shards
+  /// [shard_index, shard_index + span) is the contiguous item range
+  /// [cut(shard_index), cut(shard_index + span)) — see task_range() — so
+  /// any span partition of the same shard_count yields bit-identical
+  /// per-item results. span == 1 is the classic one-task-per-shard shape.
+  std::uint32_t span = 1;
   /// Worker thread budget (0 = all hardware threads).
   std::uint32_t threads = 1;
   /// Whether the worker should enable obs and ship its registry back.
   bool obs_enabled = false;
+  /// When true `blob` is empty and the worker must reuse the blob it
+  /// cached from the most recent non-cached task on the same connection
+  /// (for the same workload). Lets a coordinator ship a large config once
+  /// per connection instead of once per micro-task.
+  bool blob_cached = false;
   /// Opaque workload configuration — identical for every shard; handlers
-  /// derive their slice from (shard_index, shard_count).
+  /// derive their slice from (shard_index, span, shard_count).
   std::vector<std::uint8_t> blob;
 };
 
 [[nodiscard]] std::vector<std::uint8_t> serialize_task(const ShardTask& task);
 [[nodiscard]] ShardTask parse_task(std::span<const std::uint8_t> payload);
+
+/// Payload of a done frame: the id (span-start shard index) of the task
+/// whose reply frames precede it on the stream.
+[[nodiscard]] std::vector<std::uint8_t> serialize_done(std::uint32_t task_id);
+[[nodiscard]] std::uint32_t parse_done(std::span<const std::uint8_t> payload);
 
 /// Fixed partition of `items` work units over `shards` workers: shard s
 /// covers [begin, end) = [s·m/N, (s+1)·m/N). Depends only on (items,
@@ -206,5 +231,13 @@ struct ShardRange {
 };
 [[nodiscard]] ShardRange shard_range(std::uint64_t items, std::uint32_t shard,
                                      std::uint32_t shards) noexcept;
+
+/// Item range a (possibly multi-shard) task covers: the union of
+/// shard_range(items, s, task.shard_count) for s in
+/// [task.shard_index, task.shard_index + task.span). Contiguous because
+/// the shard_range cuts nest; handlers use this instead of shard_range so
+/// the same code serves span == 1 and micro-task spans.
+[[nodiscard]] ShardRange task_range(std::uint64_t items,
+                                    const ShardTask& task) noexcept;
 
 }  // namespace hmdiv::exec::wire

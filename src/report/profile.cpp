@@ -36,7 +36,7 @@ std::string profile_table(const obs::Snapshot& snapshot) {
   }
   if (!snapshot.histograms.empty()) {
     Table timers({"timer", "count", "total ms", "mean us", "p50 us",
-                  "p90 us", "p99 us", "max us"});
+                  "p90 us", "p99 us", "p99.9 us", "max us"});
     timers.caption("Registry histograms (timings)");
     for (const auto& h : snapshot.histograms) {
       const double mean_ns =
@@ -46,7 +46,7 @@ std::string profile_table(const obs::Snapshot& snapshot) {
       timers.row({h.name, count_string(h.count),
                   fixed(static_cast<double>(h.sum) / 1e6, 2),
                   fixed(mean_ns / 1e3, 1), us(h.p50), us(h.p90), us(h.p99),
-                  us(h.max)});
+                  us(obs::snapshot_quantile(h, 0.999)), us(h.max)});
     }
     out << timers << '\n';
   }
@@ -56,16 +56,19 @@ std::string profile_table(const obs::Snapshot& snapshot) {
 void write_profile_csv(std::ostream& os, const obs::Snapshot& snapshot) {
   CsvWriter csv(os);
   csv.row({"kind", "name", "count", "sum_ns", "min_ns", "max_ns", "p50_ns",
-           "p90_ns", "p99_ns"});
+           "p90_ns", "p99_ns", "p999_ns"});
   for (const auto& c : snapshot.counters) {
     csv.row({"counter", c.name, std::to_string(c.value), "", "", "", "", "",
-             ""});
+             "", ""});
   }
   for (const auto& h : snapshot.histograms) {
+    // p99.9 is derived from the raw buckets the snapshot carries, same as
+    // the serve metrics endpoint.
     csv.row({"histogram", h.name, std::to_string(h.count),
              std::to_string(h.sum), std::to_string(h.min),
              std::to_string(h.max), std::to_string(h.p50),
-             std::to_string(h.p90), std::to_string(h.p99)});
+             std::to_string(h.p90), std::to_string(h.p99),
+             std::to_string(obs::snapshot_quantile(h, 0.999))});
   }
 }
 

@@ -11,12 +11,12 @@
 namespace hmdiv::report {
 
 /// Renders the snapshot as two aligned text tables — counters, then
-/// histograms (count, total ms, mean µs, p50/p90/p99 µs, max µs). Returns
-/// a note instead of tables when the snapshot is empty.
+/// histograms (count, total ms, mean µs, p50/p90/p99/p99.9 µs, max µs).
+/// Returns a note instead of tables when the snapshot is empty.
 [[nodiscard]] std::string profile_table(const obs::Snapshot& snapshot);
 
 /// Writes the snapshot as CSV with the header
-///   kind,name,count,sum_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns
+///   kind,name,count,sum_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,p999_ns
 /// Counter rows carry the value in `count` and leave the ns fields empty.
 void write_profile_csv(std::ostream& os, const obs::Snapshot& snapshot);
 

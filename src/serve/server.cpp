@@ -12,7 +12,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
+#include <mutex>
 #include <stdexcept>
 #include <string_view>
 #include <thread>
@@ -407,10 +410,83 @@ void Server::shard_loop(Connection& connection, std::string_view initial) {
   exec::ShardSession session;
   char buffer[64 * 1024];
 
+  // Injected WAN latency (HMDIV_SHARD_FAULT=delay:<shard|*>:<ms>): matching
+  // replies route through a delayed-sender thread that ships each one at
+  // its due time (enqueue + delay). Delays overlap — reply N+1's clock
+  // starts when it is produced, not when reply N finishes its sleep — so a
+  // pipelined coordinator sees per-reply RTT, exactly like a long wire,
+  // not a serialised stall. Once the fault is configured every reply goes
+  // through the queue (unmatched ones with zero delay) so wire order stays
+  // FIFO. Due times are monotone, so the front of the deque is always the
+  // next reply due.
+  const unsigned delay_ms = exec::shard_fault_delay_ms();
+  struct DelayedReply {
+    std::vector<std::uint8_t> bytes;
+    std::chrono::steady_clock::time_point due;
+    bool close = false;
+  };
+  std::mutex delay_mutex;
+  std::condition_variable delay_cv;
+  std::deque<DelayedReply> delay_queue;
+  bool delay_stop = false;   // no more enqueues: drain, then exit
+  bool delay_abort = false;  // shutdown: drop the queue and exit now
+  std::atomic<bool> delay_dead{false};  // sender hit a send failure / close
+  std::thread delay_sender;
+
+  const auto delayed_send_loop = [&] {
+    std::unique_lock<std::mutex> lock(delay_mutex);
+    for (;;) {
+      delay_cv.wait(lock, [&] {
+        return delay_abort || delay_stop || !delay_queue.empty();
+      });
+      if (delay_abort || delay_queue.empty()) return;  // empty ⇒ stop+drained
+      const auto due = delay_queue.front().due;
+      if (delay_cv.wait_until(lock, due, [&] { return delay_abort; })) {
+        return;
+      }
+      DelayedReply item = std::move(delay_queue.front());
+      delay_queue.pop_front();
+      lock.unlock();
+      const bool sent =
+          item.bytes.empty() ||
+          send_all(connection.fd,
+                   reinterpret_cast<const char*>(item.bytes.data()),
+                   item.bytes.size());
+      if (!sent || item.close) {
+        delay_dead.store(true, std::memory_order_release);
+        return;
+      }
+      lock.lock();
+    }
+  };
+
+  const auto enqueue_delayed = [&](const exec::ShardSession::Reply& reply) {
+    const bool matched = exec::shard_fault_mode(reply.shard_index) ==
+                         exec::ShardFaultMode::delay;
+    if (matched) HMDIV_OBS_COUNT("serve.shard.fault_delay", 1);
+    DelayedReply item;
+    item.bytes = reply.bytes;
+    item.due = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(matched ? delay_ms : 0);
+    item.close = reply.close;
+    {
+      const std::lock_guard<std::mutex> lock(delay_mutex);
+      delay_queue.push_back(std::move(item));
+    }
+    delay_cv.notify_all();
+    if (!delay_sender.joinable()) {
+      delay_sender = std::thread(delayed_send_loop);
+    }
+  };
+
   // Ships one task's reply frames; false ends the stream. The injectable
   // faults live here — at the transport, where the coordinator's
   // retry-reassign path must absorb them — not in the compute.
   const auto ship = [&](const exec::ShardSession::Reply& reply) -> bool {
+    if (delay_ms > 0) {
+      enqueue_delayed(reply);
+      return !reply.close && !delay_dead.load(std::memory_order_acquire);
+    }
     switch (exec::shard_fault_mode(reply.shard_index)) {
       case exec::ShardFaultMode::connreset: {
         // SO_LINGER{on, 0} turns close() into a RST — what a crashed
@@ -465,23 +541,41 @@ void Server::shard_loop(Connection& connection, std::string_view initial) {
     return true;
   };
 
-  if (!initial.empty() &&
-      !consume(reinterpret_cast<const std::uint8_t*>(initial.data()),
-               initial.size())) {
-    return;
-  }
-  for (;;) {
-    pollfd fds[2] = {{connection.fd, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
-    if (poll_retry(fds, 2, -1) < 0) return;
-    if (stopping_.load(std::memory_order_acquire)) return;
-    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-    const ssize_t got = ::read(connection.fd, buffer, sizeof buffer);
-    if (got < 0 && errno == EINTR) continue;
-    if (got <= 0) return;  // coordinator closed (normal end of a run)
-    if (!consume(reinterpret_cast<const std::uint8_t*>(buffer),
-                 static_cast<std::size_t>(got))) {
+  const auto pump = [&] {
+    if (!initial.empty() &&
+        !consume(reinterpret_cast<const std::uint8_t*>(initial.data()),
+                 initial.size())) {
       return;
     }
+    for (;;) {
+      if (delay_dead.load(std::memory_order_acquire)) return;
+      pollfd fds[2] = {{connection.fd, POLLIN, 0},
+                       {wake_pipe_[0], POLLIN, 0}};
+      if (poll_retry(fds, 2, -1) < 0) return;
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const ssize_t got = ::read(connection.fd, buffer, sizeof buffer);
+      if (got < 0 && errno == EINTR) continue;
+      if (got <= 0) return;  // coordinator closed (normal end of a run)
+      if (!consume(reinterpret_cast<const std::uint8_t*>(buffer),
+                   static_cast<std::size_t>(got))) {
+        return;
+      }
+    }
+  };
+  pump();
+
+  // Drain the delayed sender before the socket closes: replies already
+  // produced must still reach the wire at their due times (shutdown
+  // aborts instead — the queue is dropped and the thread exits at once).
+  if (delay_sender.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(delay_mutex);
+      delay_stop = true;
+      if (stopping_.load(std::memory_order_acquire)) delay_abort = true;
+    }
+    delay_cv.notify_all();
+    delay_sender.join();
   }
 }
 

@@ -1275,6 +1275,14 @@ void Service::handle_metrics(const Loaded*, const Parsed&, RequestScratch&,
     append_json_uint(out, w.bytes_in);
     out += ",\"retries\":";
     append_json_uint(out, w.retries);
+    out += ",\"readmitted\":";
+    append_json_uint(out, w.readmitted);
+    out += ",\"inflight\":";
+    append_json_uint(out, w.inflight);
+    out += ",\"window\":";
+    append_json_uint(out, w.window);
+    out += ",\"task_size\":";
+    append_json_uint(out, w.task_size);
     out += ",\"last_error\":\"";
     append_json_escaped(out, w.last_error);
     out += "\"}";

@@ -19,6 +19,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <cerrno>
 #include <chrono>
@@ -339,11 +340,16 @@ TEST(ClusterSessionTest, EchoTaskRoundTrips) {
   EXPECT_EQ(replies[0].shard_index, 2u);
   EXPECT_FALSE(replies[0].close);
   const auto frames = parse_reply(replies[0].bytes);
-  ASSERT_EQ(frames.size(), 1u);  // no obs frame when obs_enabled is false
+  // result + done (no obs frame when obs_enabled is false); the done
+  // frame's id echoes the task's span-start shard index so a pipelining
+  // coordinator can match it against its in-flight FIFO.
+  ASSERT_EQ(frames.size(), 2u);
   EXPECT_EQ(frames[0].type, wire::FrameType::result);
   wire::Reader r(frames[0].payload);
   EXPECT_EQ(r.u32(), 2u);
   EXPECT_EQ(r.u32(), 5u);
+  EXPECT_EQ(frames[1].type, wire::FrameType::done);
+  EXPECT_EQ(wire::parse_done(frames[1].payload), 2u);
 }
 
 TEST(ClusterSessionTest, ObsEnabledTaskShipsDeltaFrame) {
@@ -354,9 +360,10 @@ TEST(ClusterSessionTest, ObsEnabledTaskShipsDeltaFrame) {
   obs::set_enabled(was_enabled);
   ASSERT_EQ(replies.size(), 1u);
   const auto frames = parse_reply(replies[0].bytes);
-  ASSERT_EQ(frames.size(), 2u);
+  ASSERT_EQ(frames.size(), 3u);  // result + obs + done
   EXPECT_EQ(frames[0].type, wire::FrameType::result);
   EXPECT_EQ(frames[1].type, wire::FrameType::obs);
+  EXPECT_EQ(frames[2].type, wire::FrameType::done);
   // The delta covers exactly this task's execution, so the per-task
   // counter must be 1 — not the daemon's uptime total.
   const obs::Snapshot delta = obs::parse_snapshot(frames[1].payload);
@@ -376,6 +383,8 @@ TEST(ClusterSessionTest, UnknownWorkloadYieldsErrorFrame) {
   ASSERT_EQ(replies.size(), 1u);
   EXPECT_FALSE(replies[0].close);
   const auto frames = parse_reply(replies[0].bytes);
+  // An error frame is terminal for the task: no done frame follows it
+  // (done marks successful completion only).
   ASSERT_EQ(frames.size(), 1u);
   EXPECT_EQ(frames[0].type, wire::FrameType::error);
 }
@@ -404,6 +413,90 @@ TEST(ClusterSessionTest, SplitTaskFrameCompletesOnSecondChunk) {
       session.consume(std::span(frame.data() + half, frame.size() - half));
   ASSERT_EQ(replies.size(), 1u);
   EXPECT_EQ(replies[0].shard_index, 1u);
+}
+
+TEST(ClusterSessionTest, PipelinedTasksReplyInOrderAtEveryChunking) {
+  // Three back-to-back task frames — the wire image of a window-3
+  // coordinator — fed at every fixed chunk size: the session must yield
+  // the same three replies in arrival order, each closed by the matching
+  // done frame, no matter where the read boundaries fall.
+  std::vector<std::uint8_t> stream;
+  for (const std::uint32_t s : {0u, 1u, 2u}) {
+    const auto frame = task_frame("cluster.echo", s, 3);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  for (std::size_t chunk = 1; chunk <= stream.size(); ++chunk) {
+    exec::ShardSession session;
+    std::vector<exec::ShardSession::Reply> replies;
+    for (std::size_t off = 0; off < stream.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, stream.size() - off);
+      for (auto& reply :
+           session.consume(std::span(stream.data() + off, n))) {
+        replies.push_back(std::move(reply));
+      }
+    }
+    ASSERT_EQ(replies.size(), 3u) << "chunk size " << chunk;
+    for (std::uint32_t s = 0; s < 3; ++s) {
+      EXPECT_EQ(replies[s].shard_index, s) << "chunk size " << chunk;
+      EXPECT_FALSE(replies[s].close);
+      const auto frames = parse_reply(replies[s].bytes);
+      ASSERT_EQ(frames.size(), 2u) << "chunk size " << chunk;
+      EXPECT_EQ(frames[0].type, wire::FrameType::result);
+      EXPECT_EQ(frames[1].type, wire::FrameType::done);
+      EXPECT_EQ(wire::parse_done(frames[1].payload), s);
+    }
+  }
+}
+
+TEST(ClusterSessionTest, CachedBlobTasksReuseTheConnectionBlob) {
+  exec::ShardSession session;
+  // First task ships the blob inline (task_frame uses {1, 2, 3}) and
+  // populates the session cache ...
+  ASSERT_EQ(session.consume(task_frame("cluster.echo", 0, 4)).size(), 1u);
+  // ... so a follow-up task can reference it instead of re-shipping.
+  wire::ShardTask cached;
+  cached.workload = "cluster.echo";
+  cached.shard_index = 1;
+  cached.shard_count = 4;
+  cached.threads = 1;
+  cached.blob_cached = true;
+  std::vector<std::uint8_t> frame;
+  wire::append_frame(frame, wire::FrameType::task,
+                     wire::serialize_task(cached));
+  const auto replies = session.consume(frame);
+  ASSERT_EQ(replies.size(), 1u);
+  const auto frames = parse_reply(replies[0].bytes);
+  ASSERT_EQ(frames.size(), 2u);
+  ASSERT_EQ(frames[0].type, wire::FrameType::result);
+  wire::Reader r(frames[0].payload);
+  EXPECT_EQ(r.u32(), 1u);
+  EXPECT_EQ(r.u32(), 4u);
+  // The echo handler appends the blob it saw: the cached {1, 2, 3}.
+  const auto blob = r.take(3);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(blob[0], 1u);
+  EXPECT_EQ(blob[1], 2u);
+  EXPECT_EQ(blob[2], 3u);
+}
+
+TEST(ClusterSessionTest, CachedTaskWithoutPriorBlobIsAnError) {
+  exec::ShardSession session;
+  wire::ShardTask cached;
+  cached.workload = "cluster.echo";
+  cached.shard_index = 0;
+  cached.shard_count = 1;
+  cached.blob_cached = true;
+  std::vector<std::uint8_t> frame;
+  wire::append_frame(frame, wire::FrameType::task,
+                     wire::serialize_task(cached));
+  const auto replies = session.consume(frame);
+  ASSERT_EQ(replies.size(), 1u);
+  // A structured (deterministic) error, not a dead stream: the
+  // coordinator aborts the run, other connections are unaffected.
+  EXPECT_FALSE(replies[0].close);
+  const auto frames = parse_reply(replies[0].bytes);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, wire::FrameType::error);
 }
 
 // --- ClusterRunner shard resolution (no sockets) --------------------------
@@ -591,9 +684,11 @@ TEST(ClusterRunnerTest, DeadWorkerFailsOverToHealthyOne) {
 
 TEST(ClusterFaultTest, ConnectionResetReassignsBitIdentical) {
   HMDIV_REQUIRE_DAEMONS();
-  // The faulty daemon RSTs the connection instead of answering shard 0;
-  // deterministic because the initial dispatch hands shard i to worker i.
-  SpawnedDaemon faulty("connreset:0");
+  // The faulty daemon RSTs the connection instead of shipping its first
+  // reply, whichever task that is — '*' keeps the fault deterministic now
+  // that concurrent startup makes the task → worker mapping timing-
+  // dependent.
+  SpawnedDaemon faulty("connreset:*");
   SpawnedDaemon clean;
   ASSERT_TRUE(faulty.ok());
   ASSERT_TRUE(clean.ok());
@@ -614,10 +709,10 @@ TEST(ClusterFaultTest, ConnectionResetReassignsBitIdentical) {
 
 TEST(ClusterFaultTest, SlowDrainPastDeadlineReassignsBitIdentical) {
   HMDIV_REQUIRE_DAEMONS();
-  // The faulty daemon ships half of shard 0's reply, then stalls for
-  // ~1.5 s — far past the 500 ms task deadline, so the coordinator must
-  // drop it mid-frame and re-issue the shard to the clean worker.
-  SpawnedDaemon faulty("slowdrain:0");
+  // The faulty daemon ships half of every reply, then stalls for ~1.5 s —
+  // far past the 500 ms task deadline, so the coordinator must drop it
+  // mid-frame and re-issue its tasks to the clean worker.
+  SpawnedDaemon faulty("slowdrain:*");
   SpawnedDaemon clean;
   ASSERT_TRUE(faulty.ok());
   ASSERT_TRUE(clean.ok());
@@ -637,6 +732,113 @@ TEST(ClusterFaultTest, SlowDrainPastDeadlineReassignsBitIdentical) {
   EXPECT_EQ(stats[1].tasks, 2u);
 }
 
+// --- pipelined windows, adaptive sizing, delay faults, readmission --------
+
+TEST(ClusterRunnerTest, WindowAndTaskSizingAreBitIdenticalAcrossDepths) {
+  HMDIV_REQUIRE_DAEMONS();
+  SpawnedDaemon a;
+  SpawnedDaemon b;
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const core::TradeoffAnalyzer analyzer = reference_analyzer();
+  const std::vector<double> thresholds = reference_thresholds(513);
+  const auto reference = analyzer.sweep(thresholds, exec::Config{2});
+
+  constexpr std::uint64_t kCases = 20'000;
+  constexpr std::uint64_t kSeed = 20030625;
+  sim::TabularWorld world(core::paper::example_model(),
+                          core::paper::trial_profile());
+  const sim::TrialData trial_reference =
+      sim::TrialRunner(world, kCases).run(kSeed, exec::Config{2});
+
+  // Every window depth × shard-count composition — including shards=0,
+  // where the run picks its own adaptive micro-shard count from the
+  // items hint — must reproduce the in-process output bit for bit.
+  for (const unsigned window : {1u, 2u, 4u}) {
+    for (const unsigned shards : {0u, 7u}) {
+      exec::ClusterOptions options =
+          cluster_options({a.address(), b.address()}, shards);
+      options.window = window;
+      exec::ClusterRunner cluster(std::move(options));
+      expect_points_equal(
+          core::sweep_clustered(analyzer, thresholds, cluster), reference);
+      const sim::TrialData trial =
+          sim::run_trial_clustered(world, kCases, kSeed, cluster);
+      ASSERT_EQ(trial.records.size(), trial_reference.records.size())
+          << "window " << window << " shards " << shards;
+      for (std::size_t i = 0; i < trial.records.size(); ++i) {
+        ASSERT_EQ(trial.records[i].class_index,
+                  trial_reference.records[i].class_index)
+            << "window " << window << " shards " << shards << " case " << i;
+        ASSERT_EQ(trial.records[i].machine_failed,
+                  trial_reference.records[i].machine_failed);
+        ASSERT_EQ(trial.records[i].human_failed,
+                  trial_reference.records[i].human_failed);
+      }
+      for (const auto& stats : cluster.worker_stats()) {
+        EXPECT_EQ(stats.retries, 0u) << stats.address;
+        EXPECT_EQ(stats.window, std::max(1u, window)) << stats.address;
+      }
+    }
+  }
+}
+
+TEST(ClusterFaultTest, DelayedRepliesStayBitIdentical) {
+  HMDIV_REQUIRE_DAEMONS();
+  // Injected per-reply latency (the WAN emulation the pipeline exists to
+  // hide) must be invisible in the output: replies still arrive in FIFO
+  // order per connection, just later.
+  SpawnedDaemon delayed("delay:*:25");
+  SpawnedDaemon clean;
+  ASSERT_TRUE(delayed.ok());
+  ASSERT_TRUE(clean.ok());
+  const core::TradeoffAnalyzer analyzer = reference_analyzer();
+  const std::vector<double> thresholds = reference_thresholds(257);
+  const auto reference = analyzer.sweep(thresholds, exec::Config{2});
+
+  exec::ClusterOptions options =
+      cluster_options({delayed.address(), clean.address()}, /*shards=*/0);
+  options.window = 4;
+  exec::ClusterRunner cluster(std::move(options));
+  expect_points_equal(core::sweep_clustered(analyzer, thresholds, cluster),
+                      reference);
+  for (const auto& stats : cluster.worker_stats()) {
+    EXPECT_EQ(stats.retries, 0u) << stats.address;  // late is not lost
+  }
+}
+
+TEST(ClusterFaultTest, SidelinedWorkerIsReadmittedBitIdentical) {
+  HMDIV_REQUIRE_DAEMONS();
+  // Worker 0 RSTs every reply it ships, so it is sidelined on first
+  // contact; worker 1 answers each reply ~20 ms late, keeping the run
+  // alive past the readmission backoff. The probe must reconnect worker 0
+  // (readmitted >= 1) and the output must stay bit-identical through
+  // sideline, requeue, readmission, and the second sideline that follows.
+  SpawnedDaemon faulty("connreset:*");
+  SpawnedDaemon slow("delay:*:20");
+  ASSERT_TRUE(faulty.ok());
+  ASSERT_TRUE(slow.ok());
+  const core::TradeoffAnalyzer analyzer = reference_analyzer();
+  const std::vector<double> thresholds = reference_thresholds(2048);
+  const auto reference = analyzer.sweep(thresholds, exec::Config{2});
+
+  exec::ClusterOptions options =
+      cluster_options({faulty.address(), slow.address()}, /*shards=*/0);
+  options.window = 2;
+  // Well under the run length: the slow worker needs several delayed
+  // replies to drain the queue, so the probe fires while work remains.
+  options.readmit_after = 30ms;
+  exec::ClusterRunner cluster(std::move(options));
+  expect_points_equal(core::sweep_clustered(analyzer, thresholds, cluster),
+                      reference);
+  const auto stats = cluster.worker_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_GE(stats[0].retries, 1u);
+  EXPECT_GE(stats[0].readmitted, 1u);
+  EXPECT_FALSE(stats[0].last_error.empty());
+  EXPECT_GT(stats[1].tasks, 0u);
+}
+
 // --- serve metrics `workers` array ----------------------------------------
 
 TEST(ClusterMetricsTest, WorkersArrayRendersInMetricsSnapshot) {
@@ -646,6 +848,10 @@ TEST(ClusterMetricsTest, WorkersArrayRendersInMetricsSnapshot) {
   worker.bytes_out = 100;
   worker.bytes_in = 200;
   worker.retries = 1;
+  worker.readmitted = 2;
+  worker.inflight = 1;
+  worker.window = 4;
+  worker.task_size = 3;
   worker.last_error = "connection \"reset\"";
   exec::detail::set_cluster_worker_stats({worker});
 
@@ -660,6 +866,10 @@ TEST(ClusterMetricsTest, WorkersArrayRendersInMetricsSnapshot) {
       << out;
   EXPECT_NE(out.find("\"tasks\":3"), std::string::npos);
   EXPECT_NE(out.find("\"retries\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"readmitted\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"inflight\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"window\":4"), std::string::npos);
+  EXPECT_NE(out.find("\"task_size\":3"), std::string::npos);
   // last_error goes through the JSON escaper.
   EXPECT_NE(out.find("connection \\\"reset\\\""), std::string::npos) << out;
 

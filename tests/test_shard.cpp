@@ -252,6 +252,143 @@ TEST(ShardProtocol, TaskRejectsShardIndexOutOfRange) {
                wire::ProtocolError);
 }
 
+TEST(ShardProtocol, TaskSpanRoundTripsAndValidates) {
+  wire::ShardTask task;
+  task.workload = "w";
+  task.shard_index = 2;
+  task.shard_count = 8;
+  task.span = 3;
+  task.blob_cached = true;  // cached tasks carry no inline blob
+  const wire::ShardTask back = wire::parse_task(wire::serialize_task(task));
+  EXPECT_EQ(back.span, 3u);
+  EXPECT_TRUE(back.blob_cached);
+  EXPECT_TRUE(back.blob.empty());
+
+  // A span of zero, a span running past the shard count, and a cached
+  // task that still carries an inline blob are all malformed.
+  task.span = 0;
+  EXPECT_THROW(static_cast<void>(wire::parse_task(wire::serialize_task(task))),
+               wire::ProtocolError);
+  task.span = 7;  // index 2 + span 7 > count 8
+  EXPECT_THROW(static_cast<void>(wire::parse_task(wire::serialize_task(task))),
+               wire::ProtocolError);
+  task.span = 3;
+  task.blob = {1};
+  EXPECT_THROW(static_cast<void>(wire::parse_task(wire::serialize_task(task))),
+               wire::ProtocolError);
+}
+
+TEST(ShardProtocol, DoneFrameRoundTrips) {
+  EXPECT_EQ(wire::parse_done(wire::serialize_done(0)), 0u);
+  EXPECT_EQ(wire::parse_done(wire::serialize_done(255)), 255u);
+  const std::vector<std::uint8_t> truncated{1, 2};
+  EXPECT_THROW(static_cast<void>(wire::parse_done(truncated)),
+               wire::ProtocolError);
+  const std::vector<std::uint8_t> trailing{1, 0, 0, 0, 9};
+  EXPECT_THROW(static_cast<void>(wire::parse_done(trailing)),
+               wire::ProtocolError);
+}
+
+TEST(ShardProtocol, TaskRangeIsTheUnionOfItsMicroShards) {
+  // Nested cuts: a span-k task over micro-shards [s, s+k) must cover
+  // exactly the union of the k single-shard ranges — that is what lets
+  // the coordinator resize tasks without moving any partition boundary.
+  for (const std::uint64_t items : {0ull, 5ull, 97ull, 4097ull}) {
+    for (const std::uint32_t count : {1u, 4u, 16u}) {
+      for (std::uint32_t s = 0; s < count; ++s) {
+        for (std::uint32_t span = 1; s + span <= count; ++span) {
+          wire::ShardTask task;
+          task.shard_index = s;
+          task.shard_count = count;
+          task.span = span;
+          const wire::ShardRange range = wire::task_range(items, task);
+          EXPECT_EQ(range.begin, wire::shard_range(items, s, count).begin);
+          EXPECT_EQ(range.end,
+                    wire::shard_range(items, s + span - 1, count).end);
+          std::uint64_t covered = 0;
+          for (std::uint32_t k = 0; k < span; ++k) {
+            covered += wire::shard_range(items, s + k, count).size();
+          }
+          EXPECT_EQ(range.size(), covered);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardProtocol, FrameParserReassemblesAcrossEveryChunkBoundary) {
+  // A multi-frame stream — result, empty-payload obs, done — fed at every
+  // fixed chunk size from 1 byte up to the whole stream: the parser must
+  // yield identical frames no matter how read() slices the bytes.
+  std::vector<std::uint8_t> stream;
+  wire::Writer first;
+  first.str("first payload");
+  wire::append_frame(stream, wire::FrameType::result, first.data());
+  wire::append_frame(stream, wire::FrameType::obs,
+                     std::vector<std::uint8_t>{});
+  wire::append_frame(stream, wire::FrameType::done, wire::serialize_done(7));
+
+  const auto collect = [&](std::size_t chunk) {
+    wire::FrameParser parser;
+    std::vector<wire::Frame> frames;
+    for (std::size_t off = 0; off < stream.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, stream.size() - off);
+      parser.feed(std::span<const std::uint8_t>(stream.data() + off, n));
+      while (auto frame = parser.next()) frames.push_back(std::move(*frame));
+    }
+    EXPECT_TRUE(parser.idle());
+    return frames;
+  };
+  const auto reference = collect(stream.size());
+  ASSERT_EQ(reference.size(), 3u);
+  for (std::size_t chunk = 1; chunk < stream.size(); ++chunk) {
+    const auto frames = collect(chunk);
+    ASSERT_EQ(frames.size(), reference.size()) << "chunk size " << chunk;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      EXPECT_EQ(frames[i].type, reference[i].type) << "chunk " << chunk;
+      EXPECT_EQ(frames[i].payload, reference[i].payload) << "chunk " << chunk;
+    }
+  }
+}
+
+TEST(ShardProtocol, FrameParserSurvivesRandomizedSplits) {
+  // Eight frames with payload sizes straddling the 16-byte header, fed in
+  // randomly-sized segments (fixed-seed xorshift, so failures replay).
+  std::vector<std::uint8_t> stream;
+  std::vector<std::size_t> sizes{0, 1, 15, 16, 17, 64, 255, 300};
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    wire::append_frame(
+        stream, wire::FrameType::result,
+        std::vector<std::uint8_t>(sizes[i],
+                                  static_cast<std::uint8_t>(i + 1)));
+  }
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  const auto next_random = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 50; ++round) {
+    wire::FrameParser parser;
+    std::size_t frames = 0;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + next_random() % 37, stream.size() - off);
+      parser.feed(std::span<const std::uint8_t>(stream.data() + off, n));
+      while (auto frame = parser.next()) {
+        ASSERT_LT(frames, sizes.size());
+        EXPECT_EQ(frame->payload.size(), sizes[frames]);
+        ++frames;
+      }
+      off += n;
+    }
+    EXPECT_EQ(frames, sizes.size()) << "round " << round;
+    EXPECT_TRUE(parser.idle());
+  }
+}
+
 TEST(ShardProtocol, ShardRangePartitionsExactly) {
   // Contiguous, covering, balanced to within one unit, and equal to the
   // floor formula — for sizes around every divisibility edge.
